@@ -1,0 +1,70 @@
+//! BGP substrate benchmarks: generation, aggregation, cleaning at month
+//! scale (the paper's 137 prefixes × 744 hours).
+
+use bgpsim::{aggregate, clean, generate, BgpScenario, SevereEvent};
+use criterion::{criterion_group, criterion_main, Criterion};
+use model::PrefixId;
+use netsim::SimRng;
+use std::hint::black_box;
+
+fn month_scenario() -> BgpScenario {
+    let mut sc = BgpScenario::quiet(137, 744);
+    sc.reset_hours = vec![120, 360, 600];
+    sc.severe_events = (0..111)
+        .map(|i| SevereEvent {
+            prefix: PrefixId(i % 137),
+            hour: (i * 6 + 3) % 744,
+            neighbors: 71,
+            withdrawals_per_neighbor: 3,
+            announcements_per_neighbor: 2,
+        })
+        .collect();
+    sc
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let sc = month_scenario();
+    let mut g = c.benchmark_group("bgp_month");
+    g.sample_size(20);
+    g.bench_function("generate", |b| {
+        b.iter(|| black_box(generate(&sc, &mut SimRng::new(1))))
+    });
+    let raw = generate(&sc, &mut SimRng::new(1));
+    g.bench_function("aggregate", |b| {
+        b.iter(|| black_box(aggregate(&raw.updates, 137, 744)))
+    });
+    let series = aggregate(&raw.updates, 137, 744);
+    g.bench_function("clean", |b| {
+        b.iter(|| black_box(clean(&series, &raw.hourly_unique_prefixes)))
+    });
+    g.finish();
+}
+
+fn bench_mrt(c: &mut Criterion) {
+    use bgpsim::{decode_stream, encode_stream, MrtPrefixTable};
+    let prefixes: Vec<model::Ipv4Prefix> = (0..137)
+        .map(|i| {
+            model::Ipv4Prefix::new(
+                std::net::Ipv4Addr::new(100, (i / 250) as u8, (i % 250) as u8, 0),
+                24,
+            )
+            .unwrap()
+        })
+        .collect();
+    let table = MrtPrefixTable::new(&prefixes);
+    let sc = month_scenario();
+    let raw = generate(&sc, &mut SimRng::new(2));
+    let wire = encode_stream(&raw.updates, &table);
+    let mut g = c.benchmark_group("mrt");
+    g.sample_size(20);
+    g.bench_function("encode_month_feed", |b| {
+        b.iter(|| black_box(encode_stream(&raw.updates, &table)))
+    });
+    g.bench_function("decode_month_feed", |b| {
+        b.iter(|| black_box(decode_stream(&wire, &table).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bgp, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Substrate microbenchmarks: event queue, RNG, timelines, fault processes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use model::{SimDuration, SimTime};
+use netsim::process::EpisodeDuration;
+use netsim::{OnOffProcess, Scheduler, SimRng, Timeline};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    let n: u64 = 100_000;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("schedule_pop_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::new(1);
+                let times: Vec<SimTime> = (0..n)
+                    .map(|_| SimTime::from_micros(rng.below(3_600_000_000)))
+                    .collect();
+                times
+            },
+            |times| {
+                let mut s: Scheduler<u64> = Scheduler::new();
+                for (i, t) in times.iter().enumerate() {
+                    s.schedule_at(*t, i as u64);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = s.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("next_u64_1m", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("exp_samples_100k", |b| {
+        let mut rng = SimRng::new(9);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exp(3.0);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    let mut rng = SimRng::new(11);
+    let proc = OnOffProcess::new(
+        SimDuration::from_secs(3_600),
+        EpisodeDuration::Exp {
+            mean: SimDuration::from_secs(600),
+        },
+    );
+    let tl: Timeline<bool> = proc.materialize(&mut rng, SimTime::from_hours(744));
+    let mut g = c.benchmark_group("timeline");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("query_100k", |b| {
+        let mut q = SimRng::new(13);
+        b.iter(|| {
+            let mut hits = 0u32;
+            for _ in 0..100_000 {
+                let t = SimTime::from_micros(q.below(744 * 3_600_000_000));
+                hits += u32::from(*tl.at(t));
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("materialize_month", |b| {
+        b.iter(|| {
+            let mut r = SimRng::new(17);
+            black_box(proc.materialize(&mut r, SimTime::from_hours(744)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_rng, bench_timeline);
+criterion_main!(benches);

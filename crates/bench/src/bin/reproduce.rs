@@ -1,0 +1,172 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--scale quick|repro|paper] [--seed N] [--only ID[,ID...]]
+//! ```
+//!
+//! IDs: table1 table2 table3 fig1 table4 fig2 fig3 permanent fig4 table5
+//! episodes table6 table7 table8 replicas bgp fig5 fig6 fig7 table9 pairs
+//! medians loss digcheck compare. Default: all of them.
+
+use bench_suite::Scale;
+use netprofiler::{Analysis, AnalysisConfig};
+use report::render;
+use std::time::Instant;
+use workload::run_experiment;
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut seed = 20050101u64;
+    let mut only: Option<Vec<String>> = None;
+    let mut export_dir: Option<std::path::PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (quick|repro|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--export" => {
+                export_dir = args.next().map(std::path::PathBuf::from);
+                if export_dir.is_none() {
+                    eprintln!("--export needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--only" => {
+                only = Some(
+                    args.next()
+                        .unwrap_or_default()
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "reproduce [--scale quick|repro|paper] [--seed N] [--only IDs] [--export DIR]\n\
+                     regenerates the tables/figures of 'A Study of End-to-End Web \
+                     Access Failures' (CoNEXT 2006) from a simulated experiment"
+                );
+                return;
+            }
+            other => {
+                only = Some(vec![other.to_string()]);
+            }
+        }
+    }
+
+    let config = scale.config(seed);
+    eprintln!(
+        "running experiment: {} hours x {} accesses/hour x 80 sites x 134 clients (~{} transactions), seed {seed}",
+        config.hours,
+        config.iterations_per_hour,
+        config.expected_transactions()
+    );
+    let t0 = Instant::now();
+    let out = run_experiment(&config);
+    let ds = &out.dataset;
+    eprintln!(
+        "experiment done in {:.1}s: {} transactions, {} connections",
+        t0.elapsed().as_secs_f64(),
+        ds.records.len(),
+        ds.connections.len()
+    );
+
+    let t1 = Instant::now();
+    let a5 = Analysis::new(ds, AnalysisConfig::default());
+    let a10 = Analysis::new(ds, AnalysisConfig::conservative());
+    eprintln!("analysis indexed in {:.1}s", t1.elapsed().as_secs_f64());
+
+    let wanted = |id: &str| only.as_ref().is_none_or(|ids| ids.iter().any(|x| x == id || x == "all"));
+    let emit = |id: &str, body: String| {
+        if wanted(id) {
+            println!("==== {id} ====");
+            println!("{body}");
+        }
+    };
+
+    emit("table1", render::render_table1(ds));
+    emit("table2", render::render_table2(ds));
+    emit("table3", render::render_table3(ds));
+    emit("fig1", render::render_figure1(ds));
+    emit("table4", render::render_table4(ds));
+    emit("fig2", render::render_figure2(ds));
+    emit("fig3", render::render_figure3(ds));
+    emit("permanent", render::render_permanent(&a5));
+    emit("fig4", render::render_figure4(&a5));
+    emit("table5", render::render_table5(&a5, &a10));
+    emit("episodes", render::render_episode_stats(&a5));
+    emit("table6", render::render_table6(&a5, 12));
+    emit("table7", render::render_table7(&a5, seed));
+    emit("table8", render::render_table8(&a5, 8));
+    emit("replicas", render::render_replicas(&a5));
+    emit("bgp", render::render_bgp(&a5));
+    if wanted("fig5") {
+        if let Some(csv) = render::render_client_timeseries_csv(ds, "howard") {
+            println!("==== fig5 (nodea.howard.edu-like client; CSV) ====");
+            print_truncated(&csv, 30);
+        }
+    }
+    emit("fig6", {
+        let csv = render::render_figure6_csv(&a5);
+        let mut s = String::from("(CSV: TCP failure rate during severe instability)\n");
+        s.push_str(&csv);
+        s
+    });
+    if wanted("fig7") {
+        if let Some(csv) = render::render_client_timeseries_csv(ds, "kscy") {
+            println!("==== fig7 (kscy-like client; CSV) ====");
+            print_truncated(&csv, 30);
+        }
+    }
+    emit("table9", render::render_table9(&a5, &["iitb", "royal"]));
+    emit("pairs", render::render_pair_episodes(&a5));
+    emit("medians", render::render_medians(ds));
+    emit("timing", render::render_timing(ds));
+    emit("loss", render::render_loss(ds));
+    emit("digcheck", render::render_digcheck(ds));
+
+    if let Some(dir) = export_dir {
+        match report::export::export_dataset(ds, &dir)
+            .and_then(|n| Ok(n + report::export::export_figures(&a5, &dir)?))
+        {
+            Ok(n) => eprintln!("exported {n} CSV files to {}", dir.display()),
+            Err(e) => eprintln!("export failed: {e}"),
+        }
+    }
+
+    if wanted("compare") {
+        println!("==== compare (paper vs measured) ====");
+        let comps = render::comparisons(ds, &a5, &a10);
+        let ok = comps.iter().filter(|c| c.ok).count();
+        for c in &comps {
+            println!("{}", c.line());
+        }
+        println!("\n{ok}/{} comparisons within the paper's shape", comps.len());
+    }
+}
+
+fn print_truncated(csv: &str, max_lines: usize) {
+    for (i, line) in csv.lines().enumerate() {
+        if i >= max_lines {
+            println!("... ({} more lines)", csv.lines().count() - max_lines);
+            break;
+        }
+        println!("{line}");
+    }
+    println!();
+}

@@ -1,0 +1,63 @@
+//! Shared scaffolding for the benchmark suite and the `reproduce` harness.
+
+use model::Dataset;
+use workload::{run_experiment, ExperimentConfig};
+
+/// Named experiment scales for the harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// 72 h × 1 access/hour, full wire fidelity (~0.8 M transactions).
+    Quick,
+    /// Full month × 2 accesses/hour (~16 M transactions) — the default
+    /// reproduction scale.
+    Reproduction,
+    /// Full month × 4 accesses/hour (~32 M transactions) — the paper's
+    /// access rate.
+    Paper,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "repro" | "reproduction" => Some(Scale::Reproduction),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    pub fn config(self, seed: u64) -> ExperimentConfig {
+        match self {
+            Scale::Quick => ExperimentConfig::quick(seed),
+            Scale::Reproduction => ExperimentConfig::reproduction(seed),
+            Scale::Paper => ExperimentConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// Run an experiment at the given scale and return its dataset.
+pub fn dataset_at(scale: Scale, seed: u64) -> Dataset {
+    run_experiment(&scale.config(seed)).dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("repro"), Some(Scale::Reproduction));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn configs_scale_up() {
+        let q = Scale::Quick.config(1);
+        let r = Scale::Reproduction.config(1);
+        let p = Scale::Paper.config(1);
+        assert!(q.expected_transactions() < r.expected_transactions());
+        assert!(r.expected_transactions() < p.expected_transactions());
+    }
+}

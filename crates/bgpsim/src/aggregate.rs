@@ -1,0 +1,112 @@
+//! Hourly aggregation of the update stream.
+
+use crate::types::{BgpUpdate, UpdateKind};
+use model::BgpHourlySeries;
+#[cfg(test)]
+use model::PrefixId;
+use std::collections::HashSet;
+
+/// Reduce a time-ordered update stream to the hourly per-prefix grid the
+/// analysis consumes: counts of announcements/withdrawals and of distinct
+/// neighbors participating in each.
+pub fn aggregate(updates: &[BgpUpdate], prefix_count: usize, hours: u32) -> BgpHourlySeries {
+    let mut series = BgpHourlySeries::new(prefix_count, hours);
+    // Track distinct peers per (prefix, hour, kind). The stream is sparse,
+    // so per-cell hash sets built on the fly are fine.
+    let mut ann_peers: HashSet<(u32, u32, u16)> = HashSet::new();
+    let mut wd_peers: HashSet<(u32, u32, u16)> = HashSet::new();
+
+    for u in updates {
+        let hour = u.time.hour_bin();
+        if hour >= hours {
+            continue;
+        }
+        let Some(cell) = series.get_mut(u.prefix, hour) else {
+            continue;
+        };
+        match u.kind {
+            UpdateKind::Announce => {
+                cell.announcements += 1;
+                if ann_peers.insert((u.prefix.0, hour, u.peer)) {
+                    cell.neighbors_announcing += 1;
+                }
+            }
+            UpdateKind::Withdraw => {
+                cell.withdrawals += 1;
+                if wd_peers.insert((u.prefix.0, hour, u.peer)) {
+                    cell.neighbors_withdrawing += 1;
+                }
+            }
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::{SimDuration, SimTime};
+
+    fn upd(hour: u64, secs: u64, peer: u16, prefix: u32, kind: UpdateKind) -> BgpUpdate {
+        BgpUpdate {
+            time: SimTime::from_hours(hour) + SimDuration::from_secs(secs),
+            peer,
+            prefix: PrefixId(prefix),
+            kind,
+        }
+    }
+
+    #[test]
+    fn counts_and_distinct_neighbors() {
+        let updates = vec![
+            upd(2, 0, 1, 0, UpdateKind::Withdraw),
+            upd(2, 10, 1, 0, UpdateKind::Withdraw), // same peer again
+            upd(2, 20, 2, 0, UpdateKind::Withdraw),
+            upd(2, 30, 2, 0, UpdateKind::Announce),
+            upd(3, 0, 3, 0, UpdateKind::Withdraw), // next hour
+        ];
+        let s = aggregate(&updates, 1, 5);
+        let h2 = s.get(PrefixId(0), 2);
+        assert_eq!(h2.withdrawals, 3);
+        assert_eq!(h2.neighbors_withdrawing, 2);
+        assert_eq!(h2.announcements, 1);
+        assert_eq!(h2.neighbors_announcing, 1);
+        let h3 = s.get(PrefixId(0), 3);
+        assert_eq!(h3.withdrawals, 1);
+        assert_eq!(h3.neighbors_withdrawing, 1);
+    }
+
+    #[test]
+    fn prefixes_are_independent() {
+        let updates = vec![
+            upd(0, 0, 1, 0, UpdateKind::Announce),
+            upd(0, 0, 1, 1, UpdateKind::Withdraw),
+        ];
+        let s = aggregate(&updates, 2, 1);
+        assert_eq!(s.get(PrefixId(0), 0).announcements, 1);
+        assert_eq!(s.get(PrefixId(0), 0).withdrawals, 0);
+        assert_eq!(s.get(PrefixId(1), 0).withdrawals, 1);
+    }
+
+    #[test]
+    fn out_of_range_updates_dropped() {
+        let updates = vec![
+            upd(10, 0, 1, 0, UpdateKind::Announce), // hour beyond horizon
+            upd(0, 0, 1, 5, UpdateKind::Announce),  // prefix beyond table
+        ];
+        let s = aggregate(&updates, 1, 5);
+        assert_eq!(s.active_cells().count(), 0);
+    }
+
+    #[test]
+    fn same_peer_both_kinds_counted_in_each() {
+        let updates = vec![
+            upd(1, 0, 7, 0, UpdateKind::Withdraw),
+            upd(1, 60, 7, 0, UpdateKind::Announce),
+        ];
+        let s = aggregate(&updates, 1, 2);
+        let cell = s.get(PrefixId(0), 1);
+        assert_eq!(cell.neighbors_withdrawing, 1);
+        assert_eq!(cell.neighbors_announcing, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Collector-reset cleaning (Section 3.6).
+//!
+//! The paper: *"For each 1 hour period, if more than 60,000 unique prefixes
+//! (i.e., at least half the routing table) received announcements, we assume
+//! a reset occurred. We calculate the average number of unique neighbors
+//! that each prefix received an announcement from and subtract that from the
+//! count of announcements and count of neighbors participating in
+//! announcements from all prefixes during that period. We perform the same
+//! calculation for withdrawals."*
+
+use crate::types::RESET_PREFIX_THRESHOLD;
+use model::{BgpHourlySeries, PrefixId};
+
+/// What the cleaner did, for reporting and validation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CleanReport {
+    /// Hours flagged as containing a collector reset.
+    pub reset_hours: Vec<u32>,
+    /// Average per-prefix announcing-neighbor count subtracted in each
+    /// flagged hour (parallel to `reset_hours`).
+    pub subtracted_ann_neighbors: Vec<f64>,
+    /// Likewise for withdrawals.
+    pub subtracted_wd_neighbors: Vec<f64>,
+}
+
+/// Clean reset artifacts out of an aggregated series.
+///
+/// `hourly_unique_prefixes[h]` is the whole-table unique-announced-prefix
+/// count for hour `h` (from the raw feed). Hours exceeding
+/// [`RESET_PREFIX_THRESHOLD`] are flagged; within each, the mean per-prefix
+/// neighbor participation (over prefixes with any activity) is subtracted
+/// from both the neighbor counts and, proportionally, the update counts.
+pub fn clean(
+    series: &BgpHourlySeries,
+    hourly_unique_prefixes: &[u32],
+) -> (BgpHourlySeries, CleanReport) {
+    let mut out = series.clone();
+    let mut report = CleanReport::default();
+    let hours = series.hours().min(hourly_unique_prefixes.len() as u32);
+
+    for hour in 0..hours {
+        if hourly_unique_prefixes[hour as usize] <= RESET_PREFIX_THRESHOLD {
+            continue;
+        }
+        // Averages over all tracked prefixes (a reset touches every prefix,
+        // so the denominator is the full table slice).
+        let n = series.prefix_count().max(1) as f64;
+        let mut sum_ann_nb = 0.0;
+        let mut sum_wd_nb = 0.0;
+        let mut sum_ann_per_nb = 0.0;
+        let mut count_ann_cells = 0.0;
+        for p in 0..series.prefix_count() {
+            let cell = series.get(PrefixId(p as u32), hour);
+            sum_ann_nb += f64::from(cell.neighbors_announcing);
+            sum_wd_nb += f64::from(cell.neighbors_withdrawing);
+            if cell.neighbors_announcing > 0 {
+                sum_ann_per_nb += f64::from(cell.announcements) / f64::from(cell.neighbors_announcing);
+                count_ann_cells += 1.0;
+            }
+        }
+        let avg_ann_nb = sum_ann_nb / n;
+        let avg_wd_nb = sum_wd_nb / n;
+        // Announcements per participating neighbor (≈1 for reset artifacts).
+        let ann_per_nb = if count_ann_cells > 0.0 {
+            sum_ann_per_nb / count_ann_cells
+        } else {
+            1.0
+        };
+
+        report.reset_hours.push(hour);
+        report.subtracted_ann_neighbors.push(avg_ann_nb);
+        report.subtracted_wd_neighbors.push(avg_wd_nb);
+
+        let nb_ann_cut = avg_ann_nb.round() as u16;
+        let nb_wd_cut = avg_wd_nb.round() as u16;
+        let ann_cut = (avg_ann_nb * ann_per_nb).round() as u32;
+        for p in 0..series.prefix_count() {
+            if let Some(cell) = out.get_mut(PrefixId(p as u32), hour) {
+                cell.neighbors_announcing = cell.neighbors_announcing.saturating_sub(nb_ann_cut);
+                cell.neighbors_withdrawing = cell.neighbors_withdrawing.saturating_sub(nb_wd_cut);
+                cell.announcements = cell.announcements.saturating_sub(ann_cut);
+                // Withdrawal counts are barely inflated by resets; subtract
+                // proportionally to the neighbor cut.
+                cell.withdrawals = cell.withdrawals.saturating_sub(u32::from(nb_wd_cut));
+            }
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate;
+    use crate::generate::{generate, BgpScenario, SevereEvent};
+    use model::SimDuration;
+    use netsim::SimRng;
+
+    #[test]
+    fn quiet_hours_untouched() {
+        let sc = BgpScenario::quiet(10, 50);
+        let raw = generate(&sc, &mut SimRng::new(1));
+        let series = aggregate(&raw.updates, 10, 50);
+        let (cleaned, report) = clean(&series, &raw.hourly_unique_prefixes);
+        assert!(report.reset_hours.is_empty());
+        for p in 0..10 {
+            for h in 0..50 {
+                assert_eq!(
+                    cleaned.get(PrefixId(p), h),
+                    series.get(PrefixId(p), h),
+                    "cell ({p},{h}) changed without a reset"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_artifacts_are_removed() {
+        let mut sc = BgpScenario::quiet(20, 48);
+        sc.background_gap = SimDuration::from_hours(100_000); // isolate the reset
+        sc.reset_hours = vec![12];
+        let raw = generate(&sc, &mut SimRng::new(2));
+        let series = aggregate(&raw.updates, 20, 48);
+        // Before cleaning: hour 12 shows heavy announcing.
+        let dirty = series.get(PrefixId(3), 12);
+        assert!(dirty.neighbors_announcing >= 30);
+        let (cleaned, report) = clean(&series, &raw.hourly_unique_prefixes);
+        assert_eq!(report.reset_hours, vec![12]);
+        let c = cleaned.get(PrefixId(3), 12);
+        assert_eq!(c.neighbors_announcing, 0, "artifact fully subtracted");
+        assert_eq!(c.announcements, 0);
+    }
+
+    #[test]
+    fn genuine_event_survives_cleaning_in_reset_hour() {
+        // A severe withdrawal event coinciding with a reset must keep its
+        // withdrawal signal (resets inflate announcements, not withdrawals).
+        let mut sc = BgpScenario::quiet(20, 48);
+        sc.background_gap = SimDuration::from_hours(100_000);
+        sc.reset_hours = vec![12];
+        sc.severe_events = vec![SevereEvent {
+            prefix: PrefixId(5),
+            hour: 12,
+            neighbors: 71,
+            withdrawals_per_neighbor: 2,
+            announcements_per_neighbor: 1,
+        }];
+        let raw = generate(&sc, &mut SimRng::new(3));
+        let series = aggregate(&raw.updates, 20, 48);
+        let (cleaned, _) = clean(&series, &raw.hourly_unique_prefixes);
+        let c = cleaned.get(PrefixId(5), 12);
+        assert!(
+            c.neighbors_withdrawing >= 65,
+            "severe withdrawal signal lost: {} neighbors",
+            c.neighbors_withdrawing
+        );
+        assert!(c.withdrawals >= 100, "withdrawal volume lost: {}", c.withdrawals);
+    }
+
+    #[test]
+    fn severe_event_outside_reset_untouched() {
+        let mut sc = BgpScenario::quiet(10, 48);
+        sc.severe_events = vec![SevereEvent {
+            prefix: PrefixId(2),
+            hour: 30,
+            neighbors: 71,
+            withdrawals_per_neighbor: 3,
+            announcements_per_neighbor: 2,
+        }];
+        let raw = generate(&sc, &mut SimRng::new(4));
+        let series = aggregate(&raw.updates, 10, 48);
+        let (cleaned, report) = clean(&series, &raw.hourly_unique_prefixes);
+        assert!(report.reset_hours.is_empty());
+        assert_eq!(cleaned.get(PrefixId(2), 30), series.get(PrefixId(2), 30));
+        assert!(cleaned.get(PrefixId(2), 30).neighbors_withdrawing >= 71);
+    }
+
+    #[test]
+    fn clean_handles_short_unique_vector() {
+        let series = BgpHourlySeries::new(2, 10);
+        let (cleaned, report) = clean(&series, &[0; 3]);
+        assert_eq!(report, CleanReport::default());
+        assert_eq!(cleaned.hours(), 10);
+    }
+}

@@ -1,0 +1,285 @@
+//! Update-stream synthesis.
+//!
+//! Three ingredients, mirroring what the paper's collectors actually hear:
+//!
+//! 1. **Background churn** — low-rate, low-visibility path changes: a
+//!    Poisson process per prefix; each event involves a handful of peers
+//!    sending a few announcements (and occasionally withdrawals).
+//! 2. **Severe instability events** — supplied by the experiment's
+//!    ground-truth fault model, these are outages near the origin of a
+//!    prefix: most/all peers withdraw the route, usually several times, with
+//!    interleaved re-announcements (BGP path exploration).
+//! 3. **Collector resets** — a collector session reset floods re-announcements
+//!    for (in reality) the whole table. We track only the study's ~137
+//!    prefixes but report the *global* unique-prefix count per hour so the
+//!    cleaning step can apply the paper's >60 000-prefix detection rule.
+
+use crate::types::{BgpUpdate, CollectorSet, UpdateKind, RESET_PREFIX_THRESHOLD};
+use model::{PrefixId, SimDuration, SimTime};
+use netsim::{PoissonProcess, SimRng};
+
+/// One ground-truth severe instability event for a prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct SevereEvent {
+    pub prefix: PrefixId,
+    /// Hour bin the event occurs in.
+    pub hour: u32,
+    /// How many distinct peers withdraw the prefix.
+    pub neighbors: u16,
+    /// Withdrawals each participating peer sends (path exploration repeats).
+    pub withdrawals_per_neighbor: u16,
+    /// Announcements each participating peer sends around the event.
+    pub announcements_per_neighbor: u16,
+}
+
+/// Scenario configuration for stream generation.
+#[derive(Clone, Debug)]
+pub struct BgpScenario {
+    /// Number of tracked prefixes (the study's client+replica prefixes).
+    pub prefix_count: usize,
+    /// Experiment horizon in hours.
+    pub hours: u32,
+    /// Collector roster.
+    pub collectors: CollectorSet,
+    /// Mean gap between background churn events per prefix.
+    pub background_gap: SimDuration,
+    /// Ground-truth severe events.
+    pub severe_events: Vec<SevereEvent>,
+    /// Hours at which a collector reset occurs (collector chosen rotationally).
+    pub reset_hours: Vec<u32>,
+}
+
+impl BgpScenario {
+    /// A quiet scenario with no severe events or resets.
+    pub fn quiet(prefix_count: usize, hours: u32) -> BgpScenario {
+        BgpScenario {
+            prefix_count,
+            hours,
+            collectors: CollectorSet::routeviews_2005(),
+            background_gap: SimDuration::from_hours(36),
+            severe_events: Vec::new(),
+            reset_hours: Vec::new(),
+        }
+    }
+}
+
+/// The synthesized stream plus the global per-hour unique-prefix counts the
+/// cleaner needs.
+#[derive(Clone, Debug)]
+pub struct RawBgpData {
+    /// Updates for the *tracked* prefixes, time-ordered.
+    pub updates: Vec<BgpUpdate>,
+    /// Global (whole-table) count of unique prefixes that received
+    /// announcements in each hour — large in reset hours.
+    pub hourly_unique_prefixes: Vec<u32>,
+    /// For reset hours: the number of tracked-prefix announcements each
+    /// reset injected per peer involved (the cleaner re-estimates this; kept
+    /// for validation).
+    pub reset_hours: Vec<u32>,
+}
+
+/// Generate the update stream for `scenario`.
+pub fn generate(scenario: &BgpScenario, rng: &mut SimRng) -> RawBgpData {
+    let horizon = SimTime::from_hours(u64::from(scenario.hours));
+    let peers_total = scenario.collectors.total_peers();
+    let mut updates: Vec<BgpUpdate> = Vec::new();
+    // Baseline table activity: a normal hour sees a few thousand prefixes
+    // with some announcement somewhere in the table.
+    let mut hourly_unique = vec![0u32; scenario.hours as usize];
+    for h in hourly_unique.iter_mut() {
+        *h = 2_000 + rng.below(3_000) as u32;
+    }
+
+    // 1. Background churn.
+    for p in 0..scenario.prefix_count {
+        let mut prng = rng.fork(0x1000_0000 + p as u64);
+        let proc = PoissonProcess::new(scenario.background_gap);
+        for t in proc.materialize(&mut prng, horizon) {
+            let involved = 1 + prng.below(4) as u16; // 1–4 peers
+            for _ in 0..involved {
+                let peer = prng.below(u64::from(peers_total)) as u16;
+                let n_ann = 1 + prng.below(3);
+                for k in 0..n_ann {
+                    updates.push(BgpUpdate {
+                        time: t + SimDuration::from_secs(30 * k),
+                        peer,
+                        prefix: PrefixId(p as u32),
+                        kind: UpdateKind::Announce,
+                    });
+                }
+                if prng.chance(0.3) {
+                    updates.push(BgpUpdate {
+                        time: t,
+                        peer,
+                        prefix: PrefixId(p as u32),
+                        kind: UpdateKind::Withdraw,
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. Severe events.
+    for ev in &scenario.severe_events {
+        if ev.hour >= scenario.hours {
+            continue;
+        }
+        let base = SimTime::from_hours(u64::from(ev.hour));
+        let mut erng = rng.fork(0x2000_0000 + u64::from(ev.prefix.0) * 1_000 + u64::from(ev.hour));
+        let chosen = erng.sample_indices(peers_total as usize, ev.neighbors.min(peers_total) as usize);
+        for peer in chosen {
+            for k in 0..ev.withdrawals_per_neighbor {
+                let offset = SimDuration::from_secs(erng.below(3_000) + u64::from(k) * 45);
+                updates.push(BgpUpdate {
+                    time: base + offset,
+                    peer: peer as u16,
+                    prefix: ev.prefix,
+                    kind: UpdateKind::Withdraw,
+                });
+            }
+            for k in 0..ev.announcements_per_neighbor {
+                let offset = SimDuration::from_secs(erng.below(3_200) + u64::from(k) * 50);
+                updates.push(BgpUpdate {
+                    time: base + offset,
+                    peer: peer as u16,
+                    prefix: ev.prefix,
+                    kind: UpdateKind::Announce,
+                });
+            }
+        }
+    }
+
+    // 3. Collector resets.
+    let mut reset_hours = scenario.reset_hours.clone();
+    reset_hours.sort_unstable();
+    reset_hours.dedup();
+    for (i, &hour) in reset_hours.iter().enumerate() {
+        if hour >= scenario.hours {
+            continue;
+        }
+        let collector = i % scenario.collectors.collector_count();
+        let peer_range = scenario.collectors.peers_of(collector);
+        let base = SimTime::from_hours(u64::from(hour));
+        // Whole-table re-announcement: the global unique-prefix count jumps
+        // far past the threshold.
+        hourly_unique[hour as usize] = RESET_PREFIX_THRESHOLD + 40_000 + rng.below(20_000) as u32;
+        for p in 0..scenario.prefix_count {
+            for peer in peer_range.clone() {
+                updates.push(BgpUpdate {
+                    time: base + SimDuration::from_secs(rng.below(600)),
+                    peer,
+                    prefix: PrefixId(p as u32),
+                    kind: UpdateKind::Announce,
+                });
+            }
+        }
+    }
+
+    updates.sort_by_key(|u| (u.time, u.peer, u.prefix.0));
+    RawBgpData {
+        updates,
+        hourly_unique_prefixes: hourly_unique,
+        reset_hours,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_scenario_has_only_background() {
+        let sc = BgpScenario::quiet(10, 100);
+        let raw = generate(&sc, &mut SimRng::new(1));
+        assert!(raw.reset_hours.is_empty());
+        assert!(raw
+            .hourly_unique_prefixes
+            .iter()
+            .all(|&c| c < RESET_PREFIX_THRESHOLD));
+        // Background churn exists but is sparse.
+        assert!(!raw.updates.is_empty());
+        let per_prefix_per_hour = raw.updates.len() as f64 / (10.0 * 100.0);
+        assert!(per_prefix_per_hour < 1.0, "background too chatty: {per_prefix_per_hour}");
+    }
+
+    #[test]
+    fn updates_are_time_ordered() {
+        let mut sc = BgpScenario::quiet(5, 50);
+        sc.reset_hours = vec![10];
+        sc.severe_events = vec![SevereEvent {
+            prefix: PrefixId(2),
+            hour: 20,
+            neighbors: 71,
+            withdrawals_per_neighbor: 2,
+            announcements_per_neighbor: 2,
+        }];
+        let raw = generate(&sc, &mut SimRng::new(2));
+        assert!(raw.updates.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn severe_event_hits_requested_neighbor_count() {
+        let mut sc = BgpScenario::quiet(3, 30);
+        sc.severe_events = vec![SevereEvent {
+            prefix: PrefixId(1),
+            hour: 5,
+            neighbors: 71,
+            withdrawals_per_neighbor: 3,
+            announcements_per_neighbor: 2,
+        }];
+        let raw = generate(&sc, &mut SimRng::new(3));
+        use std::collections::HashSet;
+        let withdrawing: HashSet<u16> = raw
+            .updates
+            .iter()
+            .filter(|u| {
+                u.prefix == PrefixId(1)
+                    && u.kind == UpdateKind::Withdraw
+                    && u.time.hour_bin() == 5
+            })
+            .map(|u| u.peer)
+            .collect();
+        assert!(withdrawing.len() >= 71, "only {} peers withdrew", withdrawing.len());
+    }
+
+    #[test]
+    fn reset_hour_floods_announcements() {
+        let mut sc = BgpScenario::quiet(8, 24);
+        sc.background_gap = SimDuration::from_hours(100_000); // silence background
+        sc.reset_hours = vec![7];
+        let raw = generate(&sc, &mut SimRng::new(4));
+        assert!(raw.hourly_unique_prefixes[7] > RESET_PREFIX_THRESHOLD);
+        let in_reset_hour = raw
+            .updates
+            .iter()
+            .filter(|u| u.time.hour_bin() == 7 && u.kind == UpdateKind::Announce)
+            .count();
+        // 8 prefixes × first collector's 31 peers
+        assert_eq!(in_reset_hour, 8 * 31);
+    }
+
+    #[test]
+    fn out_of_range_events_ignored() {
+        let mut sc = BgpScenario::quiet(2, 10);
+        sc.severe_events = vec![SevereEvent {
+            prefix: PrefixId(0),
+            hour: 99,
+            neighbors: 71,
+            withdrawals_per_neighbor: 1,
+            announcements_per_neighbor: 1,
+        }];
+        sc.reset_hours = vec![50];
+        let raw = generate(&sc, &mut SimRng::new(5));
+        assert!(raw.updates.iter().all(|u| u.time.hour_bin() < 10));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut sc = BgpScenario::quiet(5, 48);
+        sc.reset_hours = vec![3, 40];
+        let a = generate(&sc, &mut SimRng::new(42));
+        let b = generate(&sc, &mut SimRng::new(42));
+        assert_eq!(a.updates.len(), b.updates.len());
+        assert_eq!(a.hourly_unique_prefixes, b.hourly_unique_prefixes);
+    }
+}

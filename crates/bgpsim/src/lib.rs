@@ -1,0 +1,32 @@
+//! A Routeviews-style BGP measurement substrate.
+//!
+//! The paper (Section 3.6) consumes a month of MRT update archives from 5
+//! Routeviews collectors with 73 peering sessions in total, reduced to
+//! hourly per-prefix counts of announcements/withdrawals and of the
+//! neighbors participating in each — after a cleaning step that detects and
+//! subtracts collector-reset artifacts. This crate rebuilds that pipeline:
+//!
+//! * [`types`] — update records and the collector/peer roster;
+//! * [`mod@generate`] — synthesizes the update stream: per-prefix background
+//!   churn, *severe instability events* coupled to the experiment's
+//!   ground-truth outages (≥70-neighbor withdrawals for Fig. 5-class events,
+//!   low-visibility 2-neighbor events for Fig. 7), and collector session
+//!   resets that flood the feed with re-announcements;
+//! * [`mod@aggregate`] — hourly binning into the `model::BgpHourlySeries` grid;
+//! * [`mod@clean`] — the paper's cleaning rule: an hour in which more than
+//!   60 000 unique prefixes received announcements is treated as a reset,
+//!   and the per-prefix average artifact volume is subtracted;
+//! * [`mrt`] — RFC 6396 MRT (BGP4MP/MESSAGE) serialization, so the feed can
+//!   be written and re-read exactly as a Routeviews archive would be.
+
+pub mod aggregate;
+pub mod clean;
+pub mod generate;
+pub mod mrt;
+pub mod types;
+
+pub use aggregate::aggregate;
+pub use clean::{clean, CleanReport};
+pub use generate::{generate, BgpScenario, RawBgpData, SevereEvent};
+pub use mrt::{decode_stream, encode_stream, MrtError, MrtPrefixTable};
+pub use types::{BgpUpdate, CollectorSet, UpdateKind, RESET_PREFIX_THRESHOLD, TOTAL_PEERS};

@@ -1,0 +1,415 @@
+//! MRT (RFC 6396) serialization of the update stream.
+//!
+//! The paper's pipeline starts from "BGP updates stored in the MRT format";
+//! this module closes that loop: the simulated collector feed can be
+//! written as real `BGP4MP/MESSAGE` MRT records and parsed back, so the
+//! aggregation/cleaning pipeline can run from MRT bytes exactly as it would
+//! from a Routeviews archive.
+//!
+//! Scope: the BGP4MP MESSAGE subtype with IPv4 AFI carrying UPDATE messages
+//! whose NLRI/withdrawn-routes encode one prefix per update — which is all
+//! the hourly analysis consumes. Timestamps are seconds since the simulated
+//! experiment start.
+
+use crate::types::{BgpUpdate, UpdateKind};
+use model::{PrefixId, SimDuration, SimTime};
+
+/// MRT type BGP4MP.
+const MRT_TYPE_BGP4MP: u16 = 16;
+/// BGP4MP subtype MESSAGE.
+const BGP4MP_MESSAGE: u16 = 1;
+/// AFI IPv4.
+const AFI_IPV4: u16 = 1;
+/// BGP message type UPDATE.
+const BGP_UPDATE: u8 = 2;
+
+/// Errors from MRT parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MrtError {
+    /// Input ended inside a record.
+    Truncated,
+    /// Record type/subtype we do not handle.
+    UnsupportedType { mrt_type: u16, subtype: u16 },
+    /// The embedded BGP message is not an UPDATE or is malformed.
+    BadBgpMessage(&'static str),
+    /// Prefix length over 32 bits.
+    BadPrefixLength(u8),
+}
+
+impl std::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrtError::Truncated => write!(f, "truncated MRT input"),
+            MrtError::UnsupportedType { mrt_type, subtype } => {
+                write!(f, "unsupported MRT record {mrt_type}/{subtype}")
+            }
+            MrtError::BadBgpMessage(why) => write!(f, "bad BGP message: {why}"),
+            MrtError::BadPrefixLength(l) => write!(f, "bad prefix length {l}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+/// The prefix table used to map [`PrefixId`]s to wire prefixes and back.
+pub struct MrtPrefixTable<'a> {
+    prefixes: &'a [model::Ipv4Prefix],
+}
+
+impl<'a> MrtPrefixTable<'a> {
+    pub fn new(prefixes: &'a [model::Ipv4Prefix]) -> Self {
+        MrtPrefixTable { prefixes }
+    }
+
+    fn wire_of(&self, id: PrefixId) -> Option<model::Ipv4Prefix> {
+        self.prefixes.get(id.0 as usize).copied()
+    }
+
+    fn id_of(&self, prefix: model::Ipv4Prefix) -> Option<PrefixId> {
+        self.prefixes
+            .iter()
+            .position(|p| *p == prefix)
+            .map(|i| PrefixId(i as u32))
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Encode one prefix in BGP NLRI form (length octet + minimal octets).
+fn encode_nlri(out: &mut Vec<u8>, prefix: model::Ipv4Prefix) {
+    out.push(prefix.len());
+    let octets = prefix.network().octets();
+    let n = (usize::from(prefix.len()) + 7) / 8;
+    out.extend_from_slice(&octets[..n]);
+}
+
+/// Encode one update as a full MRT record.
+pub fn encode_record(update: &BgpUpdate, table: &MrtPrefixTable<'_>) -> Option<Vec<u8>> {
+    let prefix = table.wire_of(update.prefix)?;
+
+    // --- BGP UPDATE message ------------------------------------------------
+    let mut nlri = Vec::new();
+    encode_nlri(&mut nlri, prefix);
+    let mut bgp = Vec::new();
+    bgp.extend_from_slice(&[0xFF; 16]); // marker
+    let (withdrawn, announced) = match update.kind {
+        UpdateKind::Withdraw => (nlri.clone(), Vec::new()),
+        UpdateKind::Announce => (Vec::new(), nlri.clone()),
+    };
+    // ORIGIN attribute for announcements (well-known mandatory).
+    let path_attrs: Vec<u8> = if update.kind == UpdateKind::Announce {
+        vec![0x40, 0x01, 0x01, 0x00] // flags, type=ORIGIN, len=1, IGP
+    } else {
+        Vec::new()
+    };
+    let body_len = 2 + withdrawn.len() + 2 + path_attrs.len() + announced.len();
+    let total_len = 16 + 2 + 1 + body_len;
+    put_u16(&mut bgp, total_len as u16);
+    bgp.push(BGP_UPDATE);
+    put_u16(&mut bgp, withdrawn.len() as u16);
+    bgp.extend_from_slice(&withdrawn);
+    put_u16(&mut bgp, path_attrs.len() as u16);
+    bgp.extend_from_slice(&path_attrs);
+    bgp.extend_from_slice(&announced);
+
+    // --- BGP4MP MESSAGE body -------------------------------------------------
+    let mut body = Vec::new();
+    put_u16(&mut body, 64_000 + update.peer); // peer AS
+    put_u16(&mut body, 65_000); // local AS (the collector)
+    put_u16(&mut body, u16::from(update.peer)); // interface index (peer id)
+    put_u16(&mut body, AFI_IPV4);
+    body.extend_from_slice(&[10, 255, (update.peer >> 8) as u8, update.peer as u8]); // peer IP
+    body.extend_from_slice(&[10, 255, 255, 254]); // local IP
+    body.extend_from_slice(&bgp);
+
+    // --- MRT header -----------------------------------------------------------
+    let mut out = Vec::with_capacity(12 + body.len());
+    put_u32(&mut out, update.time.as_secs() as u32);
+    put_u16(&mut out, MRT_TYPE_BGP4MP);
+    put_u16(&mut out, BGP4MP_MESSAGE);
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    Some(out)
+}
+
+/// Encode a whole stream to one MRT byte buffer.
+pub fn encode_stream(updates: &[BgpUpdate], table: &MrtPrefixTable<'_>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for u in updates {
+        if let Some(rec) = encode_record(u, table) {
+            out.extend_from_slice(&rec);
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MrtError> {
+        if self.data.len() - self.pos < n {
+            return Err(MrtError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MrtError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, MrtError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, MrtError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn decode_nlri(r: &mut Reader<'_>) -> Result<model::Ipv4Prefix, MrtError> {
+    let len = r.u8()?;
+    if len > 32 {
+        return Err(MrtError::BadPrefixLength(len));
+    }
+    let n = (usize::from(len) + 7) / 8;
+    let bytes = r.take(n)?;
+    let mut octets = [0u8; 4];
+    octets[..n].copy_from_slice(bytes);
+    model::Ipv4Prefix::new(octets.into(), len).map_err(|_| MrtError::BadPrefixLength(len))
+}
+
+/// Parse one MRT record from the front of `data`; returns the update(s) it
+/// carries and the number of bytes consumed. Unknown-prefix updates are
+/// dropped (the study tracks only its own prefix table, as the paper does).
+pub fn decode_record(
+    data: &[u8],
+    table: &MrtPrefixTable<'_>,
+) -> Result<(Vec<BgpUpdate>, usize), MrtError> {
+    let mut r = Reader { data, pos: 0 };
+    let ts = r.u32()?;
+    let mrt_type = r.u16()?;
+    let subtype = r.u16()?;
+    let len = r.u32()? as usize;
+    let body = r.take(len)?;
+    if mrt_type != MRT_TYPE_BGP4MP || subtype != BGP4MP_MESSAGE {
+        return Err(MrtError::UnsupportedType { mrt_type, subtype });
+    }
+
+    let mut b = Reader { data: body, pos: 0 };
+    let peer_as = b.u16()?;
+    let _local_as = b.u16()?;
+    let _ifindex = b.u16()?;
+    let afi = b.u16()?;
+    if afi != AFI_IPV4 {
+        return Err(MrtError::BadBgpMessage("non-IPv4 AFI"));
+    }
+    let _peer_ip = b.take(4)?;
+    let _local_ip = b.take(4)?;
+    let _marker = b.take(16)?;
+    let total_len = b.u16()? as usize;
+    let msg_type = b.u8()?;
+    if msg_type != BGP_UPDATE {
+        return Err(MrtError::BadBgpMessage("not an UPDATE"));
+    }
+    if total_len < 19 {
+        return Err(MrtError::BadBgpMessage("impossible length"));
+    }
+
+    let time = SimTime::ZERO + SimDuration::from_secs(u64::from(ts));
+    let peer = peer_as.wrapping_sub(64_000);
+    let mut updates = Vec::new();
+
+    let withdrawn_len = b.u16()? as usize;
+    let withdrawn_end = b.pos + withdrawn_len;
+    while b.pos < withdrawn_end {
+        let prefix = decode_nlri(&mut b)?;
+        if let Some(id) = table.id_of(prefix) {
+            updates.push(BgpUpdate {
+                time,
+                peer,
+                prefix: id,
+                kind: UpdateKind::Withdraw,
+            });
+        }
+    }
+    let attrs_len = b.u16()? as usize;
+    let _attrs = b.take(attrs_len)?;
+    while !b.done() {
+        let prefix = decode_nlri(&mut b)?;
+        if let Some(id) = table.id_of(prefix) {
+            updates.push(BgpUpdate {
+                time,
+                peer,
+                prefix: id,
+                kind: UpdateKind::Announce,
+            });
+        }
+    }
+    Ok((updates, r.pos))
+}
+
+/// Parse a whole MRT stream.
+pub fn decode_stream(
+    mut data: &[u8],
+    table: &MrtPrefixTable<'_>,
+) -> Result<Vec<BgpUpdate>, MrtError> {
+    let mut out = Vec::new();
+    while !data.is_empty() {
+        let (mut updates, consumed) = decode_record(data, table)?;
+        out.append(&mut updates);
+        data = &data[consumed..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, BgpScenario};
+    use netsim::SimRng;
+
+    fn table_prefixes(n: u8) -> Vec<model::Ipv4Prefix> {
+        (0..n)
+            .map(|i| {
+                model::Ipv4Prefix::new(std::net::Ipv4Addr::new(10, 0, i, 0), 24).unwrap()
+            })
+            .collect()
+    }
+
+    fn upd(secs: u64, peer: u16, prefix: u32, kind: UpdateKind) -> BgpUpdate {
+        BgpUpdate {
+            time: SimTime::from_secs(secs),
+            peer,
+            prefix: PrefixId(prefix),
+            kind,
+        }
+    }
+
+    #[test]
+    fn single_record_roundtrip() {
+        let prefixes = table_prefixes(4);
+        let table = MrtPrefixTable::new(&prefixes);
+        for kind in [UpdateKind::Announce, UpdateKind::Withdraw] {
+            let u = upd(12_345, 17, 2, kind);
+            let rec = encode_record(&u, &table).unwrap();
+            let (decoded, consumed) = decode_record(&rec, &table).unwrap();
+            assert_eq!(consumed, rec.len());
+            assert_eq!(decoded.len(), 1);
+            assert_eq!(decoded[0].time, u.time);
+            assert_eq!(decoded[0].peer, u.peer);
+            assert_eq!(decoded[0].prefix, u.prefix);
+            assert_eq!(decoded[0].kind, u.kind);
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_preserves_everything() {
+        let prefixes = table_prefixes(8);
+        let table = MrtPrefixTable::new(&prefixes);
+        let updates: Vec<BgpUpdate> = (0..200)
+            .map(|i| {
+                upd(
+                    i * 13,
+                    (i % 73) as u16,
+                    (i % 8) as u32,
+                    if i % 3 == 0 {
+                        UpdateKind::Withdraw
+                    } else {
+                        UpdateKind::Announce
+                    },
+                )
+            })
+            .collect();
+        let wire = encode_stream(&updates, &table);
+        let decoded = decode_stream(&wire, &table).unwrap();
+        assert_eq!(decoded.len(), updates.len());
+        for (a, b) in updates.iter().zip(&decoded) {
+            assert_eq!(a.time.as_secs(), b.time.as_secs());
+            assert_eq!(a.peer, b.peer);
+            assert_eq!(a.prefix, b.prefix);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn generated_feed_survives_mrt_roundtrip() {
+        let prefixes = table_prefixes(10);
+        let table = MrtPrefixTable::new(&prefixes);
+        let sc = BgpScenario::quiet(10, 48);
+        let raw = generate(&sc, &mut SimRng::new(5));
+        let wire = encode_stream(&raw.updates, &table);
+        let decoded = decode_stream(&wire, &table).unwrap();
+        assert_eq!(decoded.len(), raw.updates.len());
+        // Aggregation over the round-tripped stream matches (timestamps are
+        // truncated to seconds, which cannot move an update across an hour
+        // boundary's worth of precision used in the analysis).
+        let a = crate::aggregate(&raw.updates, 10, 48);
+        let b = crate::aggregate(&decoded, 10, 48);
+        for p in 0..10u32 {
+            for h in 0..48u32 {
+                assert_eq!(a.get(PrefixId(p), h), b.get(PrefixId(p), h));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_prefixes_are_dropped() {
+        let all = table_prefixes(4);
+        let narrow = table_prefixes(2);
+        let full_table = MrtPrefixTable::new(&all);
+        let narrow_table = MrtPrefixTable::new(&narrow);
+        let u = upd(1, 2, 3, UpdateKind::Announce);
+        let rec = encode_record(&u, &full_table).unwrap();
+        let (decoded, _) = decode_record(&rec, &narrow_table).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error() {
+        let prefixes = table_prefixes(2);
+        let table = MrtPrefixTable::new(&prefixes);
+        let u = upd(1, 2, 1, UpdateKind::Withdraw);
+        let rec = encode_record(&u, &table).unwrap();
+        for cut in [0, 3, 11, rec.len() - 1] {
+            assert!(decode_record(&rec[..cut], &table).is_err(), "cut {cut}");
+        }
+        // Wrong MRT type.
+        let mut bad = rec.clone();
+        bad[4] = 0;
+        bad[5] = 13; // TABLE_DUMP
+        assert!(matches!(
+            decode_record(&bad, &table),
+            Err(MrtError::UnsupportedType { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_prefix_length_rejected() {
+        let prefixes = table_prefixes(2);
+        let table = MrtPrefixTable::new(&prefixes);
+        let u = upd(1, 2, 1, UpdateKind::Withdraw);
+        let mut rec = encode_record(&u, &table).unwrap();
+        // The withdrawn NLRI length octet sits after: 12 MRT header + 16
+        // BGP4MP preamble + 16 marker + 2 len + 1 type + 2 withdrawn-len.
+        let idx = 12 + 16 + 16 + 2 + 1 + 2;
+        rec[idx] = 40;
+        assert!(decode_record(&rec, &table).is_err());
+    }
+}

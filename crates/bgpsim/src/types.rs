@@ -1,0 +1,129 @@
+//! Update records and the collector/peer roster.
+
+use model::{PrefixId, SimTime};
+
+/// Total peering sessions across the collectors (the paper's 5 Routeviews
+/// servers have 73).
+pub const TOTAL_PEERS: u16 = 73;
+
+/// Cleaning threshold: an hour where more than this many unique prefixes
+/// receive announcements is assumed to contain a collector reset (the paper
+/// uses 60 000 — at least half the 2005 routing table).
+pub const RESET_PREFIX_THRESHOLD: u32 = 60_000;
+
+/// Announcement or withdrawal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UpdateKind {
+    Announce,
+    Withdraw,
+}
+
+/// One BGP update as heard by a collector (MRT-record equivalent).
+#[derive(Clone, Copy, Debug)]
+pub struct BgpUpdate {
+    pub time: SimTime,
+    /// Peering session (0..TOTAL_PEERS) the update was heard on.
+    pub peer: u16,
+    pub prefix: PrefixId,
+    pub kind: UpdateKind,
+}
+
+/// The collector roster: maps each peering session to its collector.
+#[derive(Clone, Debug)]
+pub struct CollectorSet {
+    /// `collectors[i]` = (name, number of peers).
+    names: Vec<(&'static str, u16)>,
+}
+
+impl Default for CollectorSet {
+    fn default() -> Self {
+        Self::routeviews_2005()
+    }
+}
+
+impl CollectorSet {
+    /// The paper's 5 servers with 73 sessions in total; the per-collector
+    /// split is our allocation (the paper reports only the total).
+    pub fn routeviews_2005() -> CollectorSet {
+        CollectorSet {
+            names: vec![
+                ("routeviews2", 31),
+                ("eqix", 12),
+                ("wide", 8),
+                ("linx", 14),
+                ("isc", 8),
+            ],
+        }
+    }
+
+    /// Total peering sessions.
+    pub fn total_peers(&self) -> u16 {
+        self.names.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Number of collectors.
+    pub fn collector_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Collector name list.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.names.iter().map(|(n, _)| *n)
+    }
+
+    /// Which collector a peering session belongs to.
+    pub fn collector_of(&self, peer: u16) -> usize {
+        let mut offset = 0u16;
+        for (i, (_, n)) in self.names.iter().enumerate() {
+            if peer < offset + n {
+                return i;
+            }
+            offset += n;
+        }
+        self.names.len() - 1
+    }
+
+    /// The peer-id range `[start, end)` of a collector.
+    pub fn peers_of(&self, collector: usize) -> std::ops::Range<u16> {
+        let start: u16 = self.names[..collector].iter().map(|(_, n)| n).sum();
+        start..start + self.names[collector].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_totals_73() {
+        let c = CollectorSet::routeviews_2005();
+        assert_eq!(c.total_peers(), TOTAL_PEERS);
+        assert_eq!(c.collector_count(), 5);
+        assert_eq!(c.names().count(), 5);
+    }
+
+    #[test]
+    fn peer_to_collector_mapping() {
+        let c = CollectorSet::routeviews_2005();
+        assert_eq!(c.collector_of(0), 0);
+        assert_eq!(c.collector_of(30), 0);
+        assert_eq!(c.collector_of(31), 1);
+        assert_eq!(c.collector_of(42), 1);
+        assert_eq!(c.collector_of(43), 2);
+        assert_eq!(c.collector_of(72), 4);
+    }
+
+    #[test]
+    fn peer_ranges_partition() {
+        let c = CollectorSet::routeviews_2005();
+        let mut covered = vec![false; TOTAL_PEERS as usize];
+        for col in 0..c.collector_count() {
+            for p in c.peers_of(col) {
+                assert!(!covered[p as usize], "peer {p} in two collectors");
+                covered[p as usize] = true;
+                assert_eq!(c.collector_of(p), col);
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+}

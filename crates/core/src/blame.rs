@@ -1,0 +1,277 @@
+//! Blame attribution (Sections 4.4.1 & 4.4.4–4.4.5, Table 5).
+//!
+//! Every failed TCP connection (outside the excluded permanent pairs) is
+//! checked against the hourly failure episodes of its two endpoint
+//! entities: a failure during a client episode only is *client-side*,
+//! during a server episode only *server-side*, during both *both*, during
+//! neither *other* (intermittent / pair-specific).
+
+use crate::grid::HourlyGrid;
+use crate::Analysis;
+
+/// Classification of one failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlameClass {
+    ServerSide,
+    ClientSide,
+    Both,
+    Other,
+}
+
+/// Table 5: the aggregate classification.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlameBreakdown {
+    pub server_side: u64,
+    pub client_side: u64,
+    pub both: u64,
+    pub other: u64,
+}
+
+impl BlameBreakdown {
+    pub fn total(&self) -> u64 {
+        self.server_side + self.client_side + self.both + self.other
+    }
+
+    pub fn share(&self, class: BlameClass) -> f64 {
+        let n = match class {
+            BlameClass::ServerSide => self.server_side,
+            BlameClass::ClientSide => self.client_side,
+            BlameClass::Both => self.both,
+            BlameClass::Other => self.other,
+        };
+        if self.total() == 0 {
+            0.0
+        } else {
+            n as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of failures that got a client/server attribution at all.
+    pub fn classified_share(&self) -> f64 {
+        1.0 - self.share(BlameClass::Other)
+    }
+}
+
+/// Classify one (client, server, hour) failure against the episode grids.
+pub fn classify_hour(
+    client_grid: &HourlyGrid,
+    server_grid: &HourlyGrid,
+    client: usize,
+    server: usize,
+    hour: u32,
+    f: f64,
+    min_samples: u32,
+) -> BlameClass {
+    let c = client_grid.is_episode(client, hour, f, min_samples);
+    let s = server_grid.is_episode(server, hour, f, min_samples);
+    match (c, s) {
+        (true, true) => BlameClass::Both,
+        (true, false) => BlameClass::ClientSide,
+        (false, true) => BlameClass::ServerSide,
+        (false, false) => BlameClass::Other,
+    }
+}
+
+/// Run blame attribution over every failed connection at the analysis's
+/// threshold `f` (Table 5 rows are this at f = 5% and f = 10%).
+pub fn table5(analysis: &Analysis<'_>) -> BlameBreakdown {
+    let f = analysis.config.episode_threshold;
+    let min = analysis.config.min_hour_samples;
+    let mut out = BlameBreakdown::default();
+    for conn in &analysis.ds.connections {
+        if !conn.failed() || analysis.permanent.contains(conn.client, conn.site) {
+            continue;
+        }
+        let class = classify_hour(
+            &analysis.client_grid,
+            &analysis.server_grid,
+            conn.client.0 as usize,
+            conn.site.0 as usize,
+            conn.hour(),
+            f,
+            min,
+        );
+        match class {
+            BlameClass::ServerSide => out.server_side += 1,
+            BlameClass::ClientSide => out.client_side += 1,
+            BlameClass::Both => out.both += 1,
+            BlameClass::Other => out.other += 1,
+        }
+    }
+    out
+}
+
+/// Coalesce consecutive episode hours into runs (Section 4.4.5).
+pub fn coalesce(hours: &[u32]) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &h in hours {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == h => *len += 1,
+            _ => runs.push((h, 1)),
+        }
+    }
+    runs
+}
+
+/// Distribution statistics for the server-side failure episodes.
+#[derive(Clone, Debug, Default)]
+pub struct ServerEpisodeStats {
+    /// Total 1-hour server-side failure episodes (paper: 2732).
+    pub total_hours: u64,
+    /// Coalesced runs (paper: 473).
+    pub coalesced: u64,
+    /// Mean run length in hours (paper: 5.78).
+    pub mean_run_hours: f64,
+    /// Median run length (paper: 1 hour).
+    pub median_run_hours: u32,
+    /// Longest run (paper: 448 hours, www.sina.com.cn).
+    pub max_run_hours: u32,
+    /// Servers with at least one episode (paper: 56 of 80).
+    pub servers_affected: usize,
+    /// Servers with more than one coalesced run (paper: 39).
+    pub servers_multiple: usize,
+    /// Per-server 1-hour episode counts, index = site id.
+    pub per_server_hours: Vec<u32>,
+}
+
+/// Compute the Section 4.4.5 statistics from the server grid.
+pub fn server_episode_stats(analysis: &Analysis<'_>) -> ServerEpisodeStats {
+    let f = analysis.config.episode_threshold;
+    let min = analysis.config.min_hour_samples;
+    let mut stats = ServerEpisodeStats {
+        per_server_hours: vec![0; analysis.ds.sites.len()],
+        ..Default::default()
+    };
+    let mut run_lengths: Vec<u32> = Vec::new();
+    for s in 0..analysis.ds.sites.len() {
+        let hours = analysis.server_grid.episode_hours(s, f, min);
+        stats.per_server_hours[s] = hours.len() as u32;
+        stats.total_hours += hours.len() as u64;
+        let runs = coalesce(&hours);
+        if !hours.is_empty() {
+            stats.servers_affected += 1;
+        }
+        if runs.len() > 1 {
+            stats.servers_multiple += 1;
+        }
+        stats.coalesced += runs.len() as u64;
+        run_lengths.extend(runs.iter().map(|(_, len)| *len));
+    }
+    if !run_lengths.is_empty() {
+        stats.mean_run_hours =
+            run_lengths.iter().map(|&l| u64::from(l)).sum::<u64>() as f64 / run_lengths.len() as f64;
+        run_lengths.sort_unstable();
+        stats.median_run_hours = run_lengths[run_lengths.len() / 2];
+        stats.max_run_hours = *run_lengths.last().expect("non-empty");
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use crate::{Analysis, AnalysisConfig};
+    use model::{ClientId, SiteId};
+
+    /// World with enough entities that one endpoint's episode does not
+    /// leak over the threshold on the other side (as in the real fleet):
+    /// 12 clients × 12 servers × 20 connections per pair-hour.
+    ///
+    /// * hours 0–1: server 0 episode — every client fails 6/20 to it;
+    /// * hour 2: client 0 episode — it fails 6/20 to every server;
+    /// * hour 3: both at once — server 0 fails for everyone *and* client 0
+    ///   fails everywhere, so the (0,0) failures fall under both episodes;
+    /// * hour 5: one scattered failure (the "other" category).
+    fn world() -> model::Dataset {
+        let mut w = SynthWorld::new(12, 12, 6);
+        for h in 0..6u32 {
+            for c in 0..12u16 {
+                for s in 0..12u16 {
+                    let server_ep = s == 0 && (h < 2 || h == 3);
+                    let client_ep = c == 0 && (h == 2 || h == 3);
+                    let fail = if server_ep || client_ep {
+                        6 // 30% of 20
+                    } else if h == 5 && c == 1 && s == 1 {
+                        1
+                    } else {
+                        0
+                    };
+                    w.add_conn_batch(ClientId(c), SiteId(s), h, 20, fail);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn classifies_each_regime() {
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        // Sanity: grids flag exactly the intended episodes. A server
+        // episode contributes only 6/240 = 2.5% to each client's hourly
+        // aggregate — below f, as in the paper's 80-server fleet.
+        assert!(a.server_grid.is_episode(0, 0, 0.05, 12));
+        assert!(a.server_grid.is_episode(0, 1, 0.05, 12));
+        assert!(!a.server_grid.is_episode(1, 0, 0.05, 12));
+        assert!(!a.client_grid.is_episode(0, 0, 0.05, 12));
+        assert!(a.client_grid.is_episode(0, 2, 0.05, 12));
+        assert!(!a.server_grid.is_episode(1, 2, 0.05, 12));
+
+        let b = table5(&a);
+        // Hours 0–1: 12 clients × 6 × 2 = 144 server-side.
+        // Hour 3 adds 11 clients × 6 = 66 more (client 0's go to Both).
+        assert_eq!(b.server_side, 144 + 66);
+        // Hour 2: 12 servers × 6 = 72 client-side; hour 3 adds 66.
+        assert_eq!(b.client_side, 72 + 66);
+        // Hour 3's (0,0) failures fall under both episodes.
+        assert_eq!(b.both, 6);
+        assert_eq!(b.other, 1, "the scattered failure is Other");
+        assert_eq!(b.total(), 210 + 138 + 6 + 1);
+        assert!(b.share(BlameClass::ServerSide) > b.share(BlameClass::ClientSide));
+    }
+
+    #[test]
+    fn higher_threshold_moves_failures_to_other() {
+        let ds = world();
+        let low = table5(&Analysis::new(&ds, AnalysisConfig::default()));
+        let high = table5(&Analysis::new(
+            &ds,
+            AnalysisConfig::default().with_threshold(0.5),
+        ));
+        assert!(high.other > low.other);
+        assert_eq!(high.total(), low.total());
+        assert!(high.classified_share() < low.classified_share());
+    }
+
+    #[test]
+    fn coalescing_runs() {
+        assert_eq!(coalesce(&[]), vec![]);
+        assert_eq!(coalesce(&[3]), vec![(3, 1)]);
+        assert_eq!(coalesce(&[1, 2, 3, 7, 8, 10]), vec![(1, 3), (7, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn server_episode_statistics() {
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let stats = server_episode_stats(&a);
+        // Server 0: episode hours {0, 1, 3} → runs (0,2) and (3,1).
+        assert_eq!(stats.per_server_hours[0], 3);
+        assert_eq!(stats.total_hours, 3);
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.max_run_hours, 2);
+        assert_eq!(stats.median_run_hours, 2);
+        assert_eq!(stats.servers_affected, 1);
+        assert_eq!(stats.servers_multiple, 1);
+        assert!((stats.mean_run_hours - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_shares() {
+        let b = BlameBreakdown::default();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.share(BlameClass::ServerSide), 0.0);
+        assert_eq!(b.classified_share(), 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Analysis configuration.
+
+/// Thresholds and knobs of the classification framework. Defaults follow
+/// the paper's choices.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisConfig {
+    /// Episode failure-rate threshold `f` (the paper reports both 5% and
+    /// 10%; the knee of the Figure 4 CDF justifies the choice).
+    pub episode_threshold: f64,
+    /// Minimum samples (connections or transactions) in an entity-hour for
+    /// its failure rate to be meaningful.
+    pub min_hour_samples: u32,
+    /// Transaction failure rate above which a (client, site) pair counts as
+    /// near-permanently failed (Section 4.4.2 uses >90%).
+    pub permanent_threshold: f64,
+    /// Minimum monthly transactions for permanent-pair detection.
+    pub min_pair_transactions: u32,
+    /// Fraction of a site's connections an address must carry to qualify
+    /// as a replica (Section 4.5 uses 10%).
+    pub replica_qualify_fraction: f64,
+    /// Severe BGP instability: at least this many of the 73 neighbors
+    /// withdrew the prefix in the hour.
+    pub severe_neighbors: u16,
+    /// Alternative severity rule (Figure 6): at least `alt_withdrawals`
+    /// withdrawals involving at least `alt_neighbors` neighbors.
+    pub alt_withdrawals: u32,
+    pub alt_neighbors: u16,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            episode_threshold: 0.05,
+            min_hour_samples: 12,
+            permanent_threshold: 0.90,
+            min_pair_transactions: 24,
+            replica_qualify_fraction: 0.10,
+            severe_neighbors: 70,
+            alt_withdrawals: 75,
+            alt_neighbors: 50,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The paper's conservative setting (f = 10%).
+    pub fn conservative() -> Self {
+        AnalysisConfig {
+            episode_threshold: 0.10,
+            ..Self::default()
+        }
+    }
+
+    /// Override the episode threshold.
+    pub fn with_threshold(mut self, f: f64) -> Self {
+        self.episode_threshold = f;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AnalysisConfig::default();
+        assert!((c.episode_threshold - 0.05).abs() < 1e-12);
+        assert!((c.permanent_threshold - 0.90).abs() < 1e-12);
+        assert!((c.replica_qualify_fraction - 0.10).abs() < 1e-12);
+        assert_eq!(c.severe_neighbors, 70);
+        assert_eq!(c.alt_withdrawals, 75);
+        assert_eq!(c.alt_neighbors, 50);
+    }
+
+    #[test]
+    fn conservative_raises_f() {
+        let c = AnalysisConfig::conservative();
+        assert!((c.episode_threshold - 0.10).abs() < 1e-12);
+        let c = AnalysisConfig::default().with_threshold(0.2);
+        assert!((c.episode_threshold - 0.2).abs() < 1e-12);
+    }
+}

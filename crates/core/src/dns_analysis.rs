@@ -1,0 +1,275 @@
+//! DNS failure analysis (Section 4.2, Table 4, Figure 2).
+
+use model::{ClientCategory, Dataset, DigOutcome, DnsFailureKind, FailureClass};
+use std::collections::HashMap;
+
+/// Table 4 row: breakdown of one category's DNS failures.
+#[derive(Clone, Debug, Default)]
+pub struct DnsBreakdown {
+    pub total: u64,
+    pub ldns_timeout: u64,
+    pub non_ldns_timeout: u64,
+    pub error_response: u64,
+}
+
+impl DnsBreakdown {
+    pub fn ldns_share(&self) -> f64 {
+        share(self.ldns_timeout, self.total)
+    }
+
+    pub fn non_ldns_share(&self) -> f64 {
+        share(self.non_ldns_timeout, self.total)
+    }
+
+    pub fn error_share(&self) -> f64 {
+        share(self.error_response, self.total)
+    }
+}
+
+fn share(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Compute Table 4 for one client category (the paper reports PL, BB, DU;
+/// CN's resolution is done by its proxies).
+pub fn dns_breakdown(ds: &Dataset, category: ClientCategory) -> DnsBreakdown {
+    let mut b = DnsBreakdown::default();
+    for r in &ds.records {
+        if ds.client(r.client).category != category {
+            continue;
+        }
+        let Some(FailureClass::Dns(kind)) = r.failure() else {
+            continue;
+        };
+        b.total += 1;
+        match kind {
+            DnsFailureKind::LdnsTimeout => b.ldns_timeout += 1,
+            DnsFailureKind::NonLdnsTimeout => b.non_ldns_timeout += 1,
+            DnsFailureKind::ErrorResponse(_) => b.error_response += 1,
+        }
+    }
+    b
+}
+
+/// Figure 2: cumulative contribution of website domains to a DNS failure
+/// count. Returns per-site failure counts sorted descending, plus the
+/// cumulative-share curve (x = top-k sites, y = share of failures).
+#[derive(Clone, Debug)]
+pub struct DomainConcentration {
+    /// `(site index, count)` sorted by descending count.
+    pub per_site: Vec<(u16, u64)>,
+    /// `cumulative[k]` = share of failures covered by the top `k+1` sites.
+    pub cumulative: Vec<f64>,
+}
+
+impl DomainConcentration {
+    /// Share of the failure count carried by the single largest site.
+    pub fn top_share(&self) -> f64 {
+        self.cumulative.first().copied().unwrap_or(0.0)
+    }
+
+    /// Number of sites needed to cover `target` (0..1) of the failures.
+    pub fn sites_to_cover(&self, target: f64) -> usize {
+        self.cumulative
+            .iter()
+            .position(|&c| c >= target)
+            .map(|p| p + 1)
+            .unwrap_or(self.cumulative.len())
+    }
+
+    /// Gini-style skew in [0, 1]: 0 = perfectly even across sites with any
+    /// failures, →1 = all on one site.
+    pub fn skew(&self) -> f64 {
+        let n = self.per_site.len();
+        if n <= 1 {
+            return if n == 1 { 1.0 } else { 0.0 };
+        }
+        // Mean cumulative share above the uniform diagonal, normalized.
+        let mut area = 0.0;
+        for (k, &c) in self.cumulative.iter().enumerate() {
+            let uniform = (k + 1) as f64 / n as f64;
+            area += c - uniform;
+        }
+        (2.0 * area / n as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Concentration of DNS failures matching `pred` across website domains.
+pub fn domain_concentration<P>(ds: &Dataset, pred: P) -> DomainConcentration
+where
+    P: Fn(DnsFailureKind) -> bool,
+{
+    let mut counts: HashMap<u16, u64> = HashMap::new();
+    for r in &ds.records {
+        if let Some(FailureClass::Dns(kind)) = r.failure() {
+            if pred(kind) {
+                *counts.entry(r.site.0).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut per_site: Vec<(u16, u64)> = counts.into_iter().collect();
+    per_site.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total: u64 = per_site.iter().map(|(_, c)| c).sum();
+    let mut acc = 0u64;
+    let cumulative = per_site
+        .iter()
+        .map(|(_, c)| {
+            acc += c;
+            if total == 0 {
+                0.0
+            } else {
+                acc as f64 / total as f64
+            }
+        })
+        .collect();
+    DomainConcentration {
+        per_site,
+        cumulative,
+    }
+}
+
+/// Section 4.2's validation: among transactions whose wget resolution
+/// failed *and* whose follow-up dig ran, the fraction where dig also failed
+/// (paper: >94%; the gap is LDNS-only outages and transients).
+pub fn dig_agreement(ds: &Dataset) -> Option<f64> {
+    let mut checked = 0u64;
+    let mut agreed = 0u64;
+    for r in &ds.records {
+        if !matches!(r.failure(), Some(FailureClass::Dns(_))) {
+            continue;
+        }
+        match r.dig {
+            DigOutcome::Failed(_) => {
+                checked += 1;
+                agreed += 1;
+            }
+            DigOutcome::Resolved => checked += 1,
+            DigOutcome::NotRun => {}
+        }
+    }
+    (checked > 0).then(|| agreed as f64 / checked as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use model::{ClientId, DnsErrorCode, SiteId, TransactionOutcome};
+
+    fn dns_fail(kind: DnsFailureKind) -> FailureClass {
+        FailureClass::Dns(kind)
+    }
+
+    #[test]
+    fn breakdown_counts_kinds() {
+        let mut w = SynthWorld::new(1, 1, 1);
+        for _ in 0..8 {
+            w.add_txn_failure(ClientId(0), SiteId(0), 0, dns_fail(DnsFailureKind::LdnsTimeout));
+        }
+        w.add_txn_failure(ClientId(0), SiteId(0), 0, dns_fail(DnsFailureKind::NonLdnsTimeout));
+        w.add_txn_failure(
+            ClientId(0),
+            SiteId(0),
+            0,
+            dns_fail(DnsFailureKind::ErrorResponse(DnsErrorCode::NxDomain)),
+        );
+        // Non-DNS failures don't count.
+        w.add_txn(ClientId(0), SiteId(0), 0, false);
+        let ds = w.finish();
+        let b = dns_breakdown(&ds, ClientCategory::PlanetLab);
+        assert_eq!(b.total, 10);
+        assert!((b.ldns_share() - 0.8).abs() < 1e-12);
+        assert!((b.non_ldns_share() - 0.1).abs() < 1e-12);
+        assert!((b.error_share() - 0.1).abs() < 1e-12);
+        // Other categories empty.
+        assert_eq!(dns_breakdown(&ds, ClientCategory::Dialup).total, 0);
+    }
+
+    #[test]
+    fn concentration_even_vs_skewed() {
+        // Even: 4 sites × 5 LDNS timeouts each.
+        let mut w = SynthWorld::new(1, 4, 1);
+        for s in 0..4 {
+            for _ in 0..5 {
+                w.add_txn_failure(ClientId(0), SiteId(s), 0, dns_fail(DnsFailureKind::LdnsTimeout));
+            }
+        }
+        let ds = w.finish();
+        let even = domain_concentration(&ds, |k| k == DnsFailureKind::LdnsTimeout);
+        assert_eq!(even.per_site.len(), 4);
+        assert!((even.top_share() - 0.25).abs() < 1e-12);
+        assert!(even.skew() < 0.05);
+
+        // Skewed: 17 errors on one site, 1 each on three.
+        let mut w = SynthWorld::new(1, 4, 1);
+        for _ in 0..17 {
+            w.add_txn_failure(
+                ClientId(0),
+                SiteId(0),
+                0,
+                dns_fail(DnsFailureKind::ErrorResponse(DnsErrorCode::ServFail)),
+            );
+        }
+        for s in 1..4 {
+            w.add_txn_failure(
+                ClientId(0),
+                SiteId(s),
+                0,
+                dns_fail(DnsFailureKind::ErrorResponse(DnsErrorCode::ServFail)),
+            );
+        }
+        let ds = w.finish();
+        let skewed = domain_concentration(&ds, |k| matches!(k, DnsFailureKind::ErrorResponse(_)));
+        assert!((skewed.top_share() - 0.85).abs() < 1e-12);
+        assert!(skewed.skew() > 0.3);
+        assert_eq!(skewed.sites_to_cover(0.8), 1);
+        assert_eq!(skewed.sites_to_cover(0.99), 4);
+    }
+
+    #[test]
+    fn empty_concentration() {
+        let ds = SynthWorld::new(1, 1, 1).finish();
+        let c = domain_concentration(&ds, |_| true);
+        assert!(c.per_site.is_empty());
+        assert_eq!(c.top_share(), 0.0);
+        assert_eq!(c.skew(), 0.0);
+    }
+
+    #[test]
+    fn dig_agreement_fraction() {
+        let mut w = SynthWorld::new(1, 1, 1);
+        // 3 DNS failures with dig agreeing, 1 with dig resolving, 1 not run.
+        for _ in 0..3 {
+            w.add_txn_failure(ClientId(0), SiteId(0), 0, dns_fail(DnsFailureKind::LdnsTimeout));
+        }
+        w.add_txn_failure(ClientId(0), SiteId(0), 0, dns_fail(DnsFailureKind::LdnsTimeout));
+        w.add_txn_failure(ClientId(0), SiteId(0), 0, dns_fail(DnsFailureKind::LdnsTimeout));
+        let mut ds = w.finish();
+        for (i, r) in ds.records.iter_mut().enumerate() {
+            r.dig = match i {
+                0..=2 => DigOutcome::Failed(DnsFailureKind::LdnsTimeout),
+                3 => DigOutcome::Resolved,
+                _ => DigOutcome::NotRun,
+            };
+        }
+        // Add one success whose dig field is irrelevant.
+        let mut w2 = SynthWorld::new(1, 1, 1);
+        w2.add_txn(ClientId(0), SiteId(0), 0, true);
+        ds.records.extend(w2.finish().records);
+        let a = dig_agreement(&ds).unwrap();
+        assert!((a - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dig_agreement_none_when_no_data() {
+        let ds = SynthWorld::new(1, 1, 1).finish();
+        assert_eq!(dig_agreement(&ds), None);
+        let mut w = SynthWorld::new(1, 1, 1);
+        w.add_txn_outcome(ClientId(0), SiteId(0), 0, TransactionOutcome::Success);
+        assert_eq!(dig_agreement(&w.finish()), None);
+    }
+}

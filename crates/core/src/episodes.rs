@@ -1,0 +1,158 @@
+//! Failure-episode identification (Section 4.4.3, Figure 4).
+//!
+//! The framework avoids arbitrary thresholds by looking at the system-wide
+//! distribution of hourly failure rates: most entity-hours sit at a low
+//! "normal" rate, and a distinct knee in the CDF separates them from the
+//! wide abnormal range. The knee is found with the maximum-distance-to-chord
+//! rule (a.k.a. the "kneedle" construction) on the empirical CDF.
+
+use crate::Analysis;
+
+/// An empirical CDF over hourly failure rates.
+#[derive(Clone, Debug)]
+pub struct RateCdf {
+    /// `(rate, cumulative fraction)`, sorted by rate, deduplicated.
+    pub points: Vec<(f64, f64)>,
+    /// Number of underlying samples.
+    pub samples: usize,
+}
+
+impl RateCdf {
+    /// Build from raw rates.
+    pub fn from_rates(rates: &[f64]) -> RateCdf {
+        let mut sorted = rates.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+        let n = sorted.len();
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (i, r) in sorted.iter().enumerate() {
+            let cum = (i + 1) as f64 / n as f64;
+            match points.last_mut() {
+                Some(last) if (last.0 - r).abs() < 1e-12 => last.1 = cum,
+                _ => points.push((*r, cum)),
+            }
+        }
+        RateCdf { points, samples: n }
+    }
+
+    /// Fraction of samples with rate ≤ `r`.
+    pub fn at(&self, r: f64) -> f64 {
+        match self.points.partition_point(|(rate, _)| *rate <= r) {
+            0 => 0.0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// The knee: the point of maximum vertical distance between the CDF and
+    /// the chord joining its first and last points. Returns `None` for
+    /// degenerate curves (fewer than 3 distinct rates).
+    pub fn knee(&self) -> Option<f64> {
+        if self.points.len() < 3 {
+            return None;
+        }
+        let (x0, y0) = self.points[0];
+        let (x1, y1) = *self.points.last().expect("non-empty");
+        if (x1 - x0).abs() < 1e-12 {
+            return None;
+        }
+        let slope = (y1 - y0) / (x1 - x0);
+        let mut best = (0.0f64, x0);
+        for &(x, y) in &self.points {
+            let chord_y = y0 + slope * (x - x0);
+            let d = y - chord_y;
+            if d > best.0 {
+                best = (d, x);
+            }
+        }
+        (best.0 > 0.0).then_some(best.1)
+    }
+}
+
+/// The Figure 4 artifact: failure-rate CDFs over 1-hour episodes across
+/// clients and across servers, plus the knees that justify the `f`
+/// thresholds.
+#[derive(Clone, Debug)]
+pub struct Figure4 {
+    pub clients: RateCdf,
+    pub servers: RateCdf,
+    pub client_knee: Option<f64>,
+    pub server_knee: Option<f64>,
+}
+
+/// Compute Figure 4 from the analysis's connection grids.
+pub fn figure4(analysis: &Analysis<'_>) -> Figure4 {
+    let min = analysis.config.min_hour_samples;
+    let clients = RateCdf::from_rates(&analysis.client_grid.all_rates(min));
+    let servers = RateCdf::from_rates(&analysis.server_grid.all_rates(min));
+    let client_knee = clients.knee();
+    let server_knee = servers.knee();
+    Figure4 {
+        clients,
+        servers,
+        client_knee,
+        server_knee,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use crate::{Analysis, AnalysisConfig};
+    use model::{ClientId, SiteId};
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = RateCdf::from_rates(&[0.0, 0.0, 0.1, 0.2]);
+        assert_eq!(cdf.samples, 4);
+        assert!((cdf.at(0.0) - 0.5).abs() < 1e-12);
+        assert!((cdf.at(0.15) - 0.75).abs() < 1e-12);
+        assert!((cdf.at(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.at(-0.1), 0.0);
+    }
+
+    #[test]
+    fn knee_on_synthetic_two_regime_curve() {
+        // 90% of hours at ~1% failure, 10% spread to 60%: knee near 0.02.
+        let mut rates = Vec::new();
+        for i in 0..900 {
+            rates.push(0.005 + 0.015 * (i as f64 / 900.0));
+        }
+        for i in 0..100 {
+            rates.push(0.05 + 0.55 * (i as f64 / 100.0));
+        }
+        let cdf = RateCdf::from_rates(&rates);
+        let knee = cdf.knee().unwrap();
+        assert!(
+            (0.01..=0.06).contains(&knee),
+            "knee {knee} should sit at the regime boundary"
+        );
+    }
+
+    #[test]
+    fn knee_degenerate_cases() {
+        assert_eq!(RateCdf::from_rates(&[]).knee(), None);
+        assert_eq!(RateCdf::from_rates(&[0.1, 0.1, 0.1]).knee(), None);
+        assert_eq!(RateCdf::from_rates(&[0.0, 1.0]).knee(), None);
+    }
+
+    #[test]
+    fn figure4_from_analysis() {
+        let mut w = SynthWorld::new(2, 2, 24);
+        // Normal hours: 0–4% failure; client 0 has abnormal hours at 40%.
+        for h in 0..24 {
+            w.add_conn_batch(ClientId(0), SiteId(0), h, 50, if h < 4 { 20 } else { h % 3 });
+            w.add_conn_batch(ClientId(1), SiteId(1), h, 50, h % 3);
+        }
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let f4 = figure4(&a);
+        assert_eq!(f4.clients.samples, 48);
+        assert_eq!(f4.servers.samples, 48);
+        // Client CDF has mass at 0.4.
+        assert!(f4.clients.at(0.39) < 1.0);
+        assert!((f4.clients.at(0.41) - 1.0).abs() < 1e-12);
+        // A knee exists and sits well below the abnormal regime.
+        let knee = f4.client_knee.unwrap();
+        assert!(knee < 0.1, "knee {knee}");
+    }
+}

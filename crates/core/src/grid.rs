@@ -1,0 +1,244 @@
+//! Hourly per-entity sample grids.
+//!
+//! The paper aggregates everything over 1-hour episodes (Section 4.4.3);
+//! [`HourlyGrid`] is the dense `(entity × hour) → (attempts, failures)`
+//! structure every correlation analysis reads.
+
+use crate::permanent::PermanentPairs;
+use model::Dataset;
+
+/// Dense hourly counters for a family of entities.
+#[derive(Clone, Debug)]
+pub struct HourlyGrid {
+    rows: usize,
+    hours: u32,
+    attempts: Vec<u32>,
+    failures: Vec<u32>,
+}
+
+impl HourlyGrid {
+    pub fn new(rows: usize, hours: u32) -> HourlyGrid {
+        HourlyGrid {
+            rows,
+            hours,
+            attempts: vec![0; rows * hours as usize],
+            failures: vec![0; rows * hours as usize],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, hour: u32) -> usize {
+        row * self.hours as usize + hour as usize
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, row: usize, hour: u32, failed: bool) {
+        if row >= self.rows || hour >= self.hours {
+            return;
+        }
+        let i = self.idx(row, hour);
+        self.attempts[i] += 1;
+        self.failures[i] += u32::from(failed);
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn hours(&self) -> u32 {
+        self.hours
+    }
+
+    /// Raw counters for one cell.
+    pub fn cell(&self, row: usize, hour: u32) -> (u32, u32) {
+        let i = self.idx(row, hour);
+        (self.attempts[i], self.failures[i])
+    }
+
+    /// Failure rate of a cell, `None` when below `min_samples`.
+    pub fn rate(&self, row: usize, hour: u32, min_samples: u32) -> Option<f64> {
+        let (a, f) = self.cell(row, hour);
+        (a >= min_samples.max(1)).then(|| f64::from(f) / f64::from(a))
+    }
+
+    /// Is `(row, hour)` a failure episode at threshold `f`?
+    pub fn is_episode(&self, row: usize, hour: u32, f: f64, min_samples: u32) -> bool {
+        self.rate(row, hour, min_samples)
+            .is_some_and(|r| r >= f)
+    }
+
+    /// All episode hours for `row`, ascending.
+    pub fn episode_hours(&self, row: usize, f: f64, min_samples: u32) -> Vec<u32> {
+        (0..self.hours)
+            .filter(|&h| self.is_episode(row, h, f, min_samples))
+            .collect()
+    }
+
+    /// Every defined hourly rate in the grid (for the Figure 4 CDFs).
+    pub fn all_rates(&self, min_samples: u32) -> Vec<f64> {
+        let mut out = Vec::new();
+        for row in 0..self.rows {
+            for hour in 0..self.hours {
+                if let Some(r) = self.rate(row, hour, min_samples) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Monthly totals for one row.
+    pub fn row_totals(&self, row: usize) -> (u64, u64) {
+        let mut a = 0u64;
+        let mut f = 0u64;
+        for hour in 0..self.hours {
+            let (ca, cf) = self.cell(row, hour);
+            a += u64::from(ca);
+            f += u64::from(cf);
+        }
+        (a, f)
+    }
+}
+
+/// Per-client hourly TCP-connection grid, excluding permanent pairs.
+pub fn client_connection_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
+    let mut g = HourlyGrid::new(ds.clients.len(), ds.hours);
+    for c in &ds.connections {
+        if permanent.contains(c.client, c.site) {
+            continue;
+        }
+        g.add(c.client.0 as usize, c.hour(), c.failed());
+    }
+    g
+}
+
+/// Per-server hourly TCP-connection grid, excluding permanent pairs.
+pub fn server_connection_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
+    let mut g = HourlyGrid::new(ds.sites.len(), ds.hours);
+    for c in &ds.connections {
+        if permanent.contains(c.client, c.site) {
+            continue;
+        }
+        g.add(c.site.0 as usize, c.hour(), c.failed());
+    }
+    g
+}
+
+/// Per-client hourly *transaction* grid (used where connections are masked,
+/// e.g. proxied clients).
+pub fn client_transaction_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
+    let mut g = HourlyGrid::new(ds.clients.len(), ds.hours);
+    for r in &ds.records {
+        if permanent.contains(r.client, r.site) {
+            continue;
+        }
+        g.add(r.client.0 as usize, r.hour(), r.failed());
+    }
+    g
+}
+
+/// Per-server hourly transaction grid.
+pub fn server_transaction_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
+    let mut g = HourlyGrid::new(ds.sites.len(), ds.hours);
+    for r in &ds.records {
+        if permanent.contains(r.client, r.site) {
+            continue;
+        }
+        g.add(r.site.0 as usize, r.hour(), r.failed());
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use model::{ClientId, SiteId};
+
+    #[test]
+    fn cell_counting_and_rates() {
+        let mut g = HourlyGrid::new(2, 3);
+        for _ in 0..10 {
+            g.add(0, 1, false);
+        }
+        for _ in 0..5 {
+            g.add(0, 1, true);
+        }
+        assert_eq!(g.cell(0, 1), (15, 5));
+        assert!((g.rate(0, 1, 1).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.rate(0, 0, 1), None, "no samples");
+        assert_eq!(g.rate(0, 1, 20), None, "below min samples");
+        assert_eq!(g.cell(1, 2), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_adds_are_ignored() {
+        let mut g = HourlyGrid::new(1, 1);
+        g.add(5, 0, true);
+        g.add(0, 9, true);
+        assert_eq!(g.cell(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn episode_detection() {
+        let mut g = HourlyGrid::new(1, 4);
+        // hour 0: 20% failure; hour 1: 2%; hour 2: thin data.
+        for i in 0..50 {
+            g.add(0, 0, i < 10);
+        }
+        for i in 0..50 {
+            g.add(0, 1, i < 1);
+        }
+        for i in 0..3 {
+            g.add(0, 2, i == 0);
+        }
+        assert!(g.is_episode(0, 0, 0.05, 12));
+        assert!(!g.is_episode(0, 1, 0.05, 12));
+        assert!(!g.is_episode(0, 2, 0.05, 12), "thin hours never flag");
+        assert_eq!(g.episode_hours(0, 0.05, 12), vec![0]);
+    }
+
+    #[test]
+    fn row_totals_sum_hours() {
+        let mut g = HourlyGrid::new(1, 3);
+        g.add(0, 0, true);
+        g.add(0, 1, false);
+        g.add(0, 2, true);
+        assert_eq!(g.row_totals(0), (3, 2));
+    }
+
+    #[test]
+    fn grids_respect_permanent_exclusion() {
+        let mut w = SynthWorld::new(2, 2, 4);
+        // Pair (0,0) fails always; pair (1,1) healthy.
+        for h in 0..4 {
+            for _ in 0..30 {
+                w.add_failed_conn(ClientId(0), SiteId(0), h);
+                w.add_ok_conn(ClientId(1), SiteId(1), h);
+            }
+            for _ in 0..30 {
+                w.add_txn(ClientId(0), SiteId(0), h, false);
+                w.add_txn(ClientId(1), SiteId(1), h, true);
+            }
+        }
+        let ds = w.finish();
+        let cfg = crate::AnalysisConfig::default();
+        let perm = crate::permanent::detect(&ds, &cfg);
+        assert!(perm.contains(ClientId(0), SiteId(0)));
+        let g = client_connection_grid(&ds, &perm);
+        assert_eq!(g.cell(0, 0), (0, 0), "permanent pair excluded");
+        assert_eq!(g.cell(1, 0), (30, 0));
+    }
+
+    #[test]
+    fn all_rates_counts_defined_cells() {
+        let mut g = HourlyGrid::new(2, 2);
+        for _ in 0..20 {
+            g.add(0, 0, false);
+            g.add(1, 1, true);
+        }
+        let rates = g.all_rates(12);
+        assert_eq!(rates.len(), 2);
+        assert!(rates.contains(&0.0) && rates.contains(&1.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! `netprofiler` — the paper's failure-classification framework.
+//!
+//! Implements every analysis of *A Study of End-to-End Web Access Failures*
+//! (CoNEXT 2006) over a [`model::Dataset`], using only what a real
+//! measurement would have: the performance/connection records and the
+//! cleaned BGP series — never the simulator's ground truth.
+//!
+//! | Module | Paper section | Artifacts |
+//! |---|---|---|
+//! | [`summary`] | §4.1 | Table 3, Figure 1, per-entity medians |
+//! | [`dns_analysis`] | §4.2 | Table 4, Figure 2, dig agreement |
+//! | [`tcp_analysis`] | §4.3 | Figure 3 |
+//! | [`permanent`] | §4.4.2 | the 38 near-permanent pairs |
+//! | [`episodes`] | §4.4.3 | Figure 4, knee detection |
+//! | [`blame`] | §4.4.4–5 | Table 5, episode coalescing |
+//! | [`spread`] | §4.4.6 | Table 6 |
+//! | [`similarity`] | §4.4.6 | Tables 7 & 8 |
+//! | [`replicas`] | §4.5 | total vs partial replica failures |
+//! | [`bgp_corr`] | §4.6 | Figures 5–7, severe-instability stats |
+//! | [`proxy_analysis`] | §4.7 | Table 9 |
+//! | [`loss_corr`] | §4.1.3 | loss/failure correlation |
+//! | [`pair_episodes`] | §2.2 cat. 3 | client-server-specific episodes (the paper defines but defers this) |
+//! | [`timing`] | §3.5 | lookup/download time quantiles per category |
+//!
+//! The entry point is [`Analysis::new`], which indexes the dataset once
+//! (hourly per-entity grids, permanent-pair detection) and hands out the
+//! individual analyses.
+
+pub mod bgp_corr;
+pub mod blame;
+pub mod config;
+pub mod dns_analysis;
+pub mod episodes;
+pub mod grid;
+pub mod loss_corr;
+pub mod pair_episodes;
+pub mod permanent;
+pub mod proxy_analysis;
+pub mod replicas;
+pub mod similarity;
+pub mod spread;
+pub mod summary;
+pub mod synthetic;
+pub mod tcp_analysis;
+pub mod timing;
+
+pub use blame::{BlameBreakdown, BlameClass};
+pub use config::AnalysisConfig;
+pub use grid::HourlyGrid;
+pub use permanent::PermanentPairs;
+
+use model::Dataset;
+
+/// The indexed analysis over one dataset.
+pub struct Analysis<'d> {
+    pub ds: &'d Dataset,
+    pub config: AnalysisConfig,
+    /// Near-permanent (client, site) pairs, detected from the data and
+    /// excluded from the correlation analyses (Section 4.4.2).
+    pub permanent: PermanentPairs,
+    /// Hourly TCP-connection grid per client (permanent pairs excluded).
+    pub client_grid: HourlyGrid,
+    /// Hourly TCP-connection grid per server (permanent pairs excluded).
+    pub server_grid: HourlyGrid,
+}
+
+impl<'d> Analysis<'d> {
+    /// Index `ds` under `config`.
+    pub fn new(ds: &'d Dataset, config: AnalysisConfig) -> Analysis<'d> {
+        let permanent = permanent::detect(ds, &config);
+        let client_grid = grid::client_connection_grid(ds, &permanent);
+        let server_grid = grid::server_connection_grid(ds, &permanent);
+        Analysis {
+            ds,
+            config,
+            permanent,
+            client_grid,
+            server_grid,
+        }
+    }
+
+    /// Index with the default configuration.
+    pub fn with_defaults(ds: &'d Dataset) -> Analysis<'d> {
+        Analysis::new(ds, AnalysisConfig::default())
+    }
+}

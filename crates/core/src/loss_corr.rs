@@ -1,0 +1,163 @@
+//! Packet loss vs transaction failures (Section 4.1.3).
+//!
+//! The paper finds only weak correlation (r ≈ 0.19) between packet loss
+//! rates (inferred from trace retransmissions) and end-to-end transaction
+//! failure rates — because DNS failures bypass the data path entirely,
+//! transfers survive loss, and failed connections carry no loss signal.
+
+use model::Dataset;
+use std::collections::HashMap;
+
+/// Pearson correlation coefficient; `None` if fewer than 2 points or a
+/// degenerate (zero-variance) axis.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// One (client, site) pair's monthly loss proxy and failure rate.
+#[derive(Clone, Debug)]
+pub struct PairLossPoint {
+    pub transactions: u32,
+    pub failures: u32,
+    /// Mean trace-visible retransmissions per transaction that had a trace.
+    pub loss_proxy: f64,
+}
+
+/// Collect per-pair points (pairs with at least `min_txns` transactions and
+/// at least one traced transaction).
+pub fn pair_points(ds: &Dataset, min_txns: u32) -> Vec<PairLossPoint> {
+    struct Acc {
+        txns: u32,
+        failures: u32,
+        traced: u32,
+        retx: u64,
+    }
+    let mut map: HashMap<(u16, u16), Acc> = HashMap::new();
+    for r in &ds.records {
+        let e = map.entry((r.client.0, r.site.0)).or_insert(Acc {
+            txns: 0,
+            failures: 0,
+            traced: 0,
+            retx: 0,
+        });
+        e.txns += 1;
+        e.failures += u32::from(r.failed());
+        if let Some(rx) = r.retransmissions {
+            e.traced += 1;
+            e.retx += u64::from(rx);
+        }
+    }
+    map.into_values()
+        .filter(|a| a.txns >= min_txns && a.traced > 0)
+        .map(|a| PairLossPoint {
+            transactions: a.txns,
+            failures: a.failures,
+            loss_proxy: a.retx as f64 / f64::from(a.traced),
+        })
+        .collect()
+}
+
+/// The Section 4.1.3 statistic: correlation between the per-pair loss
+/// proxy and the per-pair transaction failure rate.
+pub fn loss_failure_correlation(ds: &Dataset, min_txns: u32) -> Option<f64> {
+    let points = pair_points(ds, min_txns);
+    let xs: Vec<f64> = points.iter().map(|p| p.loss_proxy).collect();
+    let ys: Vec<f64> = points
+        .iter()
+        .map(|p| f64::from(p.failures) / f64::from(p.transactions))
+        .collect();
+    pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use model::{ClientId, SiteId};
+
+    #[test]
+    fn pearson_known_values() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &flat), None, "zero variance");
+        assert_eq!(pearson(&x[..1], &y[..1]), None);
+        assert_eq!(pearson(&x, &y[..2]), None, "length mismatch");
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // Deterministic pseudo-random pairs.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (1u64 << 31) as f64
+        };
+        let xs: Vec<f64> = (0..5000).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..5000).map(|_| next()).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.05, "r = {r}");
+    }
+
+    #[test]
+    fn pair_points_aggregate() {
+        let mut w = SynthWorld::new(2, 1, 2);
+        // Pair (0,0): 30 txns, 3 failures; synthetic records carry
+        // retransmissions = Some(0).
+        w.add_txn_batch(ClientId(0), SiteId(0), 0, 30, 3);
+        // Pair (1,0): too few transactions.
+        w.add_txn_batch(ClientId(1), SiteId(0), 0, 3, 0);
+        let mut ds = w.finish();
+        // Give pair (0,0)'s traced transactions some retransmissions.
+        for r in ds.records.iter_mut().filter(|r| r.client == ClientId(0)) {
+            r.retransmissions = Some(2);
+        }
+        let points = pair_points(&ds, 10);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].transactions, 30);
+        assert_eq!(points[0].failures, 3);
+        assert!((points[0].loss_proxy - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_none_for_degenerate_data() {
+        let ds = SynthWorld::new(1, 1, 1).finish();
+        assert_eq!(loss_failure_correlation(&ds, 1), None);
+    }
+
+    #[test]
+    fn loss_and_failures_can_correlate_by_construction() {
+        // Pairs where loss and failure rise together → strong r; the real
+        // dataset should be much weaker (asserted in integration tests).
+        let mut w = SynthWorld::new(6, 1, 1);
+        for c in 0..6u16 {
+            w.add_txn_batch(ClientId(c), SiteId(0), 0, 20, c as u32);
+        }
+        let mut ds = w.finish();
+        for r in ds.records.iter_mut() {
+            r.retransmissions = Some(u32::from(r.client.0) * 3);
+        }
+        let r = loss_failure_correlation(&ds, 10).unwrap();
+        assert!(r > 0.95, "r = {r}");
+    }
+}

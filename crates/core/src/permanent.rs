@@ -1,0 +1,179 @@
+//! Near-permanent client–server failures (Section 4.4.2).
+//!
+//! About 0.4% of the paper's client-site pairs could (almost) never
+//! communicate over the whole month. They are detected from monthly
+//! transaction failure rates and excluded from the correlation analyses so
+//! a handful of pathological pairs does not masquerade as client- or
+//! server-side episodes.
+
+use crate::config::AnalysisConfig;
+use model::{ClientId, Dataset, SiteId};
+use std::collections::{HashMap, HashSet};
+
+/// Detected near-permanent pairs with their impact statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PermanentPairs {
+    pairs: HashSet<(u16, u16)>,
+    /// Per detected pair: (transactions, failed transactions).
+    pub detail: Vec<PermanentPair>,
+    /// Fraction of *all* transaction failures these pairs account for
+    /// (paper: 13%).
+    pub share_of_transaction_failures: f64,
+    /// Fraction of all TCP connection failures they account for (paper:
+    /// 50.7% — higher because of wget retries).
+    pub share_of_connection_failures: f64,
+}
+
+/// One detected pair.
+#[derive(Clone, Debug)]
+pub struct PermanentPair {
+    pub client: ClientId,
+    pub site: SiteId,
+    pub transactions: u32,
+    pub failed: u32,
+}
+
+impl PermanentPair {
+    pub fn failure_rate(&self) -> f64 {
+        f64::from(self.failed) / f64::from(self.transactions.max(1))
+    }
+}
+
+impl PermanentPairs {
+    /// Is the pair excluded?
+    pub fn contains(&self, client: ClientId, site: SiteId) -> bool {
+        self.pairs.contains(&(client.0, site.0))
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Detect near-permanent pairs in `ds`.
+pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
+    let mut per_pair: HashMap<(u16, u16), (u32, u32)> = HashMap::new();
+    for r in &ds.records {
+        let e = per_pair.entry((r.client.0, r.site.0)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += u32::from(r.failed());
+    }
+    let mut pairs = HashSet::new();
+    let mut detail = Vec::new();
+    for (&(c, s), &(txns, failed)) in &per_pair {
+        if txns >= config.min_pair_transactions
+            && f64::from(failed) / f64::from(txns) > config.permanent_threshold
+        {
+            pairs.insert((c, s));
+            detail.push(PermanentPair {
+                client: ClientId(c),
+                site: SiteId(s),
+                transactions: txns,
+                failed,
+            });
+        }
+    }
+    detail.sort_by(|a, b| (a.client.0, a.site.0).cmp(&(b.client.0, b.site.0)));
+
+    // Impact shares.
+    let total_txn_failures = ds.records.iter().filter(|r| r.failed()).count();
+    let perm_txn_failures = ds
+        .records
+        .iter()
+        .filter(|r| r.failed() && pairs.contains(&(r.client.0, r.site.0)))
+        .count();
+    let total_conn_failures = ds.connections.iter().filter(|c| c.failed()).count();
+    let perm_conn_failures = ds
+        .connections
+        .iter()
+        .filter(|c| c.failed() && pairs.contains(&(c.client.0, c.site.0)))
+        .count();
+
+    PermanentPairs {
+        pairs,
+        detail,
+        share_of_transaction_failures: ratio(perm_txn_failures, total_txn_failures),
+        share_of_connection_failures: ratio(perm_conn_failures, total_conn_failures),
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+
+    #[test]
+    fn detects_only_high_rate_pairs() {
+        let mut w = SynthWorld::new(2, 2, 4);
+        // Pair (0,0): 100% failure over 40 txns → permanent.
+        // Pair (0,1): 50% failure → not permanent.
+        // Pair (1,0): healthy.
+        for h in 0..4 {
+            w.add_txn_batch(ClientId(0), SiteId(0), h, 10, 10);
+            w.add_txn_batch(ClientId(0), SiteId(1), h, 10, 5);
+            w.add_txn_batch(ClientId(1), SiteId(0), h, 10, 0);
+        }
+        let ds = w.finish();
+        let p = detect(&ds, &AnalysisConfig::default());
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(ClientId(0), SiteId(0)));
+        assert!(!p.contains(ClientId(0), SiteId(1)));
+        assert_eq!(p.detail.len(), 1);
+        assert!((p.detail[0].failure_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thin_pairs_never_flag() {
+        let mut w = SynthWorld::new(1, 1, 1);
+        // 10 transactions, all failed — but below min_pair_transactions.
+        w.add_txn_batch(ClientId(0), SiteId(0), 0, 10, 10);
+        let ds = w.finish();
+        let p = detect(&ds, &AnalysisConfig::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn shares_are_computed() {
+        let mut w = SynthWorld::new(2, 1, 4);
+        for h in 0..4 {
+            // Permanent pair: 10 failed txns + 30 failed conns (retries).
+            w.add_txn_batch(ClientId(0), SiteId(0), h, 10, 10);
+            for _ in 0..30 {
+                w.add_failed_conn(ClientId(0), SiteId(0), h);
+            }
+            // Healthy client with a few scattered failures.
+            w.add_txn_batch(ClientId(1), SiteId(0), h, 10, 1);
+            w.add_conn_batch(ClientId(1), SiteId(0), h, 10, 1);
+        }
+        let ds = w.finish();
+        let p = detect(&ds, &AnalysisConfig::default());
+        assert_eq!(p.len(), 1);
+        // 40 of 44 txn failures; 120 of 124 conn failures.
+        assert!((p.share_of_transaction_failures - 40.0 / 44.0).abs() < 1e-9);
+        assert!((p.share_of_connection_failures - 120.0 / 124.0).abs() < 1e-9);
+        assert!(
+            p.share_of_connection_failures > p.share_of_transaction_failures,
+            "retries inflate the connection share (the paper's 50.7% vs 13%)"
+        );
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = SynthWorld::new(1, 1, 1).finish();
+        let p = detect(&ds, &AnalysisConfig::default());
+        assert!(p.is_empty());
+        assert_eq!(p.share_of_connection_failures, 0.0);
+    }
+}

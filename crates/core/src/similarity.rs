@@ -1,0 +1,273 @@
+//! Co-located-client similarity (Section 4.4.6 #2, Tables 7 & 8).
+//!
+//! For a pair of clients, similarity is the Jaccard ratio of their
+//! client-side failure-episode hour sets: |intersection| / |union|.
+//! Co-located clients should share many episodes (campus-wide faults);
+//! random pairs should not.
+
+use crate::Analysis;
+use model::ClientId;
+use shuffle::shuffle_with_seed;
+use std::collections::HashSet;
+
+/// Deterministic Fisher–Yates shuffle, splitmix64-driven (the analysis
+/// crate depends only on `model`, so it carries its own tiny generator for
+/// the random-pair control group).
+mod shuffle {
+    pub fn shuffle_with_seed<T>(items: &mut [T], seed: u64) {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..items.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// One pair's similarity measurement.
+#[derive(Clone, Debug)]
+pub struct PairSimilarity {
+    pub a: ClientId,
+    pub b: ClientId,
+    /// Episodes flagged for either client (union size).
+    pub union: usize,
+    /// Episodes flagged for both (intersection size).
+    pub shared: usize,
+}
+
+impl PairSimilarity {
+    /// |∩| / |∪|; 0 when neither client had any episode.
+    pub fn similarity(&self) -> f64 {
+        if self.union == 0 {
+            0.0
+        } else {
+            self.shared as f64 / self.union as f64
+        }
+    }
+}
+
+/// The Table 7 histogram buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimilarityHistogram {
+    pub pairs: usize,
+    pub above_75: usize,
+    pub from_50_to_75: usize,
+    pub from_25_to_50: usize,
+    pub below_25_nonzero: usize,
+    pub zero: usize,
+}
+
+impl SimilarityHistogram {
+    pub fn from_pairs(pairs: &[PairSimilarity]) -> SimilarityHistogram {
+        let mut h = SimilarityHistogram {
+            pairs: pairs.len(),
+            ..Default::default()
+        };
+        for p in pairs {
+            let s = p.similarity();
+            if s > 0.75 {
+                h.above_75 += 1;
+            } else if s > 0.50 {
+                h.from_50_to_75 += 1;
+            } else if s > 0.25 {
+                h.from_25_to_50 += 1;
+            } else if s > 0.0 {
+                h.below_25_nonzero += 1;
+            } else {
+                h.zero += 1;
+            }
+        }
+        h
+    }
+}
+
+/// Client-side episode hour set for one client.
+pub fn client_episode_set(analysis: &Analysis<'_>, client: ClientId) -> HashSet<u32> {
+    analysis
+        .client_grid
+        .episode_hours(
+            client.0 as usize,
+            analysis.config.episode_threshold,
+            analysis.config.min_hour_samples,
+        )
+        .into_iter()
+        .collect()
+}
+
+/// Similarity for one explicit pair.
+pub fn pair_similarity(analysis: &Analysis<'_>, a: ClientId, b: ClientId) -> PairSimilarity {
+    let sa = client_episode_set(analysis, a);
+    let sb = client_episode_set(analysis, b);
+    let shared = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    PairSimilarity {
+        a,
+        b,
+        union,
+        shared,
+    }
+}
+
+/// Similarities for all co-located pairs in the dataset.
+pub fn colocated_similarities(analysis: &Analysis<'_>) -> Vec<PairSimilarity> {
+    analysis
+        .ds
+        .colocated_pairs()
+        .into_iter()
+        .map(|(a, b)| pair_similarity(analysis, a, b))
+        .collect()
+}
+
+/// Similarities for `n` random (non-co-located) pairs — the Table 7
+/// control group. Deterministic for a given seed.
+pub fn random_pair_similarities(
+    analysis: &Analysis<'_>,
+    n: usize,
+    seed: u64,
+) -> Vec<PairSimilarity> {
+    let clients: Vec<u16> = (0..analysis.ds.clients.len() as u16).collect();
+    let colocated: HashSet<(u16, u16)> = analysis
+        .ds
+        .colocated_pairs()
+        .into_iter()
+        .map(|(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+        .collect();
+    // Enumerate candidate pairs and shuffle deterministically.
+    let mut candidates: Vec<(u16, u16)> = Vec::new();
+    for (i, &a) in clients.iter().enumerate() {
+        for &b in &clients[i + 1..] {
+            if !colocated.contains(&(a, b)) {
+                candidates.push((a, b));
+            }
+        }
+    }
+    shuffle_with_seed(&mut candidates, seed);
+    candidates
+        .into_iter()
+        .take(n)
+        .map(|(a, b)| pair_similarity(analysis, ClientId(a), ClientId(b)))
+        .collect()
+}
+
+/// Table 8: named per-pair rows for the co-located pairs, sorted by union
+/// size descending (the paper highlights the extremes).
+pub fn table8(analysis: &Analysis<'_>) -> Vec<PairSimilarity> {
+    let mut rows = colocated_similarities(analysis);
+    rows.sort_by(|x, y| y.union.cmp(&x.union).then(x.a.0.cmp(&y.a.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use crate::{Analysis, AnalysisConfig};
+    use model::SiteId;
+
+    /// 6 clients over 10 servers, 20 hours.
+    /// * Clients 0,1 co-located: episodes in hours 0–9, fully shared.
+    /// * Clients 2,3 co-located: client 2 episodes {0,1}, client 3 {1,2}.
+    /// * Clients 4,5: no episodes.
+    fn world() -> model::Dataset {
+        let mut w = SynthWorld::new(6, 10, 20);
+        w.colocate(&[ClientId(0), ClientId(1)], 1);
+        w.colocate(&[ClientId(2), ClientId(3)], 2);
+        w.colocate(&[ClientId(4), ClientId(5)], 3);
+        for h in 0..20u32 {
+            for c in 0..6u16 {
+                for s in 0..10u16 {
+                    let episode = match c {
+                        0 | 1 => h < 10,
+                        2 => h < 2,
+                        3 => h == 1 || h == 2,
+                        _ => false,
+                    };
+                    w.add_conn_batch(ClientId(c), SiteId(s), h, 4, if episode { 2 } else { 0 });
+                }
+            }
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn episode_sets_and_similarity() {
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let s0 = client_episode_set(&a, ClientId(0));
+        assert_eq!(s0.len(), 10);
+        let p01 = pair_similarity(&a, ClientId(0), ClientId(1));
+        assert_eq!(p01.union, 10);
+        assert_eq!(p01.shared, 10);
+        assert!((p01.similarity() - 1.0).abs() < 1e-12);
+
+        let p23 = pair_similarity(&a, ClientId(2), ClientId(3));
+        assert_eq!(p23.union, 3);
+        assert_eq!(p23.shared, 1);
+        assert!((p23.similarity() - 1.0 / 3.0).abs() < 1e-12);
+
+        let p45 = pair_similarity(&a, ClientId(4), ClientId(5));
+        assert_eq!(p45.similarity(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let pairs = colocated_similarities(&a);
+        assert_eq!(pairs.len(), 3);
+        let h = SimilarityHistogram::from_pairs(&pairs);
+        assert_eq!(h.pairs, 3);
+        assert_eq!(h.above_75, 1);
+        assert_eq!(h.from_25_to_50, 1);
+        assert_eq!(h.zero, 1);
+        assert_eq!(h.from_50_to_75 + h.below_25_nonzero, 0);
+    }
+
+    #[test]
+    fn random_pairs_exclude_colocated_and_are_deterministic() {
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let r1 = random_pair_similarities(&a, 5, 42);
+        let r2 = random_pair_similarities(&a, 5, 42);
+        assert_eq!(r1.len(), 5);
+        for (x, y) in r1.iter().zip(&r2) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+        }
+        let colocated: HashSet<(u16, u16)> = [(0, 1), (2, 3), (4, 5)].into();
+        for p in &r1 {
+            let key = (p.a.0.min(p.b.0), p.a.0.max(p.b.0));
+            assert!(!colocated.contains(&key));
+        }
+    }
+
+    #[test]
+    fn random_pairs_mostly_dissimilar() {
+        // Co-located clients share faults; random cross pairs share only
+        // what overlaps by chance — here pair (0,2): client 0 has hours
+        // 0–9, client 2 has {0,1} ⇒ similarity 0.2, while (0,1)=1.0.
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let coloc = colocated_similarities(&a);
+        let coloc_mean: f64 =
+            coloc.iter().map(|p| p.similarity()).sum::<f64>() / coloc.len() as f64;
+        let random = random_pair_similarities(&a, 10, 7);
+        let rand_mean: f64 =
+            random.iter().map(|p| p.similarity()).sum::<f64>() / random.len() as f64;
+        assert!(coloc_mean > rand_mean, "{coloc_mean} vs {rand_mean}");
+    }
+
+    #[test]
+    fn table8_sorted_by_union() {
+        let ds = world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let rows = table8(&a);
+        assert_eq!(rows[0].union, 10);
+        assert!(rows.windows(2).all(|w| w[0].union >= w[1].union));
+    }
+}

@@ -1,0 +1,154 @@
+//! Spread of server-side failures across clients (Section 4.4.6 #1,
+//! Table 6).
+//!
+//! For each server, take all failures ascribed to its server-side episodes
+//! over the month and measure how large a set of clients they touch. A
+//! genuine server-side problem should affect most clients that use the
+//! server (the paper finds spreads of 70–95%).
+
+use crate::Analysis;
+use model::SiteId;
+use std::collections::HashSet;
+
+/// Table 6 row.
+#[derive(Clone, Debug)]
+pub struct ServerSpread {
+    pub site: SiteId,
+    /// 1-hour server-side failure episodes over the month.
+    pub episode_hours: u32,
+    /// Failures ascribed to those episodes.
+    pub ascribed_failures: u64,
+    /// Distinct clients among the ascribed failures.
+    pub affected_clients: usize,
+    /// Distinct clients that attempted any connection to the server.
+    pub accessing_clients: usize,
+}
+
+impl ServerSpread {
+    /// The paper's "spread": affected / accessing clients.
+    pub fn spread(&self) -> f64 {
+        if self.accessing_clients == 0 {
+            0.0
+        } else {
+            self.affected_clients as f64 / self.accessing_clients as f64
+        }
+    }
+}
+
+/// Compute per-server episode counts and spreads, sorted by episode count
+/// descending (Table 6 lists the most failure-prone servers).
+pub fn table6(analysis: &Analysis<'_>) -> Vec<ServerSpread> {
+    let f = analysis.config.episode_threshold;
+    let min = analysis.config.min_hour_samples;
+    let n_sites = analysis.ds.sites.len();
+
+    // Episode-hour sets per server.
+    let episode_hours: Vec<HashSet<u32>> = (0..n_sites)
+        .map(|s| {
+            analysis
+                .server_grid
+                .episode_hours(s, f, min)
+                .into_iter()
+                .collect()
+        })
+        .collect();
+
+    let mut ascribed = vec![0u64; n_sites];
+    let mut affected: Vec<HashSet<u16>> = vec![HashSet::new(); n_sites];
+    let mut accessing: Vec<HashSet<u16>> = vec![HashSet::new(); n_sites];
+    for conn in &analysis.ds.connections {
+        let s = conn.site.0 as usize;
+        if analysis.permanent.contains(conn.client, conn.site) {
+            continue;
+        }
+        accessing[s].insert(conn.client.0);
+        if conn.failed() && episode_hours[s].contains(&conn.hour()) {
+            ascribed[s] += 1;
+            affected[s].insert(conn.client.0);
+        }
+    }
+
+    let mut rows: Vec<ServerSpread> = (0..n_sites)
+        .map(|s| ServerSpread {
+            site: SiteId(s as u16),
+            episode_hours: episode_hours[s].len() as u32,
+            ascribed_failures: ascribed[s],
+            affected_clients: affected[s].len(),
+            accessing_clients: accessing[s].len(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.episode_hours.cmp(&a.episode_hours).then(a.site.0.cmp(&b.site.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use crate::{Analysis, AnalysisConfig};
+    use model::ClientId;
+
+    #[test]
+    fn spread_reflects_affected_fraction() {
+        // 10 clients access server 0; during its episode (hour 0) 8 of them
+        // fail. Server 1 never has an episode.
+        let mut w = SynthWorld::new(10, 2, 3);
+        for c in 0..10u16 {
+            let fails = if c < 8 { 5 } else { 0 };
+            w.add_conn_batch(ClientId(c), SiteId(0), 0, 20, fails);
+            // healthy hours
+            w.add_conn_batch(ClientId(c), SiteId(0), 1, 20, 0);
+            w.add_conn_batch(ClientId(c), SiteId(1), 0, 20, 0);
+        }
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let rows = table6(&a);
+        assert_eq!(rows[0].site, SiteId(0));
+        assert_eq!(rows[0].episode_hours, 1);
+        assert_eq!(rows[0].ascribed_failures, 40);
+        assert_eq!(rows[0].affected_clients, 8);
+        assert_eq!(rows[0].accessing_clients, 10);
+        assert!((rows[0].spread() - 0.8).abs() < 1e-12);
+        assert_eq!(rows[1].episode_hours, 0);
+        assert_eq!(rows[1].spread(), 0.0);
+    }
+
+    #[test]
+    fn failures_outside_episodes_not_ascribed() {
+        let mut w = SynthWorld::new(10, 1, 2);
+        // Hour 0: episode (30% aggregate). Hour 1: one lone failure (0.5%).
+        for c in 0..10u16 {
+            w.add_conn_batch(ClientId(c), SiteId(0), 0, 20, 6);
+            w.add_conn_batch(ClientId(c), SiteId(0), 1, 20, u32::from(c == 0));
+        }
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let rows = table6(&a);
+        assert_eq!(rows[0].episode_hours, 1);
+        assert_eq!(rows[0].ascribed_failures, 60, "hour-1 failure not ascribed");
+    }
+
+    #[test]
+    fn permanent_pairs_do_not_distort_spread() {
+        let mut w = SynthWorld::new(4, 1, 4);
+        // Client 0 permanently blocked from the site (needs transactions
+        // for detection plus failed connections).
+        for h in 0..4 {
+            w.add_txn_batch(ClientId(0), SiteId(0), h, 10, 10);
+            for _ in 0..20 {
+                w.add_failed_conn(ClientId(0), SiteId(0), h);
+            }
+            for c in 1..4u16 {
+                w.add_txn_batch(ClientId(c), SiteId(0), h, 10, 0);
+                w.add_conn_batch(ClientId(c), SiteId(0), h, 20, 0);
+            }
+        }
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        assert_eq!(a.permanent.len(), 1);
+        let rows = table6(&a);
+        // With the blocked pair excluded, the server has no episodes.
+        assert_eq!(rows[0].episode_hours, 0);
+        assert_eq!(rows[0].accessing_clients, 3);
+    }
+}

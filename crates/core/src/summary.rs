@@ -1,0 +1,296 @@
+//! Overall failure statistics (Section 4.1, Table 3, Figure 1).
+
+use model::{ClientCategory, Dataset, FailureClass};
+
+/// One Table 3 row.
+#[derive(Clone, Debug)]
+pub struct CategorySummary {
+    pub category: ClientCategory,
+    pub transactions: u64,
+    pub failed_transactions: u64,
+    /// `None` for proxied categories whose connections are masked (CN).
+    pub connections: Option<u64>,
+    pub failed_connections: Option<u64>,
+}
+
+impl CategorySummary {
+    pub fn transaction_failure_rate(&self) -> f64 {
+        rate(self.failed_transactions, self.transactions)
+    }
+
+    pub fn connection_failure_rate(&self) -> Option<f64> {
+        Some(rate(self.failed_connections?, self.connections?))
+    }
+}
+
+/// Figure 1: failure breakdown by top-level class for one category.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FailureBreakdown {
+    pub dns: u64,
+    pub tcp: u64,
+    pub http: u64,
+}
+
+impl FailureBreakdown {
+    pub fn total(&self) -> u64 {
+        self.dns + self.tcp + self.http
+    }
+
+    pub fn dns_share(&self) -> f64 {
+        rate(self.dns, self.total())
+    }
+
+    pub fn tcp_share(&self) -> f64 {
+        rate(self.tcp, self.total())
+    }
+
+    pub fn http_share(&self) -> f64 {
+        rate(self.http, self.total())
+    }
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Compute Table 3: per-category transaction and connection counts.
+pub fn table3(ds: &Dataset) -> Vec<CategorySummary> {
+    ClientCategory::ALL
+        .iter()
+        .map(|&category| {
+            let mut transactions = 0;
+            let mut failed_transactions = 0;
+            for r in &ds.records {
+                if ds.client(r.client).category == category {
+                    transactions += 1;
+                    failed_transactions += u64::from(r.failed());
+                }
+            }
+            let mut connections = 0u64;
+            let mut failed_connections = 0u64;
+            for c in &ds.connections {
+                if ds.client(c.client).category == category {
+                    connections += 1;
+                    failed_connections += u64::from(c.failed());
+                }
+            }
+            // CN connections are masked by the proxies (Table 3: N/A). We
+            // detect that structurally: a category whose transactions exist
+            // but whose connection records are absent for proxied clients.
+            let masked = category == ClientCategory::CorpNet;
+            CategorySummary {
+                category,
+                transactions,
+                failed_transactions,
+                connections: (!masked).then_some(connections),
+                failed_connections: (!masked).then_some(failed_connections),
+            }
+        })
+        .collect()
+}
+
+/// Compute Figure 1's per-category failure breakdown. Proxied (CN) clients
+/// are excluded from the breakdown, as in the paper — their failure classes
+/// are distorted by the proxy's masking.
+pub fn figure1(ds: &Dataset) -> Vec<(ClientCategory, f64, Option<FailureBreakdown>)> {
+    table3(ds)
+        .into_iter()
+        .map(|row| {
+            let breakdown = if row.category == ClientCategory::CorpNet {
+                None
+            } else {
+                let mut b = FailureBreakdown::default();
+                for r in &ds.records {
+                    if ds.client(r.client).category != row.category {
+                        continue;
+                    }
+                    match r.failure() {
+                        Some(FailureClass::Dns(_)) => b.dns += 1,
+                        Some(FailureClass::Tcp(_)) => b.tcp += 1,
+                        Some(FailureClass::Http(_)) => b.http += 1,
+                        None => {}
+                    }
+                }
+                Some(b)
+            };
+            (row.category, row.transaction_failure_rate(), breakdown)
+        })
+        .collect()
+}
+
+/// Whole-dataset failure breakdown over the non-proxied categories.
+pub fn overall_breakdown(ds: &Dataset) -> FailureBreakdown {
+    let mut b = FailureBreakdown::default();
+    for r in &ds.records {
+        if ds.client(r.client).category == ClientCategory::CorpNet {
+            continue;
+        }
+        match r.failure() {
+            Some(FailureClass::Dns(_)) => b.dns += 1,
+            Some(FailureClass::Tcp(_)) => b.tcp += 1,
+            Some(FailureClass::Http(_)) => b.http += 1,
+            None => {}
+        }
+    }
+    b
+}
+
+/// Monthly per-client transaction failure rates.
+pub fn client_failure_rates(ds: &Dataset) -> Vec<f64> {
+    let mut totals = vec![(0u64, 0u64); ds.clients.len()];
+    for r in &ds.records {
+        let e = &mut totals[r.client.0 as usize];
+        e.0 += 1;
+        e.1 += u64::from(r.failed());
+    }
+    totals
+        .into_iter()
+        .filter(|(a, _)| *a > 0)
+        .map(|(a, f)| f as f64 / a as f64)
+        .collect()
+}
+
+/// Monthly per-server transaction failure rates.
+pub fn server_failure_rates(ds: &Dataset) -> Vec<f64> {
+    let mut totals = vec![(0u64, 0u64); ds.sites.len()];
+    for r in &ds.records {
+        let e = &mut totals[r.site.0 as usize];
+        e.0 += 1;
+        e.1 += u64::from(r.failed());
+    }
+    totals
+        .into_iter()
+        .filter(|(a, _)| *a > 0)
+        .map(|(a, f)| f as f64 / a as f64)
+        .collect()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear rank (the paper
+/// reports medians and a 95th percentile).
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use model::{ClientId, DnsFailureKind, SiteId};
+
+    fn world() -> Dataset {
+        let mut w = SynthWorld::new(3, 2, 2);
+        w.set_category(ClientId(1), ClientCategory::Dialup);
+        w.set_category(ClientId(2), ClientCategory::CorpNet);
+        w.set_proxy(ClientId(2), model::ProxyId(0));
+        // PL client: 10 txns, 2 failures (1 DNS + 1 TCP); 12 conns, 1 fail.
+        w.add_txn_batch(ClientId(0), SiteId(0), 0, 8, 0);
+        w.add_txn_failure(
+            ClientId(0),
+            SiteId(0),
+            0,
+            FailureClass::Dns(DnsFailureKind::LdnsTimeout),
+        );
+        w.add_txn(ClientId(0), SiteId(0), 0, false);
+        w.add_conn_batch(ClientId(0), SiteId(0), 0, 12, 1);
+        // DU client: all healthy.
+        w.add_txn_batch(ClientId(1), SiteId(1), 0, 10, 0);
+        w.add_conn_batch(ClientId(1), SiteId(1), 0, 10, 0);
+        // CN client: 5 txns, 1 HTTP failure, no conn records.
+        w.add_txn_batch(ClientId(2), SiteId(0), 0, 4, 0);
+        w.add_txn_failure(ClientId(2), SiteId(0), 0, FailureClass::Http(504));
+        w.finish()
+    }
+
+    #[test]
+    fn table3_counts() {
+        let ds = world();
+        let t = table3(&ds);
+        let pl = t
+            .iter()
+            .find(|r| r.category == ClientCategory::PlanetLab)
+            .unwrap();
+        assert_eq!(pl.transactions, 10);
+        assert_eq!(pl.failed_transactions, 2);
+        assert_eq!(pl.connections, Some(12));
+        assert_eq!(pl.failed_connections, Some(1));
+        assert!((pl.transaction_failure_rate() - 0.2).abs() < 1e-12);
+
+        let cn = t
+            .iter()
+            .find(|r| r.category == ClientCategory::CorpNet)
+            .unwrap();
+        assert_eq!(cn.transactions, 5);
+        assert_eq!(cn.connections, None, "CN connections masked");
+        assert_eq!(cn.connection_failure_rate(), None);
+
+        let bb = t
+            .iter()
+            .find(|r| r.category == ClientCategory::Broadband)
+            .unwrap();
+        assert_eq!(bb.transactions, 0);
+        assert_eq!(bb.transaction_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn figure1_breakdown() {
+        let ds = world();
+        let f1 = figure1(&ds);
+        let (_, rate, pl_b) = f1
+            .iter()
+            .find(|(c, _, _)| *c == ClientCategory::PlanetLab)
+            .unwrap();
+        let b = pl_b.as_ref().unwrap();
+        assert_eq!(b.dns, 1);
+        assert_eq!(b.tcp, 1);
+        assert_eq!(b.http, 0);
+        assert!((b.dns_share() - 0.5).abs() < 1e-12);
+        assert!((rate - 0.2).abs() < 1e-12);
+        let (_, _, cn_b) = f1
+            .iter()
+            .find(|(c, _, _)| *c == ClientCategory::CorpNet)
+            .unwrap();
+        assert!(cn_b.is_none(), "CN breakdown suppressed");
+    }
+
+    #[test]
+    fn overall_breakdown_excludes_cn() {
+        let ds = world();
+        let b = overall_breakdown(&ds);
+        assert_eq!(b.total(), 2, "CN's HTTP failure not counted");
+        assert_eq!(b.http, 0);
+    }
+
+    #[test]
+    fn rates_and_quantiles() {
+        let ds = world();
+        let rates = client_failure_rates(&ds);
+        assert_eq!(rates.len(), 3);
+        let med = quantile(&rates, 0.5).unwrap();
+        assert!(med > 0.0 && med < 0.21);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[0.4], 0.95), Some(0.4));
+        let s = server_failure_rates(&ds);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 1.0];
+        assert_eq!(quantile(&v, 0.5), Some(0.5));
+        assert_eq!(quantile(&v, 0.0), Some(0.0));
+        assert_eq!(quantile(&v, 1.0), Some(1.0));
+    }
+}

@@ -1,0 +1,312 @@
+//! Hand-built datasets for exercising the framework.
+//!
+//! The analyses are tested against *constructed* datasets whose correct
+//! classification is known by design — independent of the `workload`
+//! simulator. This module is public so downstream users can experiment with
+//! the framework without running a full simulation.
+
+use model::{
+    BgpHourly, BgpHourlySeries, ClientCategory, ClientId, ClientMeta, ConnectionRecord, Dataset,
+    DigOutcome, FailureClass, Ipv4Prefix, PerformanceRecord, PrefixId, SimDuration, SimTime,
+    SiteCategory, SiteId, SiteMeta, TcpFailureKind, TransactionOutcome,
+};
+use std::net::Ipv4Addr;
+
+/// Builder for synthetic datasets.
+pub struct SynthWorld {
+    ds: Dataset,
+    seq: u64,
+}
+
+impl SynthWorld {
+    /// A world with `clients` PlanetLab clients, `sites` single-replica
+    /// sites, and `hours` hourly bins. Client `i` lives at `10.0.i.10`
+    /// (prefix `10.0.i.0/24`); site `j`'s replica is `203.0.j.80` (prefix
+    /// `203.0.j.0/24`).
+    pub fn new(clients: u16, sites: u16, hours: u32) -> SynthWorld {
+        let client_meta = (0..clients)
+            .map(|i| ClientMeta {
+                id: ClientId(i),
+                name: format!("client{i}"),
+                category: ClientCategory::PlanetLab,
+                colocation: None,
+                proxy: None,
+                prefixes: vec![PrefixId(u32::from(i))],
+                addr: Ipv4Addr::new(10, 0, i as u8, 10),
+            })
+            .collect();
+        let site_meta = (0..sites)
+            .map(|j| {
+                let addr = Ipv4Addr::new(203, 0, j as u8, 80);
+                SiteMeta {
+                    id: SiteId(j),
+                    hostname: format!("www.site{j}.example"),
+                    category: SiteCategory::UsMisc,
+                    addrs: vec![addr],
+                    replica_prefixes: vec![(addr, vec![PrefixId(u32::from(clients + j))])],
+                }
+            })
+            .collect();
+        let mut prefixes: Vec<Ipv4Prefix> = (0..clients)
+            .map(|i| Ipv4Prefix::new(Ipv4Addr::new(10, 0, i as u8, 0), 24).expect("valid"))
+            .collect();
+        prefixes.extend(
+            (0..sites).map(|j| Ipv4Prefix::new(Ipv4Addr::new(203, 0, j as u8, 0), 24).expect("valid")),
+        );
+        SynthWorld {
+            ds: Dataset {
+                hours,
+                clients: client_meta,
+                sites: site_meta,
+                records: Vec::new(),
+                connections: Vec::new(),
+                prefixes,
+                bgp: BgpHourlySeries::new((clients + sites) as usize, hours),
+            },
+            seq: 0,
+        }
+    }
+
+    /// Prefix id of client `c` / site `s` under the default layout.
+    pub fn client_prefix(&self, c: u16) -> PrefixId {
+        PrefixId(u32::from(c))
+    }
+
+    pub fn site_prefix(&self, s: u16) -> PrefixId {
+        PrefixId(self.ds.clients.len() as u32 + u32::from(s))
+    }
+
+    /// The default replica address of site `s`.
+    pub fn replica(&self, s: u16) -> Ipv4Addr {
+        self.ds.sites[s as usize].addrs[0]
+    }
+
+    /// Set a client's category.
+    pub fn set_category(&mut self, c: ClientId, cat: ClientCategory) -> &mut Self {
+        self.ds.clients[c.0 as usize].category = cat;
+        self
+    }
+
+    /// Put clients into one co-location group.
+    pub fn colocate(&mut self, clients: &[ClientId], group: u16) -> &mut Self {
+        for c in clients {
+            self.ds.clients[c.0 as usize].colocation = Some(group);
+        }
+        self
+    }
+
+    /// Mark a client as proxied.
+    pub fn set_proxy(&mut self, c: ClientId, proxy: model::ProxyId) -> &mut Self {
+        self.ds.clients[c.0 as usize].proxy = Some(proxy);
+        self
+    }
+
+    fn next_time(&mut self, hour: u32) -> SimTime {
+        // Stagger events within the hour deterministically.
+        let offset = (self.seq * 997) % 3_600;
+        self.seq += 1;
+        SimTime::from_hours(u64::from(hour)) + SimDuration::from_secs(offset)
+    }
+
+    /// Add a transaction (success or generic TCP no-connection failure).
+    pub fn add_txn(&mut self, client: ClientId, site: SiteId, hour: u32, ok: bool) -> &mut Self {
+        let outcome = if ok {
+            TransactionOutcome::Success
+        } else {
+            TransactionOutcome::Failure(FailureClass::Tcp(TcpFailureKind::NoConnection))
+        };
+        self.add_txn_outcome(client, site, hour, outcome)
+    }
+
+    /// Add a transaction with a specific failure class.
+    pub fn add_txn_failure(
+        &mut self,
+        client: ClientId,
+        site: SiteId,
+        hour: u32,
+        class: FailureClass,
+    ) -> &mut Self {
+        self.add_txn_outcome(client, site, hour, TransactionOutcome::Failure(class))
+    }
+
+    /// Add a transaction with an explicit outcome.
+    pub fn add_txn_outcome(
+        &mut self,
+        client: ClientId,
+        site: SiteId,
+        hour: u32,
+        outcome: TransactionOutcome,
+    ) -> &mut Self {
+        let start = self.next_time(hour);
+        let replica = self.ds.sites[site.0 as usize].addrs.first().copied();
+        let proxy = self.ds.clients[client.0 as usize].proxy;
+        let ok = outcome.is_success();
+        self.ds.records.push(PerformanceRecord {
+            client,
+            site,
+            replica,
+            start,
+            dns: match outcome {
+                TransactionOutcome::Failure(FailureClass::Dns(k)) => Err(k),
+                _ => Ok(SimDuration::from_millis(30)),
+            },
+            outcome,
+            download_time: ok.then(|| SimDuration::from_millis(800)),
+            bytes_received: if ok { 20_000 } else { 0 },
+            connections_attempted: 1,
+            retransmissions: Some(0),
+            dig: DigOutcome::NotRun,
+            proxy,
+        });
+        self
+    }
+
+    /// Add a successful connection.
+    pub fn add_ok_conn(&mut self, client: ClientId, site: SiteId, hour: u32) -> &mut Self {
+        self.add_conn(client, site, hour, Ok(()))
+    }
+
+    /// Add a failed (no-connection) connection.
+    pub fn add_failed_conn(&mut self, client: ClientId, site: SiteId, hour: u32) -> &mut Self {
+        self.add_conn(client, site, hour, Err(TcpFailureKind::NoConnection))
+    }
+
+    /// Add a connection with an explicit outcome, to the site's first
+    /// replica.
+    pub fn add_conn(
+        &mut self,
+        client: ClientId,
+        site: SiteId,
+        hour: u32,
+        outcome: Result<(), TcpFailureKind>,
+    ) -> &mut Self {
+        let replica = self.replica(site.0);
+        self.add_conn_to(client, site, replica, hour, outcome)
+    }
+
+    /// Add a connection to a specific replica address.
+    pub fn add_conn_to(
+        &mut self,
+        client: ClientId,
+        site: SiteId,
+        replica: Ipv4Addr,
+        hour: u32,
+        outcome: Result<(), TcpFailureKind>,
+    ) -> &mut Self {
+        let start = self.next_time(hour);
+        self.ds.connections.push(ConnectionRecord {
+            client,
+            site,
+            replica,
+            start,
+            outcome,
+            syn_retransmissions: if outcome.is_err() { 3 } else { 0 },
+            retransmissions: Some(0),
+        });
+        self
+    }
+
+    /// Register an extra replica address for a site.
+    pub fn add_replica(&mut self, site: SiteId, addr: Ipv4Addr, prefix: PrefixId) -> &mut Self {
+        let s = &mut self.ds.sites[site.0 as usize];
+        s.addrs.push(addr);
+        s.replica_prefixes.push((addr, vec![prefix]));
+        self
+    }
+
+    /// Set BGP activity for a prefix-hour.
+    pub fn set_bgp(&mut self, prefix: PrefixId, hour: u32, cell: BgpHourly) -> &mut Self {
+        if let Some(c) = self.ds.bgp.get_mut(prefix, hour) {
+            *c = cell;
+        }
+        self
+    }
+
+    /// Bulk helper: `n` connections with `fail` of them failing, spread in
+    /// `hour`.
+    pub fn add_conn_batch(
+        &mut self,
+        client: ClientId,
+        site: SiteId,
+        hour: u32,
+        n: u32,
+        fail: u32,
+    ) -> &mut Self {
+        for i in 0..n {
+            let outcome = if i < fail {
+                Err(TcpFailureKind::NoConnection)
+            } else {
+                Ok(())
+            };
+            self.add_conn(client, site, hour, outcome);
+        }
+        self
+    }
+
+    /// Bulk helper: `n` transactions with `fail` failing.
+    pub fn add_txn_batch(
+        &mut self,
+        client: ClientId,
+        site: SiteId,
+        hour: u32,
+        n: u32,
+        fail: u32,
+    ) -> &mut Self {
+        for i in 0..n {
+            self.add_txn(client, site, hour, i >= fail);
+        }
+        self
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Dataset {
+        self.ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_world_shape() {
+        let w = SynthWorld::new(3, 2, 10);
+        let ds = w.finish();
+        assert_eq!(ds.clients.len(), 3);
+        assert_eq!(ds.sites.len(), 2);
+        assert_eq!(ds.hours, 10);
+        assert_eq!(ds.prefixes.len(), 5);
+        // Prefixes cover their entities.
+        for c in &ds.clients {
+            assert!(ds.prefix(c.prefixes[0]).contains(c.addr));
+        }
+        for s in &ds.sites {
+            assert!(ds.prefix(s.replica_prefixes[0].1[0]).contains(s.addrs[0]));
+        }
+    }
+
+    #[test]
+    fn record_builders() {
+        let mut w = SynthWorld::new(1, 1, 2);
+        w.add_txn(ClientId(0), SiteId(0), 0, true)
+            .add_txn(ClientId(0), SiteId(0), 1, false)
+            .add_ok_conn(ClientId(0), SiteId(0), 0)
+            .add_failed_conn(ClientId(0), SiteId(0), 1);
+        let ds = w.finish();
+        assert_eq!(ds.records.len(), 2);
+        assert_eq!(ds.connections.len(), 2);
+        assert_eq!(ds.records[0].hour(), 0);
+        assert!(ds.records[1].failed());
+        assert!(ds.connections[1].failed());
+    }
+
+    #[test]
+    fn batch_builders() {
+        let mut w = SynthWorld::new(1, 1, 1);
+        w.add_conn_batch(ClientId(0), SiteId(0), 0, 50, 10);
+        w.add_txn_batch(ClientId(0), SiteId(0), 0, 20, 5);
+        let ds = w.finish();
+        assert_eq!(ds.connections.iter().filter(|c| c.failed()).count(), 10);
+        assert_eq!(ds.records.iter().filter(|r| r.failed()).count(), 5);
+    }
+}

@@ -1,0 +1,195 @@
+//! TCP connection failure breakdown (Section 4.3, Figure 3).
+
+use model::{ClientCategory, Dataset, TcpFailureKind};
+
+/// Figure 3 bar: one category's TCP connection failure composition.
+#[derive(Clone, Debug, Default)]
+pub struct TcpBreakdown {
+    pub total: u64,
+    pub no_connection: u64,
+    pub no_response: u64,
+    pub partial_response: u64,
+    /// Merged category where traces were unavailable (BB clients).
+    pub no_or_partial: u64,
+}
+
+impl TcpBreakdown {
+    pub fn no_connection_share(&self) -> f64 {
+        share(self.no_connection, self.total)
+    }
+
+    pub fn no_response_share(&self) -> f64 {
+        share(self.no_response, self.total)
+    }
+
+    pub fn partial_response_share(&self) -> f64 {
+        share(self.partial_response, self.total)
+    }
+
+    pub fn no_or_partial_share(&self) -> f64 {
+        share(self.no_or_partial, self.total)
+    }
+}
+
+fn share(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Compute the Figure 3 breakdown for one category from its *connection*
+/// records (CN clients have none — the proxy masks them, so they simply
+/// produce an all-zero breakdown, matching the paper's exclusion).
+pub fn tcp_breakdown(ds: &Dataset, category: ClientCategory) -> TcpBreakdown {
+    let mut b = TcpBreakdown::default();
+    for c in &ds.connections {
+        if ds.client(c.client).category != category {
+            continue;
+        }
+        let Some(kind) = c.failure() else { continue };
+        b.total += 1;
+        match kind {
+            TcpFailureKind::NoConnection => b.no_connection += 1,
+            TcpFailureKind::NoResponse => b.no_response += 1,
+            TcpFailureKind::PartialResponse => b.partial_response += 1,
+            TcpFailureKind::NoOrPartialResponse => b.no_or_partial += 1,
+        }
+    }
+    b
+}
+
+/// Breakdown for every category, in the paper's order.
+pub fn figure3(ds: &Dataset) -> Vec<(ClientCategory, TcpBreakdown)> {
+    ClientCategory::ALL
+        .iter()
+        .map(|&c| (c, tcp_breakdown(ds, c)))
+        .collect()
+}
+
+/// Distribution of SYN retransmissions (Section 5's implication: bursty
+/// loss of a few SYNs is what kills connection establishment).
+///
+/// `histogram[k]` counts connections whose SYN was retransmitted `k` times
+/// (the last bucket aggregates `>= len-1`), split by outcome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SynRetxHistogram {
+    pub ok: [u64; 5],
+    pub failed: [u64; 5],
+}
+
+impl SynRetxHistogram {
+    /// Share of *successful* connections that needed any SYN retransmission.
+    pub fn ok_retx_share(&self) -> f64 {
+        let total: u64 = self.ok.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.ok[0]) as f64 / total as f64
+        }
+    }
+
+    /// Share of *failed* connections that exhausted the SYN schedule
+    /// (3+ retransmissions — the no-connection signature).
+    pub fn failed_exhausted_share(&self) -> f64 {
+        let total: u64 = self.failed.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            (self.failed[3] + self.failed[4]) as f64 / total as f64
+        }
+    }
+}
+
+/// Build the SYN-retransmission histogram over all connections.
+pub fn syn_retx_histogram(ds: &Dataset) -> SynRetxHistogram {
+    let mut h = SynRetxHistogram::default();
+    for c in &ds.connections {
+        let bucket = usize::from(c.syn_retransmissions).min(4);
+        if c.failed() {
+            h.failed[bucket] += 1;
+        } else {
+            h.ok[bucket] += 1;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use model::{ClientId, SiteId};
+
+    #[test]
+    fn breakdown_counts_kinds() {
+        let mut w = SynthWorld::new(2, 1, 1);
+        w.set_category(ClientId(1), ClientCategory::Broadband);
+        // PL client: 6 no-conn, 2 no-resp, 2 partial, plus 10 successes.
+        for _ in 0..6 {
+            w.add_conn(ClientId(0), SiteId(0), 0, Err(TcpFailureKind::NoConnection));
+        }
+        for _ in 0..2 {
+            w.add_conn(ClientId(0), SiteId(0), 0, Err(TcpFailureKind::NoResponse));
+        }
+        for _ in 0..2 {
+            w.add_conn(ClientId(0), SiteId(0), 0, Err(TcpFailureKind::PartialResponse));
+        }
+        w.add_conn_batch(ClientId(0), SiteId(0), 0, 10, 0);
+        // BB client: traces missing → merged kind.
+        for _ in 0..3 {
+            w.add_conn(
+                ClientId(1),
+                SiteId(0),
+                0,
+                Err(TcpFailureKind::NoOrPartialResponse),
+            );
+        }
+        w.add_conn(ClientId(1), SiteId(0), 0, Err(TcpFailureKind::NoConnection));
+        let ds = w.finish();
+
+        let pl = tcp_breakdown(&ds, ClientCategory::PlanetLab);
+        assert_eq!(pl.total, 10);
+        assert!((pl.no_connection_share() - 0.6).abs() < 1e-12);
+        assert!((pl.no_response_share() - 0.2).abs() < 1e-12);
+        assert!((pl.partial_response_share() - 0.2).abs() < 1e-12);
+        assert_eq!(pl.no_or_partial, 0);
+
+        let bb = tcp_breakdown(&ds, ClientCategory::Broadband);
+        assert_eq!(bb.total, 4);
+        assert!((bb.no_or_partial_share() - 0.75).abs() < 1e-12);
+        assert!((bb.no_connection_share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syn_histogram_buckets_and_shares() {
+        let mut w = SynthWorld::new(1, 1, 1);
+        // Successful connections have syn_retx 0 in the synthetic builder;
+        // failed ones have 3.
+        w.add_conn_batch(ClientId(0), SiteId(0), 0, 20, 5);
+        let ds = w.finish();
+        let h = syn_retx_histogram(&ds);
+        assert_eq!(h.ok[0], 15);
+        assert_eq!(h.failed[3], 5);
+        assert_eq!(h.ok_retx_share(), 0.0);
+        assert!((h.failed_exhausted_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syn_histogram_empty() {
+        let ds = SynthWorld::new(1, 1, 1).finish();
+        let h = syn_retx_histogram(&ds);
+        assert_eq!(h.ok_retx_share(), 0.0);
+        assert_eq!(h.failed_exhausted_share(), 0.0);
+    }
+
+    #[test]
+    fn figure3_covers_all_categories() {
+        let ds = SynthWorld::new(1, 1, 1).finish();
+        let f3 = figure3(&ds);
+        assert_eq!(f3.len(), 4);
+        assert!(f3.iter().all(|(_, b)| b.total == 0));
+        assert_eq!(f3[0].1.no_connection_share(), 0.0, "empty is 0, not NaN");
+    }
+}

@@ -1,0 +1,127 @@
+//! Lookup/download timing summaries.
+//!
+//! The performance records carry the DNS lookup time and download time of
+//! every transaction (Section 3.5). The paper focuses on failures and uses
+//! timing only in passing; this module summarizes the timing side so the
+//! dataset is fully exploitable — per-category quantiles for successful
+//! transactions, with dialup's modem latencies and the international RTT
+//! penalty visible in the tails.
+
+use model::{ClientCategory, Dataset};
+
+/// Empirical quantiles of a sample, in milliseconds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuantilesMs {
+    pub samples: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+impl QuantilesMs {
+    /// Compute from raw millisecond samples.
+    pub fn from_samples(mut values: Vec<f64>) -> QuantilesMs {
+        if values.is_empty() {
+            return QuantilesMs::default();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let at = |q: f64| {
+            let pos = q * (values.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        };
+        QuantilesMs {
+            samples: values.len(),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+        }
+    }
+}
+
+/// Timing summary for one client category.
+#[derive(Clone, Debug, Default)]
+pub struct TimingSummary {
+    /// DNS lookup times of successful lookups (cache hits included).
+    pub dns: QuantilesMs,
+    /// Download times of successful transactions.
+    pub download: QuantilesMs,
+}
+
+/// Summarize per category over successful transactions.
+pub fn timing_by_category(ds: &Dataset) -> Vec<(ClientCategory, TimingSummary)> {
+    ClientCategory::ALL
+        .iter()
+        .map(|&cat| {
+            let mut dns = Vec::new();
+            let mut download = Vec::new();
+            for r in &ds.records {
+                if ds.client(r.client).category != cat || r.failed() {
+                    continue;
+                }
+                if let Ok(d) = r.dns {
+                    // Proxied clients record zero (the proxy resolves).
+                    if !d.is_zero() {
+                        dns.push(d.as_micros() as f64 / 1_000.0);
+                    }
+                }
+                if let Some(d) = r.download_time {
+                    download.push(d.as_micros() as f64 / 1_000.0);
+                }
+            }
+            (
+                cat,
+                TimingSummary {
+                    dns: QuantilesMs::from_samples(dns),
+                    download: QuantilesMs::from_samples(download),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SynthWorld;
+    use model::{ClientId, SiteId};
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let q = QuantilesMs::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(q.samples, 100);
+        assert!((q.mean - 50.5).abs() < 1e-9);
+        assert!((q.p50 - 50.5).abs() < 1e-9);
+        assert!((q.p90 - 90.1).abs() < 1e-9);
+        assert!((q.p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        assert_eq!(QuantilesMs::from_samples(Vec::new()), QuantilesMs::default());
+    }
+
+    #[test]
+    fn per_category_split_and_failure_exclusion() {
+        let mut w = SynthWorld::new(2, 1, 2);
+        w.set_category(ClientId(1), ClientCategory::Dialup);
+        // 10 successes per client (synthetic: dns 30 ms, download 800 ms)
+        // plus failures that must not count.
+        w.add_txn_batch(ClientId(0), SiteId(0), 0, 10, 0);
+        w.add_txn_batch(ClientId(0), SiteId(0), 1, 5, 5);
+        w.add_txn_batch(ClientId(1), SiteId(0), 0, 10, 0);
+        let ds = w.finish();
+        let t = timing_by_category(&ds);
+        let pl = &t.iter().find(|(c, _)| *c == ClientCategory::PlanetLab).unwrap().1;
+        assert_eq!(pl.dns.samples, 10);
+        assert_eq!(pl.download.samples, 10);
+        assert!((pl.dns.p50 - 30.0).abs() < 1e-9);
+        assert!((pl.download.p50 - 800.0).abs() < 1e-9);
+        let bb = &t.iter().find(|(c, _)| *c == ClientCategory::Broadband).unwrap().1;
+        assert_eq!(bb.dns.samples, 0);
+    }
+}

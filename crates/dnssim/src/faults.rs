@@ -1,0 +1,63 @@
+//! The fault interface between the ground-truth model and the resolver.
+
+use dnswire::DomainName;
+use model::{DnsErrorCode, SimTime};
+
+/// Answers the resolver's reachability/health questions at any instant.
+///
+/// Implemented by the experiment's ground-truth fault model (`workload`);
+/// [`NoFaults`] is the healthy default used in unit tests and examples.
+///
+/// All methods take the query instant so implementations can be backed by
+/// pre-materialized [`netsim::Timeline`]s and shared immutably across
+/// threads.
+pub trait DnsFaults {
+    /// Is the client's access link (client ↔ LDNS direction) usable?
+    fn client_link_up(&self, t: SimTime) -> bool {
+        let _ = t;
+        true
+    }
+
+    /// Is the client's local DNS server up and responsive?
+    fn ldns_up(&self, t: SimTime) -> bool {
+        let _ = t;
+        true
+    }
+
+    /// Are the authoritative servers for `zone_apex` reachable? (`false`
+    /// produces non-LDNS timeouts for names under that zone.)
+    fn auth_up(&self, zone_apex: &DomainName, t: SimTime) -> bool {
+        let _ = (zone_apex, t);
+        true
+    }
+
+    /// Misconfiguration of the zone: return an error code the authoritative
+    /// server sends instead of an answer (e.g. the paper's broken
+    /// `www.brazzil.com` servers returning SERVFAIL/NXDOMAIN).
+    fn zone_error(&self, zone_apex: &DomainName, t: SimTime) -> Option<DnsErrorCode> {
+        let _ = (zone_apex, t);
+        None
+    }
+}
+
+/// A fault view where everything is always healthy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl DnsFaults for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_healthy() {
+        let f = NoFaults;
+        let t = SimTime::from_hours(100);
+        let apex: DomainName = "example.com".parse().unwrap();
+        assert!(f.client_link_up(t));
+        assert!(f.ldns_up(t));
+        assert!(f.auth_up(&apex, t));
+        assert_eq!(f.zone_error(&apex, t), None);
+    }
+}

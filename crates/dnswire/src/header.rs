@@ -1,0 +1,253 @@
+//! The 12-octet DNS message header (RFC 1035 §4.1.1).
+
+use crate::error::WireError;
+use crate::wire::{WireReader, WireWriter};
+use std::fmt;
+
+/// Query/operation kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Opcode {
+    #[default]
+    Query,
+    InverseQuery,
+    Status,
+    /// Opcodes we don't model, preserved numerically.
+    Other(u8),
+}
+
+impl Opcode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::InverseQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Other(v) => v & 0x0F,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::InverseQuery,
+            2 => Opcode::Status,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Response code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Rcode {
+    #[default]
+    NoError,
+    FormErr,
+    ServFail,
+    NxDomain,
+    NotImp,
+    Refused,
+    Other(u8),
+}
+
+impl Rcode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(v) => v & 0x0F,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Self {
+        match v & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+
+    /// Is this an error response?
+    pub fn is_error(self) -> bool {
+        self != Rcode::NoError
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rcode::NoError => "NOERROR",
+            Rcode::FormErr => "FORMERR",
+            Rcode::ServFail => "SERVFAIL",
+            Rcode::NxDomain => "NXDOMAIN",
+            Rcode::NotImp => "NOTIMP",
+            Rcode::Refused => "REFUSED",
+            Rcode::Other(v) => return write!(f, "RCODE{v}"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// Decoded header, including the four section counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Header {
+    pub id: u16,
+    /// QR: true for responses.
+    pub is_response: bool,
+    pub opcode: Opcode,
+    /// AA: authoritative answer.
+    pub authoritative: bool,
+    /// TC: truncated.
+    pub truncated: bool,
+    /// RD: recursion desired.
+    pub recursion_desired: bool,
+    /// RA: recursion available.
+    pub recursion_available: bool,
+    pub rcode: Rcode,
+    pub qdcount: u16,
+    pub ancount: u16,
+    pub nscount: u16,
+    pub arcount: u16,
+}
+
+impl Header {
+    pub const WIRE_LEN: usize = 12;
+
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u16(self.id);
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        flags |= u16::from(self.opcode.to_u8()) << 11;
+        if self.authoritative {
+            flags |= 0x0400;
+        }
+        if self.truncated {
+            flags |= 0x0200;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.recursion_available {
+            flags |= 0x0080;
+        }
+        flags |= u16::from(self.rcode.to_u8());
+        w.put_u16(flags);
+        w.put_u16(self.qdcount);
+        w.put_u16(self.ancount);
+        w.put_u16(self.nscount);
+        w.put_u16(self.arcount);
+    }
+
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Header, WireError> {
+        let id = r.get_u16()?;
+        let flags = r.get_u16()?;
+        Ok(Header {
+            id,
+            is_response: flags & 0x8000 != 0,
+            opcode: Opcode::from_u8((flags >> 11) as u8),
+            authoritative: flags & 0x0400 != 0,
+            truncated: flags & 0x0200 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            rcode: Rcode::from_u8(flags as u8),
+            qdcount: r.get_u16()?,
+            ancount: r.get_u16()?,
+            nscount: r.get_u16()?,
+            arcount: r.get_u16()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_flags() {
+        let h = Header {
+            id: 0xABCD,
+            is_response: true,
+            opcode: Opcode::Status,
+            authoritative: true,
+            truncated: true,
+            recursion_desired: true,
+            recursion_available: true,
+            rcode: Rcode::Refused,
+            qdcount: 1,
+            ancount: 2,
+            nscount: 3,
+            arcount: 4,
+        };
+        let mut w = WireWriter::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), Header::WIRE_LEN);
+        let decoded = Header::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn roundtrip_defaults() {
+        let h = Header {
+            id: 7,
+            qdcount: 1,
+            ..Header::default()
+        };
+        let mut w = WireWriter::new();
+        h.encode(&mut w);
+        let decoded = Header::decode(&mut WireReader::new(&w.into_bytes())).unwrap();
+        assert_eq!(decoded, h);
+        assert!(!decoded.is_response);
+        assert_eq!(decoded.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn truncated_header_errors() {
+        let bytes = [0u8; 11];
+        assert_eq!(
+            Header::decode(&mut WireReader::new(&bytes)).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn opcode_rcode_numeric_mapping() {
+        for v in 0..16u8 {
+            assert_eq!(Opcode::from_u8(v).to_u8(), v);
+            assert_eq!(Rcode::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn rcode_error_predicate_and_display() {
+        assert!(!Rcode::NoError.is_error());
+        assert!(Rcode::NxDomain.is_error());
+        assert_eq!(Rcode::ServFail.to_string(), "SERVFAIL");
+        assert_eq!(Rcode::Other(9).to_string(), "RCODE9");
+    }
+
+    #[test]
+    fn known_wire_image() {
+        // Standard recursive query header: id=0x0102, RD set, one question.
+        let h = Header {
+            id: 0x0102,
+            recursion_desired: true,
+            qdcount: 1,
+            ..Header::default()
+        };
+        let mut w = WireWriter::new();
+        h.encode(&mut w);
+        assert_eq!(
+            w.into_bytes(),
+            vec![0x01, 0x02, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0]
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Domain names.
+//!
+//! A [`DomainName`] is a sequence of labels, stored lowercased (DNS name
+//! comparison is case-insensitive; we canonicalize at construction). The
+//! root name has zero labels and prints as `.`.
+
+use crate::error::WireError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of one label on the wire.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum total length of an encoded name (labels + length octets + root).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A validated, canonicalized (lowercase) domain name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainName {
+    /// Labels in left-to-right order, e.g. `["www", "example", "com"]`.
+    labels: Vec<Box<[u8]>>,
+}
+
+impl DomainName {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        DomainName { labels: Vec::new() }
+    }
+
+    /// Build from label byte strings; validates lengths and characters.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out: Vec<Box<[u8]>> = Vec::new();
+        let mut wire_len = 1; // trailing root octet
+        for label in labels {
+            let label = label.as_ref();
+            if label.is_empty() {
+                return Err(WireError::EmptyLabel);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            for &b in label {
+                if !is_hostname_byte(b) {
+                    return Err(WireError::BadLabelByte(b));
+                }
+            }
+            wire_len += 1 + label.len();
+            out.push(
+                label
+                    .iter()
+                    .map(|b| b.to_ascii_lowercase())
+                    .collect::<Vec<u8>>()
+                    .into_boxed_slice(),
+            );
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire_len));
+        }
+        Ok(DomainName { labels: out })
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels, leftmost (host) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_ref())
+    }
+
+    /// Encoded wire length (sum of labels + length octets + root octet).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// The parent domain (this name with its leftmost label removed);
+    /// `None` for the root.
+    pub fn parent(&self) -> Option<DomainName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DomainName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Is `self` equal to or a subdomain of `ancestor`?
+    pub fn is_subdomain_of(&self, ancestor: &DomainName) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - ancestor.labels.len();
+        self.labels[offset..] == ancestor.labels[..]
+    }
+
+    /// All ancestor zones from the root down to the name itself:
+    /// `www.example.com` → `[".", "com", "example.com", "www.example.com"]`.
+    pub fn hierarchy(&self) -> Vec<DomainName> {
+        let mut out = Vec::with_capacity(self.labels.len() + 1);
+        for take in 0..=self.labels.len() {
+            out.push(DomainName {
+                labels: self.labels[self.labels.len() - take..].to_vec(),
+            });
+        }
+        out
+    }
+
+    /// Prepend a label: `child("www")` on `example.com` → `www.example.com`.
+    pub fn child(&self, label: &str) -> Result<DomainName, WireError> {
+        let mut labels: Vec<&[u8]> = vec![label.as_bytes()];
+        labels.extend(self.labels.iter().map(|l| l.as_ref()));
+        DomainName::from_labels(labels)
+    }
+}
+
+/// Permitted bytes: letters, digits, hyphen and underscore (the latter is
+/// common in practice, e.g. `_dmarc`).
+fn is_hostname_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            // Labels are validated ASCII.
+            f.write_str(std::str::from_utf8(label).expect("validated ascii"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DomainName({self})")
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = WireError;
+
+    /// Parse dotted notation; a single trailing dot (FQDN form) is allowed,
+    /// `"."` and `""` denote the root.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(DomainName::root());
+        }
+        DomainName::from_labels(s.split('.'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n: DomainName = "WWW.Example.COM".parse().unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn root_forms() {
+        assert!(".".parse::<DomainName>().unwrap().is_root());
+        assert!("".parse::<DomainName>().unwrap().is_root());
+        assert_eq!(DomainName::root().to_string(), ".");
+        assert_eq!(DomainName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn fqdn_trailing_dot() {
+        let a: DomainName = "example.com.".parse().unwrap();
+        let b: DomainName = "example.com".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(
+            "a..b".parse::<DomainName>().unwrap_err(),
+            WireError::EmptyLabel
+        );
+        assert!(matches!(
+            "exa mple.com".parse::<DomainName>().unwrap_err(),
+            WireError::BadLabelByte(b' ')
+        ));
+        let long = "x".repeat(64);
+        assert_eq!(
+            long.parse::<DomainName>().unwrap_err(),
+            WireError::LabelTooLong(64)
+        );
+    }
+
+    #[test]
+    fn rejects_overlong_name() {
+        // 5 labels of 63 bytes: wire length 5*64 + 1 = 321 > 255.
+        let name = (0..5).map(|_| "y".repeat(63)).collect::<Vec<_>>().join(".");
+        assert!(matches!(
+            name.parse::<DomainName>().unwrap_err(),
+            WireError::NameTooLong(_)
+        ));
+    }
+
+    #[test]
+    fn wire_len_counts_octets() {
+        let n: DomainName = "www.example.com".parse().unwrap();
+        // 3+1 + 7+1 + 3+1 + 1 = 17
+        assert_eq!(n.wire_len(), 17);
+    }
+
+    #[test]
+    fn parent_chain() {
+        let n: DomainName = "a.b.c".parse().unwrap();
+        let p = n.parent().unwrap();
+        assert_eq!(p.to_string(), "b.c");
+        assert_eq!(p.parent().unwrap().to_string(), "c");
+        assert!(p.parent().unwrap().parent().unwrap().is_root());
+        assert_eq!(DomainName::root().parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let com: DomainName = "com".parse().unwrap();
+        let ex: DomainName = "example.com".parse().unwrap();
+        let www: DomainName = "www.example.com".parse().unwrap();
+        let org: DomainName = "example.org".parse().unwrap();
+        assert!(www.is_subdomain_of(&ex));
+        assert!(www.is_subdomain_of(&com));
+        assert!(www.is_subdomain_of(&DomainName::root()));
+        assert!(ex.is_subdomain_of(&ex));
+        assert!(!ex.is_subdomain_of(&www));
+        assert!(!org.is_subdomain_of(&com) || org.to_string().ends_with("com"));
+        assert!(!www.is_subdomain_of(&org));
+    }
+
+    #[test]
+    fn hierarchy_walk() {
+        let n: DomainName = "www.example.com".parse().unwrap();
+        let h = n.hierarchy();
+        let strs: Vec<String> = h.iter().map(|d| d.to_string()).collect();
+        assert_eq!(strs, vec![".", "com", "example.com", "www.example.com"]);
+    }
+
+    #[test]
+    fn child_prepends() {
+        let ex: DomainName = "example.com".parse().unwrap();
+        assert_eq!(ex.child("www").unwrap().to_string(), "www.example.com");
+        assert!(ex.child("bad label").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_equality_via_canonicalization() {
+        let a: DomainName = "MiXeD.CaSe.Org".parse().unwrap();
+        let b: DomainName = "mixed.case.org".parse().unwrap();
+        assert_eq!(a, b);
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn underscore_allowed() {
+        let n: DomainName = "_dmarc.example.com".parse().unwrap();
+        assert_eq!(n.label_count(), 3);
+    }
+}

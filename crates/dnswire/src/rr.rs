@@ -1,0 +1,428 @@
+//! Resource records (RFC 1035 §3.2, plus AAAA from RFC 3596).
+
+use crate::error::WireError;
+use crate::name::DomainName;
+use crate::wire::{WireReader, WireWriter};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Record types we model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RecordType {
+    A,
+    Ns,
+    Cname,
+    Soa,
+    Ptr,
+    Mx,
+    Txt,
+    Aaaa,
+    /// Unmodeled types survive decoding with opaque RDATA.
+    Other(u16),
+}
+
+impl RecordType {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::A => "A",
+            RecordType::Ns => "NS",
+            RecordType::Cname => "CNAME",
+            RecordType::Soa => "SOA",
+            RecordType::Ptr => "PTR",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+            RecordType::Aaaa => "AAAA",
+            RecordType::Other(v) => return write!(f, "TYPE{v}"),
+        };
+        f.write_str(s)
+    }
+}
+
+/// Record classes. Only IN is used by the study; others survive decode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RecordClass {
+    #[default]
+    In,
+    Ch,
+    Hs,
+    Other(u16),
+}
+
+impl RecordClass {
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Ch => 3,
+            RecordClass::Hs => 4,
+            RecordClass::Other(v) => v,
+        }
+    }
+
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordClass::In,
+            3 => RecordClass::Ch,
+            4 => RecordClass::Hs,
+            other => RecordClass::Other(other),
+        }
+    }
+}
+
+/// SOA RDATA fields.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SoaData {
+    pub mname: DomainName,
+    pub rname: DomainName,
+    pub serial: u32,
+    pub refresh: u32,
+    pub retry: u32,
+    pub expire: u32,
+    pub minimum: u32,
+}
+
+/// Typed RDATA.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RData {
+    A(Ipv4Addr),
+    Ns(DomainName),
+    Cname(DomainName),
+    Soa(Box<SoaData>),
+    Ptr(DomainName),
+    Mx { preference: u16, exchange: DomainName },
+    Txt(Vec<u8>),
+    Aaaa(Ipv6Addr),
+    /// Opaque payload for unmodeled types.
+    Opaque(Vec<u8>),
+}
+
+impl RData {
+    /// The record type this RDATA belongs to (Opaque needs external typing).
+    pub fn record_type(&self) -> Option<RecordType> {
+        match self {
+            RData::A(_) => Some(RecordType::A),
+            RData::Ns(_) => Some(RecordType::Ns),
+            RData::Cname(_) => Some(RecordType::Cname),
+            RData::Soa(_) => Some(RecordType::Soa),
+            RData::Ptr(_) => Some(RecordType::Ptr),
+            RData::Mx { .. } => Some(RecordType::Mx),
+            RData::Txt(_) => Some(RecordType::Txt),
+            RData::Aaaa(_) => Some(RecordType::Aaaa),
+            RData::Opaque(_) => None,
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResourceRecord {
+    pub name: DomainName,
+    pub rtype: RecordType,
+    pub class: RecordClass,
+    pub ttl: u32,
+    pub rdata: RData,
+}
+
+impl ResourceRecord {
+    /// Convenience constructor for IN-class records, deriving the type from
+    /// the RDATA (panics on `Opaque`; use the struct literal for those).
+    pub fn new(name: DomainName, ttl: u32, rdata: RData) -> Self {
+        let rtype = rdata
+            .record_type()
+            .expect("use struct literal for opaque rdata");
+        ResourceRecord {
+            name,
+            rtype,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    pub fn encode(&self, w: &mut WireWriter) {
+        self.name_section_prefix(w);
+        // Reserve RDLENGTH and patch after writing RDATA.
+        let len_at = w.len();
+        w.put_u16(0);
+        let start = w.len();
+        match &self.rdata {
+            RData::A(a) => w.put_bytes(&a.octets()),
+            RData::Aaaa(a) => w.put_bytes(&a.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => w.put_name(n),
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                w.put_u16(*preference);
+                w.put_name(exchange);
+            }
+            RData::Soa(soa) => {
+                w.put_name(&soa.mname);
+                w.put_name(&soa.rname);
+                w.put_u32(soa.serial);
+                w.put_u32(soa.refresh);
+                w.put_u32(soa.retry);
+                w.put_u32(soa.expire);
+                w.put_u32(soa.minimum);
+            }
+            RData::Txt(bytes) => {
+                // character-strings of ≤255 octets each
+                for chunk in bytes.chunks(255) {
+                    w.put_u8(chunk.len() as u8);
+                    w.put_bytes(chunk);
+                }
+            }
+            RData::Opaque(bytes) => w.put_bytes(bytes),
+        }
+        let rdlen = w.len() - start;
+        w.patch_u16(len_at, rdlen as u16);
+    }
+
+    fn name_section_prefix(&self, w: &mut WireWriter) {
+        w.put_name(&self.name);
+        w.put_u16(self.rtype.to_u16());
+        w.put_u16(self.class.to_u16());
+        w.put_u32(self.ttl);
+    }
+
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ResourceRecord, WireError> {
+        let name = r.get_name()?;
+        let rtype = RecordType::from_u16(r.get_u16()?);
+        let class = RecordClass::from_u16(r.get_u16()?);
+        let ttl = r.get_u32()?;
+        let rdlen = r.get_u16()? as usize;
+        if r.remaining() < rdlen {
+            return Err(WireError::Truncated);
+        }
+        let end = r.pos() + rdlen;
+        let rdata = match rtype {
+            RecordType::A => {
+                let b = r.get_slice(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::Aaaa => {
+                let b = r.get_slice(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            RecordType::Ns => RData::Ns(r.get_name()?),
+            RecordType::Cname => RData::Cname(r.get_name()?),
+            RecordType::Ptr => RData::Ptr(r.get_name()?),
+            RecordType::Mx => RData::Mx {
+                preference: r.get_u16()?,
+                exchange: r.get_name()?,
+            },
+            RecordType::Soa => RData::Soa(Box::new(SoaData {
+                mname: r.get_name()?,
+                rname: r.get_name()?,
+                serial: r.get_u32()?,
+                refresh: r.get_u32()?,
+                retry: r.get_u32()?,
+                expire: r.get_u32()?,
+                minimum: r.get_u32()?,
+            })),
+            RecordType::Txt => {
+                let mut out = Vec::with_capacity(rdlen);
+                while r.pos() < end {
+                    let n = r.get_u8()? as usize;
+                    out.extend_from_slice(r.get_slice(n)?);
+                }
+                RData::Txt(out)
+            }
+            RecordType::Other(_) => RData::Opaque(r.get_slice(rdlen)?.to_vec()),
+        };
+        if r.pos() != end {
+            return Err(WireError::RdataLengthMismatch {
+                declared: rdlen as u16,
+                actual: rdlen - (end - r.pos()),
+            });
+        }
+        Ok(ResourceRecord {
+            name,
+            rtype,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(rr: &ResourceRecord) -> ResourceRecord {
+        let mut w = WireWriter::new();
+        rr.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = ResourceRecord::decode(&mut r).unwrap();
+        assert!(r.is_at_end(), "reader must consume exactly the record");
+        decoded
+    }
+
+    #[test]
+    fn a_record_roundtrip() {
+        let rr = ResourceRecord::new(
+            name("www.example.com"),
+            300,
+            RData::A(Ipv4Addr::new(203, 0, 113, 7)),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn aaaa_record_roundtrip() {
+        let rr = ResourceRecord::new(
+            name("v6.example.com"),
+            60,
+            RData::Aaaa("2001:db8::1".parse().unwrap()),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn ns_cname_ptr_roundtrip() {
+        for rdata in [
+            RData::Ns(name("ns1.example.net")),
+            RData::Cname(name("alias.example.org")),
+            RData::Ptr(name("host.example.com")),
+        ] {
+            let rr = ResourceRecord::new(name("x.example.com"), 3600, rdata);
+            assert_eq!(roundtrip(&rr), rr);
+        }
+    }
+
+    #[test]
+    fn mx_roundtrip() {
+        let rr = ResourceRecord::new(
+            name("example.com"),
+            3600,
+            RData::Mx {
+                preference: 10,
+                exchange: name("mail.example.com"),
+            },
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let rr = ResourceRecord::new(
+            name("example.com"),
+            86400,
+            RData::Soa(Box::new(SoaData {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 2005010100,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            })),
+        );
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn txt_roundtrip_multi_chunk() {
+        let payload: Vec<u8> = (0..600).map(|i| (i % 251) as u8)
+            .map(|b| if b.is_ascii() { b } else { b'a' })
+            .collect();
+        let rr = ResourceRecord::new(name("t.example.com"), 60, RData::Txt(payload.clone()));
+        let decoded = roundtrip(&rr);
+        match decoded.rdata {
+            RData::Txt(got) => assert_eq!(got, payload),
+            other => panic!("wrong rdata {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_unknown_type_roundtrip() {
+        let rr = ResourceRecord {
+            name: name("u.example.com"),
+            rtype: RecordType::Other(99),
+            class: RecordClass::In,
+            ttl: 5,
+            rdata: RData::Opaque(vec![1, 2, 3, 4, 5]),
+        };
+        assert_eq!(roundtrip(&rr), rr);
+    }
+
+    #[test]
+    fn rdata_length_mismatch_detected() {
+        // Hand-craft an A record whose RDLENGTH says 6 but RDATA is 4.
+        let mut w = WireWriter::new();
+        w.put_name(&name("a.b"));
+        w.put_u16(RecordType::A.to_u16());
+        w.put_u16(RecordClass::In.to_u16());
+        w.put_u32(1);
+        w.put_u16(6);
+        w.put_bytes(&[1, 2, 3, 4, 0, 0]);
+        let bytes = w.into_bytes();
+        let err = ResourceRecord::decode(&mut WireReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, WireError::RdataLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_rdata_detected() {
+        let mut w = WireWriter::new();
+        w.put_name(&name("a.b"));
+        w.put_u16(RecordType::A.to_u16());
+        w.put_u16(RecordClass::In.to_u16());
+        w.put_u32(1);
+        w.put_u16(4);
+        w.put_bytes(&[1, 2]); // short
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ResourceRecord::decode(&mut WireReader::new(&bytes)).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn type_and_class_numeric_mapping() {
+        for v in [1u16, 2, 5, 6, 12, 15, 16, 28, 99, 255] {
+            assert_eq!(RecordType::from_u16(v).to_u16(), v);
+        }
+        for v in [1u16, 3, 4, 255] {
+            assert_eq!(RecordClass::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(RecordType::A.to_string(), "A");
+        assert_eq!(RecordType::Other(99).to_string(), "TYPE99");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the DNS wire codec: arbitrary valid messages
+//! round-trip exactly, and the decoder never panics on arbitrary bytes.
+
+use dnswire::{DomainName, Message, RData, RecordType, ResourceRecord};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Strategy for a valid hostname label (1–20 chars from the DNS alphabet).
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_-]{1,20}").expect("valid regex")
+}
+
+/// Strategy for a valid domain name with 1–5 labels.
+fn domain_name() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(label(), 1..=5)
+        .prop_map(|labels| DomainName::from_labels(labels).expect("labels validated"))
+}
+
+fn rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        domain_name().prop_map(RData::Ns),
+        domain_name().prop_map(RData::Cname),
+        domain_name().prop_map(RData::Ptr),
+        (any::<u16>(), domain_name())
+            .prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
+        proptest::collection::vec(any::<u8>(), 0..300).prop_map(RData::Txt),
+    ]
+}
+
+fn record() -> impl Strategy<Value = ResourceRecord> {
+    (domain_name(), any::<u32>(), rdata())
+        .prop_map(|(name, ttl, rdata)| ResourceRecord::new(name, ttl, rdata))
+}
+
+proptest! {
+    #[test]
+    fn name_parse_display_roundtrip(labels in proptest::collection::vec(label(), 0..5)) {
+        let name = DomainName::from_labels(labels).unwrap();
+        let reparsed: DomainName = name.to_string().parse().unwrap();
+        prop_assert_eq!(name, reparsed);
+    }
+
+    #[test]
+    fn message_roundtrip(
+        id in any::<u16>(),
+        qname in domain_name(),
+        answers in proptest::collection::vec(record(), 0..8),
+        authority in proptest::collection::vec(record(), 0..4),
+        additional in proptest::collection::vec(record(), 0..4),
+    ) {
+        let mut m = Message::query(id, qname, RecordType::A).response_from_query();
+        m.answers = answers;
+        m.authority = authority;
+        m.additional = additional;
+        let bytes = m.encode().unwrap();
+        let decoded = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.header.id, id);
+        prop_assert_eq!(decoded.questions, m.questions);
+        prop_assert_eq!(decoded.answers, m.answers);
+        prop_assert_eq!(decoded.authority, m.authority);
+        prop_assert_eq!(decoded.additional, m.additional);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any result is fine; panicking or looping is not.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_reencode_stability(
+        qname in domain_name(),
+        answers in proptest::collection::vec(record(), 0..6),
+    ) {
+        // decode(encode(m)) re-encodes to identical bytes (canonical form).
+        let mut m = Message::query(1, qname, RecordType::A).response_from_query();
+        m.answers = answers;
+        let bytes = m.encode().unwrap();
+        let decoded = Message::decode(&bytes).unwrap();
+        let bytes2 = decoded.encode().unwrap();
+        prop_assert_eq!(bytes, bytes2);
+    }
+}

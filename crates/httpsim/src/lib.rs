@@ -1,0 +1,24 @@
+//! HTTP object model for the simulated web measurement.
+//!
+//! Three pieces:
+//!
+//! * [`message`] — a small, hardened HTTP/1.1 text codec (request line,
+//!   status line, headers, `Content-Length` framing). The simulated clients
+//!   and origins exchange real header bytes, including the
+//!   `Cache-Control: no-cache` request directive the paper's corporate
+//!   clients set to punch through their proxies.
+//! * [`origin`] — origin-server semantics: index-object responses, redirect
+//!   chains (the reason connection counts exceed transaction counts in
+//!   Table 3), and HTTP error statuses.
+//! * [`semantics`] — status-code classification helpers.
+//!
+//! TCP-level behaviour (whether the connection works at all) lives in
+//! `tcpsim`; this crate only decides *what* a reachable origin says.
+
+pub mod message;
+pub mod origin;
+pub mod semantics;
+
+pub use message::{HttpError, HttpRequest, HttpResponse};
+pub use origin::{Origin, OriginAnswer};
+pub use semantics::{is_client_error, is_redirect, is_server_error, is_success, StatusClass};

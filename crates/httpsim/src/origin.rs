@@ -1,0 +1,190 @@
+//! Origin-server response semantics.
+//!
+//! Decides what a *reachable* origin says to a request: the index object, a
+//! redirect hop, or an HTTP error. Redirect chains are how the measurement's
+//! connection counts exceed its transaction counts (Table 3); HTTP errors
+//! are the rare (<2% of failures) third failure class of Section 2.1.
+
+use crate::message::{HttpRequest, HttpResponse};
+use netsim::SimRng;
+
+/// Static description of a website's HTTP behaviour.
+#[derive(Clone, Debug)]
+pub struct Origin {
+    /// Canonical hostname serving the content.
+    pub host: String,
+    /// Size of the top-level index object.
+    pub index_bytes: u64,
+    /// Hosts that 302 to the next hop (e.g. `example.com` →
+    /// `www.example.com`); position i redirects to position i+1, the last
+    /// redirects to `host`.
+    pub redirect_hosts: Vec<String>,
+    /// Probability a request draws a transient HTTP error (e.g. 503).
+    pub http_error_rate: f64,
+    /// The error status used when one fires.
+    pub http_error_status: u16,
+}
+
+impl Origin {
+    /// A plain site serving `index_bytes` from `host` with no redirects.
+    pub fn simple(host: &str, index_bytes: u64) -> Origin {
+        Origin {
+            host: host.to_string(),
+            index_bytes,
+            redirect_hosts: Vec::new(),
+            http_error_rate: 0.0,
+            http_error_status: 503,
+        }
+    }
+
+    /// Add a redirect chain in front of the canonical host.
+    pub fn with_redirects(mut self, hosts: Vec<String>) -> Origin {
+        self.redirect_hosts = hosts;
+        self
+    }
+
+    /// Set the transient HTTP error rate.
+    pub fn with_error_rate(mut self, rate: f64, status: u16) -> Origin {
+        self.http_error_rate = rate;
+        self.http_error_status = status;
+        self
+    }
+
+    /// Total connections a successful transaction needs (redirect hops + 1).
+    pub fn connections_per_transaction(&self) -> u16 {
+        self.redirect_hosts.len() as u16 + 1
+    }
+
+    /// Answer `request` addressed to `requested_host`.
+    pub fn respond(&self, requested_host: &str, request: &HttpRequest, rng: &mut SimRng) -> OriginAnswer {
+        debug_assert_eq!(request.method, "GET");
+        if rng.chance(self.http_error_rate) {
+            return OriginAnswer {
+                response: HttpResponse::error(self.http_error_status, "Service Unavailable"),
+                next_host: None,
+            };
+        }
+        // Redirect hop?
+        if let Some(pos) = self
+            .redirect_hosts
+            .iter()
+            .position(|h| h.eq_ignore_ascii_case(requested_host))
+        {
+            let next = self
+                .redirect_hosts
+                .get(pos + 1)
+                .cloned()
+                .unwrap_or_else(|| self.host.clone());
+            let location = format!("http://{next}/");
+            return OriginAnswer {
+                response: HttpResponse::redirect(302, &location),
+                next_host: Some(next),
+            };
+        }
+        // Canonical content.
+        OriginAnswer {
+            response: HttpResponse::ok(self.index_bytes),
+            next_host: None,
+        }
+    }
+}
+
+/// An origin's answer plus the pre-parsed next hop for redirects.
+#[derive(Clone, Debug)]
+pub struct OriginAnswer {
+    pub response: HttpResponse,
+    /// Host to contact next when the response is a redirect.
+    pub next_host: Option<String>,
+}
+
+impl OriginAnswer {
+    pub fn is_redirect(&self) -> bool {
+        self.next_host.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(host: &str) -> HttpRequest {
+        HttpRequest::get(host, "/", false)
+    }
+
+    #[test]
+    fn simple_site_serves_index() {
+        let o = Origin::simple("www.example.com", 24_000);
+        let mut rng = SimRng::new(1);
+        let a = o.respond("www.example.com", &req("www.example.com"), &mut rng);
+        assert_eq!(a.response.status, 200);
+        assert_eq!(a.response.body_len, 24_000);
+        assert!(!a.is_redirect());
+        assert_eq!(o.connections_per_transaction(), 1);
+    }
+
+    #[test]
+    fn redirect_chain_walks_to_canonical() {
+        let o = Origin::simple("www.example.com", 10_000)
+            .with_redirects(vec!["example.com".to_string()]);
+        let mut rng = SimRng::new(2);
+        let a = o.respond("example.com", &req("example.com"), &mut rng);
+        assert!(a.is_redirect());
+        assert_eq!(a.response.status, 302);
+        assert_eq!(a.next_host.as_deref(), Some("www.example.com"));
+        assert_eq!(
+            a.response.location(),
+            Some("http://www.example.com/")
+        );
+        assert_eq!(o.connections_per_transaction(), 2);
+    }
+
+    #[test]
+    fn multi_hop_redirects() {
+        let o = Origin::simple("final.example.com", 10_000).with_redirects(vec![
+            "example.com".to_string(),
+            "www.example.com".to_string(),
+        ]);
+        let mut rng = SimRng::new(3);
+        let hop1 = o.respond("example.com", &req("example.com"), &mut rng);
+        assert_eq!(hop1.next_host.as_deref(), Some("www.example.com"));
+        let hop2 = o.respond("www.example.com", &req("www.example.com"), &mut rng);
+        assert_eq!(hop2.next_host.as_deref(), Some("final.example.com"));
+        let hop3 = o.respond("final.example.com", &req("final.example.com"), &mut rng);
+        assert!(!hop3.is_redirect());
+        assert_eq!(hop3.response.status, 200);
+        assert_eq!(o.connections_per_transaction(), 3);
+    }
+
+    #[test]
+    fn host_matching_is_case_insensitive() {
+        let o = Origin::simple("www.example.com", 10).with_redirects(vec!["Example.COM".to_string()]);
+        let mut rng = SimRng::new(4);
+        let a = o.respond("example.com", &req("example.com"), &mut rng);
+        assert!(a.is_redirect());
+    }
+
+    #[test]
+    fn http_error_rate_fires() {
+        let o = Origin::simple("e.example.com", 10).with_error_rate(1.0, 503);
+        let mut rng = SimRng::new(5);
+        let a = o.respond("e.example.com", &req("e.example.com"), &mut rng);
+        assert_eq!(a.response.status, 503);
+        assert!(!a.is_redirect());
+    }
+
+    #[test]
+    fn error_rate_frequency() {
+        let o = Origin::simple("e.example.com", 10).with_error_rate(0.2, 500);
+        let mut rng = SimRng::new(6);
+        let errors = (0..10_000)
+            .filter(|_| {
+                o.respond("e.example.com", &req("e.example.com"), &mut rng)
+                    .response
+                    .status
+                    == 500
+            })
+            .count();
+        let rate = errors as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+}

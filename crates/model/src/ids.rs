@@ -1,0 +1,175 @@
+//! Entity identifiers and static categorizations.
+
+use std::fmt;
+
+/// Identifies one measurement client.
+///
+/// The paper's fleet has 134 effective clients (95 PlanetLab, 26 dialup
+/// "virtual" clients, 5+1 corporate, 7 broadband); IDs are dense indexes into
+/// [`crate::Dataset::clients`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub u16);
+
+/// Identifies one target website ("server" in the paper's terminology is the
+/// hostname in the URL; individual server IP addresses are "replicas").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SiteId(pub u16);
+
+/// Identifies one corporate caching proxy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProxyId(pub u16);
+
+/// Identifies one announced BGP prefix in the simulated routing system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PrefixId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ProxyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PrefixId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfx{}", self.0)
+    }
+}
+
+/// The four client populations of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ClientCategory {
+    /// 95 PlanetLab nodes across 64 sites.
+    PlanetLab,
+    /// 5 physical dialup clients × 26 PoPs = 26 virtual clients.
+    Dialup,
+    /// Corporate-network clients behind caching proxies (plus SEAEXT outside).
+    CorpNet,
+    /// Residential DSL/cable clients.
+    Broadband,
+}
+
+impl ClientCategory {
+    /// All categories, in the paper's presentation order.
+    pub const ALL: [ClientCategory; 4] = [
+        ClientCategory::PlanetLab,
+        ClientCategory::Dialup,
+        ClientCategory::CorpNet,
+        ClientCategory::Broadband,
+    ];
+
+    /// The paper's two-letter abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ClientCategory::PlanetLab => "PL",
+            ClientCategory::Dialup => "DU",
+            ClientCategory::CorpNet => "CN",
+            ClientCategory::Broadband => "BB",
+        }
+    }
+}
+
+impl fmt::Display for ClientCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// The six website groups of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SiteCategory {
+    UsEdu,
+    UsPopular,
+    UsMisc,
+    IntlEdu,
+    IntlPopular,
+    IntlMisc,
+}
+
+impl SiteCategory {
+    pub const ALL: [SiteCategory; 6] = [
+        SiteCategory::UsEdu,
+        SiteCategory::UsPopular,
+        SiteCategory::UsMisc,
+        SiteCategory::IntlEdu,
+        SiteCategory::IntlPopular,
+        SiteCategory::IntlMisc,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteCategory::UsEdu => "US-EDU",
+            SiteCategory::UsPopular => "US-POPULAR",
+            SiteCategory::UsMisc => "US-MISC",
+            SiteCategory::IntlEdu => "INTL-EDU",
+            SiteCategory::IntlPopular => "INTL-POPULAR",
+            SiteCategory::IntlMisc => "INTL-MISC",
+        }
+    }
+
+    /// Whether the site is US-based (used by the Table 6 grouping).
+    pub fn is_us(self) -> bool {
+        matches!(
+            self,
+            SiteCategory::UsEdu | SiteCategory::UsPopular | SiteCategory::UsMisc
+        )
+    }
+}
+
+impl fmt::Display for SiteCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(ClientCategory::PlanetLab.to_string(), "PL");
+        assert_eq!(ClientCategory::Dialup.abbrev(), "DU");
+        assert_eq!(SiteCategory::IntlPopular.to_string(), "INTL-POPULAR");
+    }
+
+    #[test]
+    fn us_grouping() {
+        assert!(SiteCategory::UsMisc.is_us());
+        assert!(!SiteCategory::IntlEdu.is_us());
+        assert_eq!(
+            SiteCategory::ALL.iter().filter(|c| c.is_us()).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(ClientId(7).to_string(), "c7");
+        assert_eq!(SiteId(12).to_string(), "s12");
+        assert_eq!(ProxyId(1).to_string(), "p1");
+        assert_eq!(PrefixId(9).to_string(), "pfx9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ClientId(1));
+        set.insert(ClientId(1));
+        set.insert(ClientId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ClientId(1) < ClientId(2));
+    }
+}

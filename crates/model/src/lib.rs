@@ -1,0 +1,28 @@
+//! Shared vocabulary for the end-to-end web access failure study.
+//!
+//! This crate defines the types that every other crate in the workspace
+//! speaks: simulated time, entity identifiers, the failure taxonomy from
+//! Section 2.1 of the paper, the per-transaction and per-connection
+//! measurement records produced by the simulated clients, and the [`Dataset`]
+//! container that the analysis framework (`netprofiler`) consumes.
+//!
+//! It deliberately carries no behaviour beyond small, heavily-tested helpers
+//! (prefix arithmetic, hourly binning, taxonomy accessors) so that the
+//! substrate crates (`netsim`, `dnssim`, `tcpsim`, ...) and the analysis crate
+//! can evolve independently.
+
+pub mod bgp;
+pub mod dataset;
+pub mod failure;
+pub mod ids;
+pub mod net;
+pub mod records;
+pub mod time;
+
+pub use bgp::{BgpHourly, BgpHourlySeries};
+pub use dataset::{ClientMeta, Dataset, SiteMeta};
+pub use failure::{DnsErrorCode, DnsFailureKind, FailureClass, TcpFailureKind};
+pub use ids::{ClientCategory, ClientId, PrefixId, ProxyId, SiteCategory, SiteId};
+pub use net::Ipv4Prefix;
+pub use records::{ConnectionRecord, DigOutcome, PerformanceRecord, TransactionOutcome};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,72 @@
+//! Property-based tests for the shared vocabulary types.
+
+use model::{Ipv4Prefix, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Prefix parse/display round-trips for any normalized prefix.
+    #[test]
+    fn prefix_display_parse_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new(Ipv4Addr::from(addr), len).unwrap();
+        let reparsed: Ipv4Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// The network address is always covered; normalization is idempotent.
+    #[test]
+    fn prefix_contains_own_network(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new(Ipv4Addr::from(addr), len).unwrap();
+        prop_assert!(p.contains(p.network()));
+        let renorm = Ipv4Prefix::new(p.network(), len).unwrap();
+        prop_assert_eq!(p, renorm);
+        prop_assert!(p.contains(Ipv4Addr::from(addr)), "original addr covered");
+    }
+
+    /// Every host enumerated by `host(i)` is inside the prefix.
+    #[test]
+    fn prefix_hosts_are_members(addr in any::<u32>(), len in 8u8..=32, i in any::<u64>()) {
+        let p = Ipv4Prefix::new(Ipv4Addr::from(addr), len).unwrap();
+        prop_assert!(p.contains(p.host(i)));
+    }
+
+    /// covers() is consistent with contains() on the network address and
+    /// is a partial order (reflexive, antisymmetric for distinct prefixes).
+    #[test]
+    fn covers_consistency(a in any::<u32>(), la in 0u8..=32, b in any::<u32>(), lb in 0u8..=32) {
+        let pa = Ipv4Prefix::new(Ipv4Addr::from(a), la).unwrap();
+        let pb = Ipv4Prefix::new(Ipv4Addr::from(b), lb).unwrap();
+        prop_assert!(pa.covers(&pa));
+        if pa.covers(&pb) {
+            prop_assert!(pa.contains(pb.network()));
+            prop_assert!(pb.len() >= pa.len());
+        }
+        if pa.covers(&pb) && pb.covers(&pa) {
+            prop_assert_eq!(pa, pb);
+        }
+    }
+
+    /// Time arithmetic: (t + d) - t == d, hour bins are consistent with
+    /// second arithmetic, and since() saturates.
+    #[test]
+    fn time_arithmetic(t_us in 0u64..3_000_000_000_000, d_us in 0u64..3_000_000_000) {
+        let t = SimTime::from_micros(t_us);
+        let d = SimDuration::from_micros(d_us);
+        let t2 = t + d;
+        prop_assert_eq!(t2 - t, d);
+        prop_assert_eq!(t.since(t2), SimDuration::ZERO);
+        prop_assert_eq!(u64::from(t.hour_bin()), t.as_secs() / 3600);
+        prop_assert!(t2 >= t);
+    }
+
+    /// Duration scaling by integers matches repeated addition.
+    #[test]
+    fn duration_scaling(base_ms in 0u64..100_000, k in 0u64..20) {
+        let d = SimDuration::from_millis(base_ms);
+        let mut acc = SimDuration::ZERO;
+        for _ in 0..k {
+            acc += d;
+        }
+        prop_assert_eq!(d * k, acc);
+    }
+}

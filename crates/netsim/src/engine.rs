@@ -1,0 +1,270 @@
+//! The discrete-event scheduler.
+//!
+//! A minimal, allocation-friendly event queue: events are `(time, payload)`
+//! pairs; [`Scheduler::pop`] delivers them in time order, with FIFO ordering
+//! among events scheduled for the same instant (a monotone sequence number
+//! breaks ties), which is what makes multi-entity simulations deterministic.
+
+use model::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with a simulation clock.
+///
+/// The clock only moves forward: popping an event advances `now()` to the
+/// event's timestamp, and scheduling into the past is rejected.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulation time (timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current simulation time (causality).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedule `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Deliver the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        self.delivered += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Run until the queue is empty or `handler` returns `false`.
+    ///
+    /// The handler may schedule further events through the scheduler it is
+    /// handed back; this is the conventional DES main loop.
+    pub fn run_with<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimTime, E) -> bool,
+    {
+        while let Some((t, e)) = self.pop() {
+            if !handler(self, t, e) {
+                break;
+            }
+        }
+    }
+
+    /// Deliver all events up to and including time `until`, leaving later
+    /// events queued. The clock ends at `max(now, until)`.
+    pub fn run_until<F>(&mut self, until: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, e) = self.pop().expect("peeked");
+            handler(self, t, e);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), "c");
+        s.schedule_at(SimTime::from_secs(1), "a");
+        s.schedule_at(SimTime::from_secs(2), "b");
+        let mut order = Vec::new();
+        s.run_with(|_, _, e| {
+            order.push(e);
+            true
+        });
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            s.schedule_at(t, i);
+        }
+        let mut order = Vec::new();
+        s.run_with(|_, _, e| {
+            order.push(e);
+            true
+        });
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.delivered(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), 1);
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn handler_can_schedule_more() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 0u32);
+        let mut count = 0;
+        s.run_with(|sched, _, n| {
+            count += 1;
+            if n < 9 {
+                sched.schedule_in(SimDuration::from_secs(1), n + 1);
+            }
+            true
+        });
+        assert_eq!(count, 10);
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_secs(i), i);
+        }
+        let mut seen = 0;
+        s.run_with(|_, _, _| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events() {
+        let mut s = Scheduler::new();
+        for i in 1..=10 {
+            s.schedule_at(SimTime::from_secs(i), i);
+        }
+        let mut seen = Vec::new();
+        s.run_until(SimTime::from_secs(4), |_, _, e| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.run_until(SimTime::from_secs(100), |_, _, _| {});
+        assert_eq!(s.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "first");
+        s.pop();
+        s.schedule_in(SimDuration::from_secs(5), "second");
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(15)));
+    }
+}

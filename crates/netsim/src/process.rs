@@ -1,0 +1,291 @@
+//! Stochastic processes for fault injection.
+//!
+//! The ground-truth fault model of the experiment is built from two
+//! primitives:
+//!
+//! * [`OnOffProcess`] — an alternating-renewal (Gilbert) process: long
+//!   "healthy" periods with exponentially distributed durations, interrupted
+//!   by "episode" periods whose durations are exponential or heavy-tailed
+//!   (bounded Pareto — the paper observes episode durations with a median of
+//!   one hour but tails of hundreds of hours).
+//! * [`PoissonProcess`] — memoryless point events, used for transient
+//!   background noise and background BGP churn.
+//!
+//! Both materialize deterministic artifacts ([`Timeline`]s / sorted event
+//! lists) from a forked RNG stream, after which the transaction simulation
+//! can consult them immutably from any thread.
+
+use crate::rng::SimRng;
+use crate::timeline::Timeline;
+use model::{SimDuration, SimTime};
+
+/// Distribution of episode (down-state) durations.
+#[derive(Clone, Copy, Debug)]
+pub enum EpisodeDuration {
+    /// Exponential with the given mean.
+    Exp { mean: SimDuration },
+    /// Pareto with scale `min` and shape `alpha`, truncated at `cap`.
+    /// Smaller `alpha` means heavier tail; `alpha` ≈ 1.1–1.5 reproduces the
+    /// "median one hour, max hundreds of hours" skew of Section 4.4.5.
+    BoundedPareto {
+        min: SimDuration,
+        alpha: f64,
+        cap: SimDuration,
+    },
+    /// Always exactly this long (useful in tests and calibration).
+    Fixed(SimDuration),
+}
+
+impl EpisodeDuration {
+    /// Analytic mean of the distribution (microseconds).
+    pub fn mean_micros(&self) -> f64 {
+        match *self {
+            EpisodeDuration::Exp { mean } => mean.as_micros() as f64,
+            EpisodeDuration::Fixed(d) => d.as_micros() as f64,
+            EpisodeDuration::BoundedPareto { min, alpha, cap } => {
+                bounded_pareto_mean(min.as_micros() as f64, alpha, cap.as_micros() as f64)
+            }
+        }
+    }
+
+    /// Draw one episode duration.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            EpisodeDuration::Exp { mean } => rng.exp_duration(mean),
+            EpisodeDuration::BoundedPareto { min, alpha, cap } => {
+                let v = rng.pareto(min.as_micros() as f64, alpha);
+                SimDuration::from_micros((v.round() as u64).min(cap.as_micros()))
+            }
+            EpisodeDuration::Fixed(d) => d,
+        }
+    }
+}
+
+/// An alternating-renewal on/off fault process.
+///
+/// `true` segments of the materialized timeline are *episodes* (fault
+/// active); `false` segments are healthy. The process starts healthy, with
+/// the first residual up-time drawn like any other (a fresh renewal at t=0 is
+/// a reasonable simplification for a month-long horizon).
+#[derive(Clone, Debug)]
+pub struct OnOffProcess {
+    /// Mean healthy-period duration.
+    pub mean_up: SimDuration,
+    /// Episode duration distribution.
+    pub episode: EpisodeDuration,
+}
+
+impl OnOffProcess {
+    pub fn new(mean_up: SimDuration, episode: EpisodeDuration) -> Self {
+        OnOffProcess { mean_up, episode }
+    }
+
+    /// A process that never fires an episode.
+    pub fn never() -> Self {
+        OnOffProcess {
+            mean_up: SimDuration::from_hours(u64::MAX / model::time::MICROS_PER_HOUR / 2),
+            episode: EpisodeDuration::Fixed(SimDuration::ZERO),
+        }
+    }
+
+    /// Materialize the process over `[0, horizon)` as a boolean timeline.
+    pub fn materialize(&self, rng: &mut SimRng, horizon: SimTime) -> Timeline<bool> {
+        let mut changes: Vec<(SimTime, bool)> = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let up = rng.exp_duration(self.mean_up);
+            t = t + up;
+            if t >= horizon {
+                break;
+            }
+            let down = self.episode.sample(rng);
+            if down.is_zero() {
+                continue;
+            }
+            changes.push((t, true));
+            t = t + down;
+            changes.push((t, false));
+            if t >= horizon {
+                break;
+            }
+        }
+        Timeline::from_changes(false, changes)
+    }
+
+    /// Long-run fraction of time spent in episodes (up to truncation).
+    pub fn expected_down_fraction(&self) -> f64 {
+        let up = self.mean_up.as_micros() as f64;
+        let down = match self.episode {
+            EpisodeDuration::Exp { mean } => mean.as_micros() as f64,
+            EpisodeDuration::Fixed(d) => d.as_micros() as f64,
+            EpisodeDuration::BoundedPareto { min, alpha, cap } => {
+                bounded_pareto_mean(min.as_micros() as f64, alpha, cap.as_micros() as f64)
+            }
+        };
+        down / (up + down)
+    }
+}
+
+/// Mean of a Pareto(min, alpha) truncated at `cap` (mass at the cap).
+fn bounded_pareto_mean(min: f64, alpha: f64, cap: f64) -> f64 {
+    if cap <= min {
+        return cap;
+    }
+    // P(X > cap) for the untruncated Pareto:
+    let tail = (min / cap).powf(alpha);
+    let body = if (alpha - 1.0).abs() < 1e-9 {
+        // alpha = 1: E[X; X<=cap] = min * ln(cap/min)
+        min * (cap / min).ln()
+    } else {
+        alpha * min.powf(alpha) / (alpha - 1.0) * (min.powf(1.0 - alpha) - cap.powf(1.0 - alpha))
+    };
+    body + tail * cap
+}
+
+/// A homogeneous Poisson point process.
+#[derive(Clone, Copy, Debug)]
+pub struct PoissonProcess {
+    /// Mean inter-arrival time.
+    pub mean_gap: SimDuration,
+}
+
+impl PoissonProcess {
+    pub fn new(mean_gap: SimDuration) -> Self {
+        PoissonProcess { mean_gap }
+    }
+
+    /// Materialize event instants in `[0, horizon)`.
+    pub fn materialize(&self, rng: &mut SimRng, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t = t + rng.exp_duration(self.mean_gap);
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: u64) -> SimDuration {
+        SimDuration::from_hours(h)
+    }
+
+    #[test]
+    fn materialized_timeline_alternates() {
+        let p = OnOffProcess::new(hours(10), EpisodeDuration::Exp { mean: hours(1) });
+        let mut rng = SimRng::new(1);
+        let tl = p.materialize(&mut rng, SimTime::from_hours(744));
+        // Walk segments: states must alternate, starting healthy.
+        let mut prev: Option<bool> = None;
+        for (_, _, s) in tl.segments() {
+            if let Some(p) = prev {
+                assert_ne!(p, *s, "states must alternate");
+            }
+            prev = Some(*s);
+        }
+        assert!(!tl.at(SimTime::ZERO), "starts healthy");
+    }
+
+    #[test]
+    fn down_fraction_matches_expectation() {
+        let p = OnOffProcess::new(hours(9), EpisodeDuration::Exp { mean: hours(1) });
+        let mut rng = SimRng::new(2);
+        let horizon = SimTime::from_hours(744 * 40); // long run for stability
+        let tl = p.materialize(&mut rng, horizon);
+        let down = tl.micros_matching(SimTime::ZERO, horizon, |s| *s) as f64;
+        let frac = down / horizon.as_micros() as f64;
+        let expect = p.expected_down_fraction();
+        assert!((expect - 0.1).abs() < 1e-9);
+        assert!((frac - expect).abs() < 0.02, "frac {frac} expect {expect}");
+    }
+
+    #[test]
+    fn never_process_stays_up() {
+        let p = OnOffProcess::never();
+        let mut rng = SimRng::new(3);
+        let tl = p.materialize(&mut rng, SimTime::from_hours(744));
+        assert_eq!(tl.change_count(), 1);
+        assert!(!tl.at(SimTime::from_hours(300)));
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let dist = EpisodeDuration::BoundedPareto {
+            min: hours(1),
+            alpha: 1.2,
+            cap: hours(448),
+        };
+        let mut rng = SimRng::new(4);
+        for _ in 0..10_000 {
+            let d = dist.sample(&mut rng);
+            assert!(d >= hours(1) && d <= hours(448), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mean_formula() {
+        // Sanity-check the closed form against Monte Carlo.
+        let min = 1.0e6;
+        let alpha = 1.3;
+        let cap = 100.0e6;
+        let analytic = bounded_pareto_mean(min, alpha, cap);
+        let mut rng = SimRng::new(5);
+        let n = 400_000;
+        let mc: f64 = (0..n)
+            .map(|_| rng.pareto(min, alpha).min(cap))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (analytic - mc).abs() / mc < 0.02,
+            "analytic {analytic} mc {mc}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_mean_degenerate_cap() {
+        assert_eq!(bounded_pareto_mean(5.0, 1.5, 5.0), 5.0);
+        assert_eq!(bounded_pareto_mean(5.0, 1.5, 2.0), 2.0);
+    }
+
+    #[test]
+    fn fixed_episode_duration() {
+        let mut rng = SimRng::new(6);
+        let d = EpisodeDuration::Fixed(hours(3)).sample(&mut rng);
+        assert_eq!(d, hours(3));
+    }
+
+    #[test]
+    fn poisson_rate() {
+        let p = PoissonProcess::new(SimDuration::from_secs(100));
+        let mut rng = SimRng::new(7);
+        let horizon = SimTime::from_secs(1_000_000);
+        let events = p.materialize(&mut rng, horizon);
+        let expect = 10_000.0;
+        assert!(
+            (events.len() as f64 - expect).abs() < 350.0,
+            "{} events",
+            events.len()
+        );
+        // sorted & in range
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+        assert!(events.iter().all(|t| *t < horizon));
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let p = OnOffProcess::new(hours(5), EpisodeDuration::Exp { mean: hours(2) });
+        let tl1 = p.materialize(&mut SimRng::new(42), SimTime::from_hours(744));
+        let tl2 = p.materialize(&mut SimRng::new(42), SimTime::from_hours(744));
+        assert_eq!(tl1.change_count(), tl2.change_count());
+        let s1: Vec<_> = tl1.segments().map(|(a, b, c)| (a, b, *c)).collect();
+        let s2: Vec<_> = tl2.segments().map(|(a, b, c)| (a, b, *c)).collect();
+        assert_eq!(s1, s2);
+    }
+}

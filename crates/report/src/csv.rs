@@ -1,0 +1,84 @@
+//! Minimal CSV emission (RFC 4180 quoting) for figure series.
+
+use std::fmt::Write as _;
+
+/// A CSV document under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Csv {
+    out: String,
+    columns: usize,
+}
+
+impl Csv {
+    /// Start a document with a header row.
+    pub fn new<I, S>(headers: I) -> Csv
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut csv = Csv::default();
+        let headers: Vec<String> = headers
+            .into_iter()
+            .map(|h| escape(h.as_ref()))
+            .collect();
+        csv.columns = headers.len();
+        let _ = writeln!(csv.out, "{}", headers.join(","));
+        csv
+    }
+
+    /// Append a row of stringified cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Csv
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(|c| escape(c.as_ref())).collect();
+        debug_assert_eq!(cells.len(), self.columns, "row width mismatch");
+        let _ = writeln!(self.out, "{}", cells.join(","));
+        self
+    }
+
+    /// Append a row of floats with the given precision.
+    pub fn row_f64(&mut self, cells: &[f64], precision: usize) -> &mut Csv {
+        let cells: Vec<String> = cells.iter().map(|v| format!("{v:.precision$}")).collect();
+        self.row(cells)
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Quote a field per RFC 4180 when needed.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_document() {
+        let mut c = Csv::new(["x", "y"]);
+        c.row(["1", "2"]);
+        c.row_f64(&[0.5, 0.25], 2);
+        let s = c.finish();
+        assert_eq!(s, "x,y\n1,2\n0.50,0.25\n");
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+        let mut c = Csv::new(["h"]);
+        c.row(["v,1"]);
+        assert_eq!(c.finish(), "h\n\"v,1\"\n");
+    }
+}

@@ -1,0 +1,237 @@
+//! Dataset export — the paper's authors published their measurement data;
+//! this writes ours in the same spirit: plain CSV, one file per table.
+
+use crate::csv::Csv;
+use model::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Write the plot-ready figure series into `dir`: the Figure 4 episode-rate
+/// CDFs and the Figure 6 instability-failure CDF. Returns files written.
+pub fn export_figures(analysis: &netprofiler::Analysis<'_>, dir: &Path) -> io::Result<usize> {
+    fs::create_dir_all(dir)?;
+    let f4 = netprofiler::episodes::figure4(analysis);
+    for (name, cdf) in [("fig4_clients.csv", &f4.clients), ("fig4_servers.csv", &f4.servers)] {
+        let mut csv = Csv::new(["failure_rate", "cdf"]);
+        for (rate, cum) in &cdf.points {
+            csv.row_f64(&[*rate, *cum], 5);
+        }
+        fs::write(dir.join(name), csv.finish())?;
+    }
+    let rates = netprofiler::bgp_corr::figure6_rates(analysis);
+    let mut csv = Csv::new(["tcp_failure_rate", "cdf"]);
+    let n = rates.len().max(1);
+    for (i, r) in rates.iter().enumerate() {
+        csv.row_f64(&[*r, (i + 1) as f64 / n as f64], 5);
+    }
+    fs::write(dir.join("fig6_instability.csv"), csv.finish())?;
+    Ok(3)
+}
+
+/// Write the full dataset as CSV files into `dir` (created if absent).
+///
+/// Files: `clients.csv`, `sites.csv`, `records.csv`, `connections.csv`,
+/// `bgp_hourly.csv`, `prefixes.csv`. Returns the number of files written.
+pub fn export_dataset(ds: &Dataset, dir: &Path) -> io::Result<usize> {
+    fs::create_dir_all(dir)?;
+
+    let mut clients = Csv::new([
+        "client_id",
+        "name",
+        "category",
+        "colocation_group",
+        "proxy",
+        "addr",
+        "prefixes",
+    ]);
+    for c in &ds.clients {
+        clients.row([
+            c.id.0.to_string(),
+            c.name.clone(),
+            c.category.abbrev().to_string(),
+            c.colocation.map_or(String::new(), |g| g.to_string()),
+            c.proxy.map_or(String::new(), |p| p.0.to_string()),
+            c.addr.to_string(),
+            c.prefixes
+                .iter()
+                .map(|p| ds.prefix(*p).to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    fs::write(dir.join("clients.csv"), clients.finish())?;
+
+    let mut sites = Csv::new(["site_id", "hostname", "category", "addresses"]);
+    for s in &ds.sites {
+        sites.row([
+            s.id.0.to_string(),
+            s.hostname.clone(),
+            s.category.label().to_string(),
+            s.addrs
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    fs::write(dir.join("sites.csv"), sites.finish())?;
+
+    let mut records = Csv::new([
+        "client_id",
+        "site_id",
+        "start_us",
+        "replica",
+        "dns_ms_or_failure",
+        "outcome",
+        "download_ms",
+        "bytes",
+        "connections",
+        "retransmissions",
+        "dig",
+    ]);
+    for r in &ds.records {
+        records.row([
+            r.client.0.to_string(),
+            r.site.0.to_string(),
+            r.start.as_micros().to_string(),
+            r.replica.map_or(String::new(), |a| a.to_string()),
+            match &r.dns {
+                Ok(d) => d.as_millis().to_string(),
+                Err(k) => k.label().to_string(),
+            },
+            match r.outcome {
+                model::TransactionOutcome::Success => "ok".to_string(),
+                model::TransactionOutcome::Failure(c) => c.to_string(),
+            },
+            r.download_time.map_or(String::new(), |d| d.as_millis().to_string()),
+            r.bytes_received.to_string(),
+            r.connections_attempted.to_string(),
+            r.retransmissions.map_or(String::new(), |x| x.to_string()),
+            match r.dig {
+                model::DigOutcome::Resolved => "resolved".to_string(),
+                model::DigOutcome::Failed(k) => format!("failed:{}", k.label()),
+                model::DigOutcome::NotRun => String::new(),
+            },
+        ]);
+    }
+    fs::write(dir.join("records.csv"), records.finish())?;
+
+    let mut conns = Csv::new([
+        "client_id",
+        "site_id",
+        "replica",
+        "start_us",
+        "outcome",
+        "syn_retx",
+        "data_retx",
+    ]);
+    for c in &ds.connections {
+        conns.row([
+            c.client.0.to_string(),
+            c.site.0.to_string(),
+            c.replica.to_string(),
+            c.start.as_micros().to_string(),
+            match c.outcome {
+                Ok(()) => "ok".to_string(),
+                Err(k) => k.label().to_string(),
+            },
+            c.syn_retransmissions.to_string(),
+            c.retransmissions.map_or(String::new(), |x| x.to_string()),
+        ]);
+    }
+    fs::write(dir.join("connections.csv"), conns.finish())?;
+
+    let mut bgp = Csv::new([
+        "prefix",
+        "hour",
+        "announcements",
+        "withdrawals",
+        "neighbors_announcing",
+        "neighbors_withdrawing",
+    ]);
+    for (p, h, cell) in ds.bgp.active_cells() {
+        bgp.row([
+            ds.prefix(p).to_string(),
+            h.to_string(),
+            cell.announcements.to_string(),
+            cell.withdrawals.to_string(),
+            cell.neighbors_announcing.to_string(),
+            cell.neighbors_withdrawing.to_string(),
+        ]);
+    }
+    fs::write(dir.join("bgp_hourly.csv"), bgp.finish())?;
+
+    let mut prefixes = Csv::new(["prefix_id", "prefix"]);
+    for (i, p) in ds.prefixes.iter().enumerate() {
+        prefixes.row([i.to_string(), p.to_string()]);
+    }
+    fs::write(dir.join("prefixes.csv"), prefixes.finish())?;
+
+    Ok(6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::{ClientId, SiteId};
+    use netprofiler::synthetic::SynthWorld;
+
+    #[test]
+    fn exports_figures() {
+        let mut w = SynthWorld::new(2, 2, 6);
+        for h in 0..6 {
+            w.add_conn_batch(ClientId(0), SiteId(0), h, 20, u32::from(h == 0) * 5);
+            w.add_conn_batch(ClientId(1), SiteId(1), h, 20, h % 2);
+        }
+        let ds = w.finish();
+        let a = netprofiler::Analysis::with_defaults(&ds);
+        let dir = std::env::temp_dir().join(format!("e2e-figs-{}", std::process::id()));
+        let n = export_figures(&a, &dir).unwrap();
+        assert_eq!(n, 3);
+        let clients = fs::read_to_string(dir.join("fig4_clients.csv")).unwrap();
+        assert!(clients.starts_with("failure_rate,cdf"));
+        assert!(clients.lines().count() > 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exports_all_files() {
+        let mut w = SynthWorld::new(2, 2, 2);
+        w.add_txn(ClientId(0), SiteId(0), 0, true);
+        w.add_txn(ClientId(0), SiteId(1), 1, false);
+        w.add_ok_conn(ClientId(0), SiteId(0), 0);
+        w.add_failed_conn(ClientId(1), SiteId(1), 1);
+        w.set_bgp(
+            model::PrefixId(0),
+            1,
+            model::BgpHourly {
+                announcements: 3,
+                withdrawals: 80,
+                neighbors_announcing: 2,
+                neighbors_withdrawing: 71,
+            },
+        );
+        let ds = w.finish();
+        let dir = std::env::temp_dir().join(format!("e2e-export-{}", std::process::id()));
+        let n = export_dataset(&ds, &dir).unwrap();
+        assert_eq!(n, 6);
+        for f in [
+            "clients.csv",
+            "sites.csv",
+            "records.csv",
+            "connections.csv",
+            "bgp_hourly.csv",
+            "prefixes.csv",
+        ] {
+            let text = fs::read_to_string(dir.join(f)).unwrap();
+            assert!(text.lines().count() >= 1, "{f} empty");
+        }
+        let records = fs::read_to_string(dir.join("records.csv")).unwrap();
+        assert_eq!(records.lines().count(), 3, "header + 2 records");
+        assert!(records.contains("TCP/no connection"));
+        let bgp = fs::read_to_string(dir.join("bgp_hourly.csv")).unwrap();
+        assert!(bgp.contains("10.0.0.0/24,1,3,80,2,71"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

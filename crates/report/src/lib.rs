@@ -1,0 +1,17 @@
+//! Rendering of the paper's tables and figures.
+//!
+//! * [`table`] — a small aligned-text table builder;
+//! * [`csv`] — CSV emission for figure series (plot-ready);
+//! * [`export`] — full-dataset CSV export (the paper published its data);
+//! * [`paper`] — the paper's reported numbers, as comparison targets;
+//! * [`render`] — one renderer per table/figure, turning `netprofiler`
+//!   results into the text the `reproduce` harness prints.
+
+pub mod csv;
+pub mod export;
+pub mod paper;
+pub mod render;
+pub mod table;
+
+pub use paper::PaperTargets;
+pub use table::TextTable;

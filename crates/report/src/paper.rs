@@ -1,0 +1,191 @@
+//! The paper's reported numbers, used as comparison targets.
+//!
+//! These are the values of Padmanabhan, Ramabhadran, Agarwal & Padhye,
+//! *A Study of End-to-End Web Access Failures*, CoNEXT 2006 — the shapes
+//! the reproduction is validated against (EXPERIMENTS.md records
+//! paper-vs-measured for each).
+
+/// Every headline figure from the paper, as fractions unless noted.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperTargets {
+    // §4.1.1 / Figure 1
+    pub median_client_failure_rate: f64,
+    pub median_server_failure_rate: f64,
+    pub pl_failure_rate: f64,
+    pub bb_failure_rate: f64,
+    pub du_failure_rate: f64,
+    pub cn_failure_rate: f64,
+    /// DNS share of all failures (range midpoint of 34–42%).
+    pub dns_share_low: f64,
+    pub dns_share_high: f64,
+    /// TCP share of all failures (57–64%).
+    pub tcp_share_low: f64,
+    pub tcp_share_high: f64,
+    /// HTTP failures stay under this share.
+    pub http_share_max: f64,
+    // §4.2 / Table 4
+    pub pl_ldns_timeout_share: f64,
+    pub bb_ldns_timeout_share: f64,
+    pub du_ldns_timeout_share: f64,
+    pub dig_agreement_min: f64,
+    // §4.3 / Figure 3
+    pub pl_no_connection_share: f64,
+    pub du_no_connection_share: f64,
+    pub bb_no_connection_share: f64,
+    // §4.4.2
+    pub permanent_pairs: usize,
+    pub permanent_share_of_connection_failures: f64,
+    pub permanent_share_of_transaction_failures: f64,
+    // §4.4.4 / Table 5 (f = 5%)
+    pub blame_server_side: f64,
+    pub blame_client_side: f64,
+    pub blame_both: f64,
+    pub blame_other: f64,
+    // Table 5 (f = 10%)
+    pub blame_server_side_f10: f64,
+    pub blame_client_side_f10: f64,
+    pub blame_both_f10: f64,
+    pub blame_other_f10: f64,
+    // §4.4.5 (absolute counts at full paper scale)
+    pub server_episode_hours: u64,
+    pub server_episode_runs: u64,
+    pub server_episode_mean_run_hours: f64,
+    pub servers_with_episode: usize,
+    pub servers_with_multiple_episodes: usize,
+    // §4.4.6 / Table 6
+    pub spread_typical_min: f64,
+    // §4.5
+    pub zero_replica_sites: usize,
+    pub single_replica_sites: usize,
+    pub multi_replica_sites: usize,
+    pub episodes_on_multi_share: f64,
+    pub total_replica_share: f64,
+    // §4.6
+    pub severe_bgp_instances: usize,
+    pub severe_bgp_failure_above_5pct: f64,
+    pub fig6_above_10pct: f64,
+    pub fig6_above_20pct: f64,
+    // §4.1.3
+    pub loss_failure_correlation: f64,
+    // §4.7 / Table 9 (percent, iitb row)
+    pub iitb_cn_residual_min: f64,
+    pub iitb_non_cn_residual_max: f64,
+}
+
+impl PaperTargets {
+    pub const fn published() -> PaperTargets {
+        PaperTargets {
+            median_client_failure_rate: 0.0147,
+            median_server_failure_rate: 0.0163,
+            pl_failure_rate: 0.028,
+            bb_failure_rate: 0.013,
+            du_failure_rate: 0.0069,
+            cn_failure_rate: 0.008,
+            dns_share_low: 0.34,
+            dns_share_high: 0.42,
+            tcp_share_low: 0.57,
+            tcp_share_high: 0.64,
+            http_share_max: 0.02,
+            pl_ldns_timeout_share: 0.833,
+            bb_ldns_timeout_share: 0.76,
+            du_ldns_timeout_share: 0.777,
+            dig_agreement_min: 0.94,
+            pl_no_connection_share: 0.79,
+            du_no_connection_share: 0.63,
+            bb_no_connection_share: 0.41,
+            permanent_pairs: 38,
+            permanent_share_of_connection_failures: 0.507,
+            permanent_share_of_transaction_failures: 0.13,
+            blame_server_side: 0.48,
+            blame_client_side: 0.099,
+            blame_both: 0.044,
+            blame_other: 0.377,
+            blame_server_side_f10: 0.415,
+            blame_client_side_f10: 0.067,
+            blame_both_f10: 0.007,
+            blame_other_f10: 0.511,
+            server_episode_hours: 2732,
+            server_episode_runs: 473,
+            server_episode_mean_run_hours: 5.78,
+            servers_with_episode: 56,
+            servers_with_multiple_episodes: 39,
+            spread_typical_min: 0.70,
+            zero_replica_sites: 6,
+            single_replica_sites: 42,
+            multi_replica_sites: 32,
+            episodes_on_multi_share: 0.62,
+            total_replica_share: 0.85,
+            severe_bgp_instances: 111,
+            severe_bgp_failure_above_5pct: 0.80,
+            fig6_above_10pct: 0.80,
+            fig6_above_20pct: 0.50,
+            loss_failure_correlation: 0.19,
+            iitb_cn_residual_min: 0.043,
+            iitb_non_cn_residual_max: 0.0138,
+        }
+    }
+}
+
+/// A paper-vs-measured comparison line.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub what: &'static str,
+    pub paper: String,
+    pub measured: String,
+    /// Does the measured value satisfy the target's shape (within its
+    /// stated range/direction)?
+    pub ok: bool,
+}
+
+impl Comparison {
+    pub fn line(&self) -> String {
+        format!(
+            "[{}] {:<52} paper {:>12}  measured {:>12}",
+            if self.ok { "ok" } else { "??" },
+            self.what,
+            self.paper,
+            self.measured
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_targets_are_consistent() {
+        let p = PaperTargets::published();
+        assert!(p.dns_share_low < p.dns_share_high);
+        assert!(p.tcp_share_low < p.tcp_share_high);
+        // Table 5 rows sum to ~1.
+        let sum = p.blame_server_side + p.blame_client_side + p.blame_both + p.blame_other;
+        assert!((sum - 1.0).abs() < 0.01, "f=5% row sums to {sum}");
+        let sum10 = p.blame_server_side_f10
+            + p.blame_client_side_f10
+            + p.blame_both_f10
+            + p.blame_other_f10;
+        assert!((sum10 - 1.0).abs() < 0.01);
+        // 80 sites split.
+        assert_eq!(
+            p.zero_replica_sites + p.single_replica_sites + p.multi_replica_sites,
+            80
+        );
+        // Coalescing: 2732 hours in 473 runs → mean 5.78.
+        let mean = p.server_episode_hours as f64 / p.server_episode_runs as f64;
+        assert!((mean - p.server_episode_mean_run_hours).abs() < 0.01);
+    }
+
+    #[test]
+    fn comparison_line_format() {
+        let c = Comparison {
+            what: "median client failure rate",
+            paper: "1.47%".into(),
+            measured: "1.52%".into(),
+            ok: true,
+        };
+        let line = c.line();
+        assert!(line.starts_with("[ok]"));
+        assert!(line.contains("1.47%") && line.contains("1.52%"));
+    }
+}

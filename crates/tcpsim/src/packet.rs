@@ -1,0 +1,96 @@
+//! Packet-trace representation.
+//!
+//! A deliberately compact model of what tcpdump shows: enough structure for
+//! the paper's two post-processing questions (handshake success and
+//! retransmission counting) while staying cheap to record at scale.
+
+use model::SimTime;
+
+/// Who sent the packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    ClientToServer,
+    ServerToClient,
+}
+
+/// The packet kinds the post-processor cares about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// Client's connection request.
+    Syn,
+    /// Server's handshake reply.
+    SynAck,
+    /// Bare acknowledgment.
+    Ack,
+    /// The HTTP request (client data), with a sequence number.
+    Request { seq: u32 },
+    /// Response data segment, with a sequence number.
+    Data { seq: u32 },
+    /// Connection reset.
+    Rst,
+    /// Orderly close.
+    Fin,
+}
+
+/// One captured packet. Packets dropped by the network are *not* captured at
+/// the receiver; the client-side capture sees everything the client sent and
+/// everything that arrived at the client — which is exactly the asymmetry
+/// the paper's client-side vantage point has.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TracePacket {
+    pub time: SimTime,
+    pub direction: Direction,
+    pub kind: PacketKind,
+}
+
+/// A packet trace of one connection, in capture order.
+pub type Trace = Vec<TracePacket>;
+
+/// Convenience predicates used by both the simulator and the tests.
+impl TracePacket {
+    pub fn is_syn(&self) -> bool {
+        matches!(self.kind, PacketKind::Syn)
+    }
+
+    pub fn is_syn_ack(&self) -> bool {
+        matches!(self.kind, PacketKind::SynAck)
+    }
+
+    pub fn is_server_data(&self) -> bool {
+        self.direction == Direction::ServerToClient && matches!(self.kind, PacketKind::Data { .. })
+    }
+
+    pub fn is_rst(&self) -> bool {
+        matches!(self.kind, PacketKind::Rst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        let t = SimTime::ZERO;
+        let syn = TracePacket {
+            time: t,
+            direction: Direction::ClientToServer,
+            kind: PacketKind::Syn,
+        };
+        assert!(syn.is_syn() && !syn.is_syn_ack() && !syn.is_server_data());
+
+        let data = TracePacket {
+            time: t,
+            direction: Direction::ServerToClient,
+            kind: PacketKind::Data { seq: 3 },
+        };
+        assert!(data.is_server_data());
+
+        let client_data = TracePacket {
+            time: t,
+            direction: Direction::ClientToServer,
+            kind: PacketKind::Data { seq: 3 },
+        };
+        assert!(!client_data.is_server_data(), "direction matters");
+    }
+}

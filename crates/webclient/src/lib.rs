@@ -1,0 +1,28 @@
+//! The measurement client.
+//!
+//! Reproduces the paper's download procedure (Section 3.4) for one client:
+//!
+//! 1. flush the local DNS cache (implicit — only the LDNS cache persists),
+//! 2. wget-like download of the URL's index object: resolve, connect (with
+//!    fail-over across A records and a retry pass), follow redirects, apply
+//!    the 60-second idle rule,
+//! 3. iterative dig through the hierarchy (run on DNS failure, matching how
+//!    the paper *uses* the dig data),
+//! 4. record the packet trace (PL/DU clients; BB ran without captures).
+//!
+//! Corporate (CN) clients instead speak to their caching proxy, which does
+//! its own name resolution, never fails over across replica addresses
+//! (Section 4.7's shared proxy defect), and masks the upstream failure
+//! detail from the client.
+//!
+//! The output is a [`TransactionObservation`] — everything Section 3.5's
+//! performance record holds, minus the identifiers the experiment runner
+//! adds.
+
+pub mod env;
+pub mod proxy;
+pub mod session;
+
+pub use env::AccessEnvironment;
+pub use proxy::{ProxyFetch, ProxySession};
+pub use session::{ClientSession, ConnObservation, TransactionObservation, WgetConfig};

@@ -1,0 +1,795 @@
+//! One client's measurement session: the wget-like download procedure.
+
+use crate::env::AccessEnvironment;
+use crate::proxy::{ProxyFetch, ProxySession};
+use dnssim::{dig_iterative, DigResult, LdnsCache, ResolverConfig, StubResolver, ZoneTree};
+use dnswire::DomainName;
+use httpsim::{HttpRequest, HttpResponse, StatusClass};
+use model::{
+    DigOutcome, DnsFailureKind, FailureClass, SimDuration, SimTime, TcpFailureKind,
+    TransactionOutcome,
+};
+use netsim::SimRng;
+use tcpsim::{classify_trace, count_retransmissions, simulate_connection, TcpConfig};
+use std::net::Ipv4Addr;
+
+/// wget-level policy knobs.
+#[derive(Clone, Debug)]
+pub struct WgetConfig {
+    pub tcp: TcpConfig,
+    pub resolver: ResolverConfig,
+    /// Capture packet traces (the paper's BB clients could not).
+    pub record_traces: bool,
+    /// Send `Cache-Control: no-cache` (the CN clients' proxy-busting flag).
+    pub no_cache: bool,
+    /// Redirect hops wget will follow.
+    pub max_redirects: u8,
+    /// Hard cap on TCP connection attempts per transaction (wget --tries
+    /// analogue).
+    pub max_connections: u16,
+    /// Time budget for connection retries within one transaction: after the
+    /// first full pass over the address list, wget keeps retrying only
+    /// while this much time has not elapsed. Fast failures (RSTs from the
+    /// paper's blocked pairs) burn many attempts; 45-second SYN timeouts
+    /// burn two or three — which is exactly why the 38 near-permanent pairs
+    /// are 13% of transaction failures but 50.7% of connection failures in
+    /// the paper.
+    pub retry_time_budget: SimDuration,
+    /// Run the iterative dig only when wget's own resolution failed (the
+    /// paper ran it always but *uses* it only for failed lookups; skipping
+    /// the healthy case keeps large simulations fast). Disable in tests that
+    /// exercise the agreement statistic on successes.
+    pub dig_on_failure_only: bool,
+    /// Bytes of response headers added on the wire around the index object.
+    pub header_overhead: u64,
+    /// Round-trip HTTP heads through the text codec.
+    pub http_wire_fidelity: bool,
+}
+
+impl Default for WgetConfig {
+    fn default() -> Self {
+        WgetConfig {
+            tcp: TcpConfig::default(),
+            resolver: ResolverConfig::default(),
+            record_traces: true,
+            no_cache: false,
+            max_redirects: 4,
+            max_connections: 9,
+            retry_time_budget: SimDuration::from_secs(90),
+            dig_on_failure_only: true,
+            header_overhead: 500,
+            http_wire_fidelity: true,
+        }
+    }
+}
+
+/// One TCP connection attempt as the record keeper sees it.
+#[derive(Clone, Debug)]
+pub struct ConnObservation {
+    pub replica: Ipv4Addr,
+    pub start: SimTime,
+    pub outcome: Result<(), TcpFailureKind>,
+    pub syn_retransmissions: u8,
+    /// Trace-visible data retransmissions (None without capture).
+    pub retransmissions: Option<u32>,
+}
+
+/// Everything one transaction produced (identifiers are added by the
+/// experiment runner).
+#[derive(Clone, Debug)]
+pub struct TransactionObservation {
+    pub start: SimTime,
+    pub dns: Result<SimDuration, DnsFailureKind>,
+    pub outcome: TransactionOutcome,
+    pub replica: Option<Ipv4Addr>,
+    pub download_time: Option<SimDuration>,
+    pub bytes_received: u64,
+    pub connections: Vec<ConnObservation>,
+    pub retransmissions: Option<u32>,
+    pub dig: DigOutcome,
+}
+
+impl TransactionObservation {
+    fn dns_failure(start: SimTime, kind: DnsFailureKind, dig: DigOutcome) -> Self {
+        TransactionObservation {
+            start,
+            dns: Err(kind),
+            outcome: TransactionOutcome::Failure(FailureClass::Dns(kind)),
+            replica: None,
+            download_time: None,
+            bytes_received: 0,
+            connections: Vec::new(),
+            retransmissions: None,
+            dig,
+        }
+    }
+}
+
+/// Per-client measurement state: the LDNS cache the client talks to, the
+/// client's RNG stream, and the wget configuration.
+pub struct ClientSession<'t> {
+    tree: &'t ZoneTree,
+    resolver: StubResolver<'t>,
+    config: WgetConfig,
+    cache: LdnsCache,
+    rng: SimRng,
+}
+
+impl<'t> ClientSession<'t> {
+    pub fn new(tree: &'t ZoneTree, config: WgetConfig, rng: SimRng) -> Self {
+        let resolver = StubResolver::new(tree, config.resolver);
+        ClientSession {
+            tree,
+            resolver,
+            config,
+            cache: LdnsCache::new(),
+            rng,
+        }
+    }
+
+    pub fn config(&self) -> &WgetConfig {
+        &self.config
+    }
+
+    /// The client's LDNS cache (exposed for tests and cache studies).
+    pub fn ldns_cache(&self) -> &LdnsCache {
+        &self.cache
+    }
+
+    /// Run one direct (non-proxied) transaction for `host` starting at `t`.
+    pub fn run_transaction<E: AccessEnvironment>(
+        &mut self,
+        env: &E,
+        host: &DomainName,
+        t: SimTime,
+    ) -> TransactionObservation {
+        // Step 1: the client OS cache is flushed before each access; only
+        // the LDNS cache (self.cache) persists.
+        let resolution = self
+            .resolver
+            .resolve(host, env, t, &mut self.rng, &mut self.cache);
+        let dns_elapsed = resolution.elapsed;
+        let addrs = match resolution.result {
+            Ok(addrs) => addrs,
+            Err(kind) => {
+                let dig = self.run_dig(env, host, t + dns_elapsed);
+                return TransactionObservation::dns_failure(t, kind, dig);
+            }
+        };
+
+        let mut now = t + dns_elapsed;
+        let mut connections: Vec<ConnObservation> = Vec::new();
+        let mut total_visible_retx: u32 = 0;
+        let mut bytes_received: u64 = 0;
+        let mut current_host = host.clone();
+        let mut last_addrs = addrs;
+        let mut final_replica: Option<Ipv4Addr> = None;
+
+        for _hop in 0..=self.config.max_redirects {
+            // What will this host's origin say? (Determines the transfer
+            // size the connection must carry.)
+            let host_str = current_host.to_string();
+            let request = HttpRequest::get(&host_str, "/", self.config.no_cache);
+            if self.config.http_wire_fidelity {
+                let text = request.encode();
+                let _ = HttpRequest::decode(&text).expect("own request re-parses");
+            }
+            let answer = match env.origin(&host_str) {
+                Some(origin) => origin.respond(&host_str, &request, &mut self.rng),
+                None => httpsim::OriginAnswer {
+                    response: HttpResponse::error(404, "Not Found"),
+                    next_host: None,
+                },
+            };
+            if self.config.http_wire_fidelity {
+                let text = answer.response.encode_head();
+                let _ = HttpResponse::decode_head(&text).expect("own response re-parses");
+            }
+            let wire_bytes = answer.response.body_len + self.config.header_overhead;
+
+            // Connect: wget fails over across the A records, then keeps
+            // retrying while its time budget lasts. One full pass over the
+            // address list is always attempted.
+            let mut connected_result = None;
+            let conn_phase_start = now;
+            'retry: loop {
+                for addr in &last_addrs {
+                    if connections.len() as u16 >= self.config.max_connections {
+                        break 'retry;
+                    }
+                    let behavior = env.server_behavior(*addr, now);
+                    let path = env.path_quality(*addr, now);
+                    let result = simulate_connection(
+                        &self.config.tcp,
+                        behavior,
+                        &path,
+                        wire_bytes,
+                        now,
+                        &mut self.rng,
+                        self.config.record_traces,
+                    );
+                    let visible_retx = result.trace.as_ref().map(|tr| count_retransmissions(tr).1);
+                    if let Some(v) = visible_retx {
+                        total_visible_retx += v;
+                    }
+                    // Classify the way the measurement does: from the trace
+                    // when available, else coarsely from wget's own view.
+                    let observed_outcome = match (&result.trace, &result.outcome) {
+                        (_, Ok(())) => Ok(()),
+                        (Some(trace), Err(_)) => Err(classify_trace(trace)
+                            .failure_kind()
+                            .expect("failed connection has a failing trace")),
+                        (None, Err(_)) => {
+                            if result.established {
+                                Err(TcpFailureKind::NoOrPartialResponse)
+                            } else {
+                                Err(TcpFailureKind::NoConnection)
+                            }
+                        }
+                    };
+                    connections.push(ConnObservation {
+                        replica: *addr,
+                        start: now,
+                        outcome: observed_outcome,
+                        syn_retransmissions: result.syn_retransmissions,
+                        retransmissions: visible_retx,
+                    });
+                    now = now + result.duration;
+                    if result.outcome.is_ok() {
+                        bytes_received += result.bytes_delivered.min(answer.response.body_len);
+                        connected_result = Some(*addr);
+                        break 'retry;
+                    } else {
+                        bytes_received += result
+                            .bytes_delivered
+                            .min(answer.response.body_len);
+                    }
+                }
+                // First pass complete; continue only while the budget is
+                // not yet exhausted.
+                if now - conn_phase_start >= self.config.retry_time_budget {
+                    break 'retry;
+                }
+            }
+
+            let Some(addr) = connected_result else {
+                // All connection attempts failed: a TCP transaction failure,
+                // classified from the last attempt.
+                let kind = connections
+                    .last()
+                    .and_then(|c| c.outcome.err())
+                    .unwrap_or(TcpFailureKind::NoConnection);
+                return TransactionObservation {
+                    start: t,
+                    dns: Ok(dns_elapsed),
+                    outcome: TransactionOutcome::Failure(FailureClass::Tcp(kind)),
+                    replica: connections.last().map(|c| c.replica),
+                    download_time: Some(now - (t + dns_elapsed)),
+                    bytes_received,
+                    connections,
+                    retransmissions: self.config.record_traces.then_some(total_visible_retx),
+                    dig: DigOutcome::NotRun,
+                };
+            };
+            final_replica = Some(addr);
+
+            match StatusClass::of(answer.response.status) {
+                StatusClass::Success => {
+                    return TransactionObservation {
+                        start: t,
+                        dns: Ok(dns_elapsed),
+                        outcome: TransactionOutcome::Success,
+                        replica: final_replica,
+                        download_time: Some(now - (t + dns_elapsed)),
+                        bytes_received,
+                        connections,
+                        retransmissions: self.config.record_traces.then_some(total_visible_retx),
+                        dig: if self.config.dig_on_failure_only {
+                            DigOutcome::NotRun
+                        } else {
+                            self.run_dig(env, host, now)
+                        },
+                    };
+                }
+                StatusClass::Redirect => {
+                    let next = answer.next_host.expect("redirect carries next host");
+                    let next_name: DomainName = match next.parse() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            return self.http_failure(t, dns_elapsed, 502, final_replica, now, bytes_received, connections, total_visible_retx)
+                        }
+                    };
+                    // Resolve the next hop (LDNS cache applies).
+                    let r = self
+                        .resolver
+                        .resolve(&next_name, env, now, &mut self.rng, &mut self.cache);
+                    now = now + r.elapsed;
+                    match r.result {
+                        Ok(addrs) => {
+                            last_addrs = addrs;
+                            current_host = next_name;
+                        }
+                        Err(kind) => {
+                            let dig = self.run_dig(env, &next_name, now);
+                            let mut obs =
+                                TransactionObservation::dns_failure(t, kind, dig);
+                            // The initial lookup *succeeded*; the redirect's
+                            // failed. Keep the failure class but preserve the
+                            // observed connections.
+                            obs.dns = Ok(dns_elapsed);
+                            obs.outcome =
+                                TransactionOutcome::Failure(FailureClass::Dns(kind));
+                            obs.connections = connections;
+                            obs.bytes_received = bytes_received;
+                            obs.retransmissions =
+                                self.config.record_traces.then_some(total_visible_retx);
+                            return obs;
+                        }
+                    }
+                }
+                _ => {
+                    return self.http_failure(
+                        t,
+                        dns_elapsed,
+                        answer.response.status,
+                        final_replica,
+                        now,
+                        bytes_received,
+                        connections,
+                        total_visible_retx,
+                    );
+                }
+            }
+        }
+        // Redirect limit exceeded: wget reports an error; classify as HTTP.
+        self.http_failure(t, dns_elapsed, 310, final_replica, now, bytes_received, connections, total_visible_retx)
+    }
+
+    /// Run one transaction through a corporate caching proxy.
+    ///
+    /// `env` is the *client's* view (covers the client↔proxy leg);
+    /// `proxy_env` is the proxy's vantage toward the wide area.
+    pub fn run_proxied_transaction<E, P>(
+        &mut self,
+        env: &E,
+        proxy: &mut ProxySession,
+        proxy_env: &P,
+        host: &DomainName,
+        t: SimTime,
+    ) -> TransactionObservation
+    where
+        E: AccessEnvironment,
+        P: AccessEnvironment,
+    {
+        // The client must reach its proxy over the corporate LAN/WAN.
+        if !env.client_link_up(t) {
+            return TransactionObservation {
+                start: t,
+                dns: Ok(SimDuration::ZERO),
+                outcome: TransactionOutcome::Failure(FailureClass::Tcp(
+                    TcpFailureKind::NoConnection,
+                )),
+                replica: None,
+                download_time: None,
+                bytes_received: 0,
+                connections: Vec::new(),
+                retransmissions: None,
+                dig: DigOutcome::NotRun,
+            };
+        }
+        let local_rtt = SimDuration::from_millis(5);
+        // No retry here: the proxy answers the client with an HTTP gateway
+        // error, which wget treats as a (failed) response — unlike its own
+        // transport-level failures, which it does retry. This asymmetry is
+        // part of the Table 9 proxy effect.
+        let fetch = proxy.fetch(proxy_env, self.tree, host, t + local_rtt, self.config.no_cache);
+        let (outcome, bytes, duration) = match fetch {
+            ProxyFetch::Success { bytes, duration } => (
+                TransactionOutcome::Success,
+                bytes,
+                duration + local_rtt * 2u64,
+            ),
+            ProxyFetch::HttpError(status, duration) => (
+                TransactionOutcome::Failure(FailureClass::Http(status)),
+                0,
+                duration + local_rtt * 2u64,
+            ),
+            ProxyFetch::DnsFailed(_, duration) => (
+                // The ISA proxy answers quickly with a gateway error; the
+                // client cannot see that DNS was the cause.
+                TransactionOutcome::Failure(FailureClass::Http(502)),
+                0,
+                duration + local_rtt * 2u64,
+            ),
+            ProxyFetch::ConnectFailed(duration) | ProxyFetch::TransferFailed(duration) => (
+                TransactionOutcome::Failure(FailureClass::Http(504)),
+                0,
+                duration + local_rtt * 2u64,
+            ),
+        };
+        TransactionObservation {
+            start: t,
+            dns: Ok(SimDuration::ZERO),
+            outcome,
+            replica: None,
+            download_time: Some(duration),
+            bytes_received: bytes,
+            // The proxy masks upstream connections; the local connection is
+            // not informative (Section 3.4) and is not recorded.
+            connections: Vec::new(),
+            retransmissions: None,
+            dig: DigOutcome::NotRun,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn http_failure(
+        &mut self,
+        t: SimTime,
+        dns_elapsed: SimDuration,
+        status: u16,
+        replica: Option<Ipv4Addr>,
+        now: SimTime,
+        bytes_received: u64,
+        connections: Vec<ConnObservation>,
+        total_visible_retx: u32,
+    ) -> TransactionObservation {
+        TransactionObservation {
+            start: t,
+            dns: Ok(dns_elapsed),
+            outcome: TransactionOutcome::Failure(FailureClass::Http(status)),
+            replica,
+            download_time: Some(now - (t + dns_elapsed)),
+            bytes_received,
+            connections,
+            retransmissions: self.config.record_traces.then_some(total_visible_retx),
+            dig: DigOutcome::NotRun,
+        }
+    }
+
+    fn run_dig<E: AccessEnvironment>(
+        &mut self,
+        env: &E,
+        host: &DomainName,
+        t: SimTime,
+    ) -> DigOutcome {
+        let (result, _) = dig_iterative(
+            self.tree,
+            host,
+            env,
+            t,
+            &mut self.rng,
+            &self.config.resolver,
+        );
+        match result {
+            DigResult::Resolved(_) => DigOutcome::Resolved,
+            DigResult::Failed(kind) => DigOutcome::Failed(kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::HealthyEnv;
+    use dnssim::{DnsFaults, ZoneTree};
+    use httpsim::Origin;
+    use tcpsim::{PathQuality, ServerBehavior};
+
+    fn name(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn tree() -> ZoneTree {
+        ZoneTree::build_for_hosts(&[
+            (name("www.example.com"), vec![Ipv4Addr::new(10, 0, 0, 1)]),
+            (name("example.com"), vec![Ipv4Addr::new(10, 0, 0, 2)]),
+            (
+                name("www.multi.org"),
+                vec![
+                    Ipv4Addr::new(10, 1, 0, 1),
+                    Ipv4Addr::new(10, 1, 0, 2),
+                    Ipv4Addr::new(10, 1, 0, 3),
+                ],
+            ),
+        ])
+    }
+
+    fn session<'a>(tree: &'a ZoneTree, seed: u64) -> ClientSession<'a> {
+        let mut cfg = WgetConfig::default();
+        cfg.resolver.query_loss_prob = 0.0;
+        ClientSession::new(tree, cfg, SimRng::new(seed))
+    }
+
+    #[test]
+    fn healthy_transaction_succeeds() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 24_000));
+        let mut s = session(&tr, 1);
+        let obs = s.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(1));
+        assert!(obs.outcome.is_success());
+        assert_eq!(obs.bytes_received, 24_000);
+        assert_eq!(obs.connections.len(), 1);
+        assert_eq!(obs.replica, Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(obs.dns.is_ok());
+        assert_eq!(obs.dig, DigOutcome::NotRun);
+        assert!(obs.download_time.unwrap() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn redirect_adds_a_connection() {
+        let tr = tree();
+        let env = HealthyEnv::new(
+            Origin::simple("www.example.com", 10_000)
+                .with_redirects(vec!["example.com".to_string()]),
+        );
+        let mut s = session(&tr, 2);
+        let obs = s.run_transaction(&env, &name("example.com"), SimTime::from_hours(1));
+        assert!(obs.outcome.is_success());
+        assert_eq!(obs.connections.len(), 2, "redirect hop + content hop");
+        assert_eq!(obs.replica, Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(obs.bytes_received, 10_000);
+    }
+
+    /// Environment in which every server is unreachable.
+    struct ServersDown(HealthyEnv);
+    impl DnsFaults for ServersDown {}
+    impl AccessEnvironment for ServersDown {
+        fn server_behavior(&self, _r: Ipv4Addr, _t: SimTime) -> ServerBehavior {
+            ServerBehavior::Unreachable
+        }
+        fn path_quality(&self, r: Ipv4Addr, t: SimTime) -> PathQuality {
+            self.0.path_quality(r, t)
+        }
+        fn origin(&self, host: &str) -> Option<&Origin> {
+            self.0.origin(host)
+        }
+    }
+
+    #[test]
+    fn server_down_yields_no_connection_with_failover_attempts() {
+        let tr = tree();
+        let env = ServersDown(HealthyEnv::new(Origin::simple("www.multi.org", 5_000)));
+        let mut s = session(&tr, 3);
+        let obs = s.run_transaction(&env, &name("www.multi.org"), SimTime::from_hours(1));
+        assert_eq!(
+            obs.outcome.failure().unwrap(),
+            FailureClass::Tcp(TcpFailureKind::NoConnection)
+        );
+        // One full pass over the 3 replicas (45 s SYN timeouts each)
+        // exhausts the 90-second retry budget.
+        assert_eq!(obs.connections.len(), 3);
+        assert!(obs.connections.iter().all(|c| c.outcome.is_err()));
+    }
+
+    /// One replica up, the rest unreachable: wget's fail-over succeeds.
+    struct OneGoodReplica(HealthyEnv, Ipv4Addr);
+    impl DnsFaults for OneGoodReplica {}
+    impl AccessEnvironment for OneGoodReplica {
+        fn server_behavior(&self, r: Ipv4Addr, _t: SimTime) -> ServerBehavior {
+            if r == self.1 {
+                ServerBehavior::Healthy
+            } else {
+                ServerBehavior::Unreachable
+            }
+        }
+        fn path_quality(&self, r: Ipv4Addr, t: SimTime) -> PathQuality {
+            self.0.path_quality(r, t)
+        }
+        fn origin(&self, host: &str) -> Option<&Origin> {
+            self.0.origin(host)
+        }
+    }
+
+    #[test]
+    fn failover_across_a_records() {
+        let tr = tree();
+        let good = Ipv4Addr::new(10, 1, 0, 3);
+        let env = OneGoodReplica(HealthyEnv::new(Origin::simple("www.multi.org", 5_000)), good);
+        let mut s = session(&tr, 4);
+        // DNS round-robin rotates the order, so the number of dead
+        // replicas tried first varies — but wget always lands on the live
+        // one eventually.
+        for k in 0..10u64 {
+            let t = SimTime::from_hours(1) + SimDuration::from_secs(k * 120);
+            let obs = s.run_transaction(&env, &name("www.multi.org"), t);
+            assert!(obs.outcome.is_success(), "wget fails over to the live replica");
+            assert_eq!(obs.replica, Some(good));
+            assert!((1..=3).contains(&obs.connections.len()));
+            assert!(obs.connections.last().unwrap().outcome.is_ok());
+        }
+    }
+
+    /// DNS totally broken at the client.
+    struct NoDns(HealthyEnv);
+    impl DnsFaults for NoDns {
+        fn client_link_up(&self, _t: SimTime) -> bool {
+            false
+        }
+    }
+    impl AccessEnvironment for NoDns {
+        fn server_behavior(&self, r: Ipv4Addr, t: SimTime) -> ServerBehavior {
+            self.0.server_behavior(r, t)
+        }
+        fn path_quality(&self, r: Ipv4Addr, t: SimTime) -> PathQuality {
+            self.0.path_quality(r, t)
+        }
+        fn origin(&self, host: &str) -> Option<&Origin> {
+            self.0.origin(host)
+        }
+    }
+
+    #[test]
+    fn dns_failure_short_circuits_and_digs() {
+        let tr = tree();
+        let env = NoDns(HealthyEnv::new(Origin::simple("www.example.com", 1_000)));
+        let mut s = session(&tr, 5);
+        let obs = s.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(1));
+        assert_eq!(
+            obs.outcome.failure().unwrap(),
+            FailureClass::Dns(DnsFailureKind::LdnsTimeout)
+        );
+        assert!(obs.connections.is_empty());
+        // Link down: dig agrees (the >94% agreement case).
+        assert_eq!(obs.dig, DigOutcome::Failed(DnsFailureKind::LdnsTimeout));
+    }
+
+    #[test]
+    fn http_error_is_http_failure() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 1_000).with_error_rate(1.0, 503));
+        let mut s = session(&tr, 6);
+        let obs = s.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(1));
+        assert_eq!(obs.outcome.failure().unwrap(), FailureClass::Http(503));
+        assert_eq!(obs.connections.len(), 1, "transfer worked; content didn't");
+        assert!(obs.connections[0].outcome.is_ok());
+    }
+
+    #[test]
+    fn unknown_origin_is_http_404() {
+        let tr = tree();
+        // Environment knows www.example.com only; we ask for example.com
+        // (resolvable in DNS but no origin behind it).
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 1_000));
+        let mut s = session(&tr, 7);
+        let obs = s.run_transaction(&env, &name("example.com"), SimTime::from_hours(1));
+        assert_eq!(obs.outcome.failure().unwrap(), FailureClass::Http(404));
+    }
+
+    #[test]
+    fn traces_off_merges_post_handshake_failures() {
+        struct NoResp(HealthyEnv);
+        impl DnsFaults for NoResp {}
+        impl AccessEnvironment for NoResp {
+            fn server_behavior(&self, _r: Ipv4Addr, _t: SimTime) -> ServerBehavior {
+                ServerBehavior::AcceptNoResponse
+            }
+            fn path_quality(&self, r: Ipv4Addr, t: SimTime) -> PathQuality {
+                self.0.path_quality(r, t)
+            }
+            fn origin(&self, host: &str) -> Option<&Origin> {
+                self.0.origin(host)
+            }
+        }
+        let tr = tree();
+        let env = NoResp(HealthyEnv::new(Origin::simple("www.example.com", 1_000)));
+        let mut cfg = WgetConfig::default();
+        cfg.record_traces = false; // a BB client
+        let mut s = ClientSession::new(&tr, cfg, SimRng::new(8));
+        let obs = s.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(1));
+        assert_eq!(
+            obs.outcome.failure().unwrap(),
+            FailureClass::Tcp(TcpFailureKind::NoOrPartialResponse)
+        );
+        assert_eq!(obs.retransmissions, None, "no trace, no loss count");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 24_000));
+        let mut a = session(&tr, 42);
+        let mut b = session(&tr, 42);
+        let oa = a.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(3));
+        let ob = b.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(3));
+        assert_eq!(oa.download_time, ob.download_time);
+        assert_eq!(oa.bytes_received, ob.bytes_received);
+    }
+
+    #[test]
+    fn proxied_transaction_success_and_masking() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 9_000));
+        let mut s = session(&tr, 21);
+        let mut proxy = crate::proxy::ProxySession::new(Default::default(), SimRng::new(22));
+        let obs = s.run_proxied_transaction(
+            &env,
+            &mut proxy,
+            &env,
+            &name("www.example.com"),
+            SimTime::from_hours(1),
+        );
+        assert!(obs.outcome.is_success());
+        assert_eq!(obs.bytes_received, 9_000);
+        // Masking: no DNS timing, no connection records, no traces, no dig.
+        assert_eq!(obs.dns, Ok(SimDuration::ZERO));
+        assert!(obs.connections.is_empty());
+        assert_eq!(obs.retransmissions, None);
+        assert_eq!(obs.dig, DigOutcome::NotRun);
+    }
+
+    #[test]
+    fn proxied_transaction_maps_upstream_failure_to_gateway_error() {
+        let tr = tree();
+        let env = ServersDown(HealthyEnv::new(Origin::simple("www.example.com", 9_000)));
+        let mut s = session(&tr, 23);
+        let mut proxy = crate::proxy::ProxySession::new(Default::default(), SimRng::new(24));
+        let obs = s.run_proxied_transaction(
+            &env,
+            &mut proxy,
+            &env,
+            &name("www.example.com"),
+            SimTime::from_hours(1),
+        );
+        assert_eq!(obs.outcome.failure().unwrap(), FailureClass::Http(504));
+    }
+
+    #[test]
+    fn proxied_transaction_fails_locally_when_client_link_down() {
+        let tr = tree();
+        let client_env = NoDns(HealthyEnv::new(Origin::simple("www.example.com", 9_000)));
+        let proxy_env = HealthyEnv::new(Origin::simple("www.example.com", 9_000));
+        let mut s = session(&tr, 25);
+        let mut proxy = crate::proxy::ProxySession::new(Default::default(), SimRng::new(26));
+        let obs = s.run_proxied_transaction(
+            &client_env,
+            &mut proxy,
+            &proxy_env,
+            &name("www.example.com"),
+            SimTime::from_hours(1),
+        );
+        assert_eq!(
+            obs.outcome.failure().unwrap(),
+            FailureClass::Tcp(TcpFailureKind::NoConnection),
+            "cannot even reach the proxy"
+        );
+    }
+
+    #[test]
+    fn proxied_upstream_dns_failure_is_a_masked_gateway_error() {
+        let tr = tree();
+        let client_env = HealthyEnv::new(Origin::simple("www.example.com", 9_000));
+        // The proxy's vantage has no working DNS.
+        let proxy_env = NoDns(HealthyEnv::new(Origin::simple("www.example.com", 9_000)));
+        let mut s = session(&tr, 27);
+        let mut proxy = crate::proxy::ProxySession::new(Default::default(), SimRng::new(28));
+        let obs = s.run_proxied_transaction(
+            &client_env,
+            &mut proxy,
+            &proxy_env,
+            &name("www.example.com"),
+            SimTime::from_hours(1),
+        );
+        assert_eq!(
+            obs.outcome.failure().unwrap(),
+            FailureClass::Http(502),
+            "the client cannot tell it was DNS"
+        );
+    }
+
+    #[test]
+    fn second_access_uses_ldns_cache() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 1_000));
+        let mut s = session(&tr, 9);
+        let t0 = SimTime::from_hours(1);
+        let first = s.run_transaction(&env, &name("www.example.com"), t0);
+        let second = s.run_transaction(
+            &env,
+            &name("www.example.com"),
+            t0 + SimDuration::from_secs(120),
+        );
+        assert!(first.dns.unwrap() > second.dns.unwrap(), "cache hit is faster");
+        assert_eq!(s.ldns_cache().len(), 1);
+    }
+}

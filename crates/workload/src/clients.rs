@@ -1,0 +1,486 @@
+//! The measurement fleet (Table 1).
+
+use model::{ClientCategory, ProxyId};
+use std::net::Ipv4Addr;
+
+/// Fault-intensity archetype of a client (numbers live in `faults.rs`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientProfile {
+    /// Ordinary PlanetLab node: noticeable last-mile/LDNS trouble.
+    PlTypical,
+    /// Node at the Intel-like site: the site link fails constantly and both
+    /// nodes share almost every client-side episode (Table 8: 98.2%).
+    PlIntelShared,
+    /// A Columbia-like node with heavy *node-specific* faults.
+    PlColumbiaNoisy,
+    /// The third Columbia-like node: nearly quiet (similarity 3–5%).
+    PlColumbiaQuiet,
+    /// KAIST-like: a handful of episodes, about half shared.
+    PlKaist,
+    /// The howard.edu-like client of Figure 5: wide-area outages coupled to
+    /// severe (≥70-neighbor) BGP withdrawals of its prefix.
+    PlBgpShowcase,
+    /// The kscy-like client of Figure 7: a wide-area outage visible at only
+    /// 2 Routeviews peers yet devastating to reachability.
+    PlKscyShowcase,
+    /// Commercial dialup PoP path: few failures.
+    Dialup,
+    /// Corporate client behind a caching proxy.
+    CorpProxied,
+    /// SEAEXT: outside the proxy/firewall, same WAN as SEA1/SEA2.
+    CorpExternal,
+    /// Residential DSL/cable.
+    Broadband,
+}
+
+/// Static description of one client.
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    pub name: String,
+    pub category: ClientCategory,
+    /// Analysis-visible co-location group (the Section 4.4.6 pairs).
+    pub colocation: Option<u16>,
+    /// Fault-sharing group for WAN/site-level outages (includes the CN
+    /// Seattle trio, which the paper does *not* count among the 35 pairs).
+    pub wan_group: Option<u16>,
+    pub proxy: Option<ProxyId>,
+    pub profile: ClientProfile,
+    pub addr: Ipv4Addr,
+    /// Covered by a second, less-specific announced prefix (the paper: 50
+    /// of 203 addresses map to 2 prefixes).
+    pub extra_prefix: bool,
+}
+
+/// The whole fleet plus proxy count.
+#[derive(Clone, Debug)]
+pub struct FleetSpec {
+    pub clients: Vec<ClientSpec>,
+    pub proxy_count: u16,
+    /// Number of distinct fault-sharing groups allocated.
+    pub group_count: u16,
+}
+
+impl FleetSpec {
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+}
+
+/// Deterministic client address assignment: group `g`, member `i` lives at
+/// `10.(g/200).(g%200).(10+i)`; each group is a /24.
+fn group_addr(group: u16, member: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, (group / 200) as u8, (group % 200) as u8, 10 + member)
+}
+
+/// Build the paper's fleet: 95 PL + 26 DU + 6 CN + 7 BB = 134 clients.
+///
+/// PlanetLab spreads 95 nodes over 64 sites as 27 two-node sites, 2
+/// three-node sites and 35 singles, giving 33 co-located PL pairs; with the
+/// 2 BB pairs that makes the 35 pairs of Table 7.
+pub fn build_fleet() -> FleetSpec {
+    let mut clients: Vec<ClientSpec> = Vec::with_capacity(134);
+    let mut group: u16 = 0;
+
+    let push = |name: String,
+                    category: ClientCategory,
+                    colocation: Option<u16>,
+                    wan_group: Option<u16>,
+                    proxy: Option<ProxyId>,
+                    profile: ClientProfile,
+                    addr: Ipv4Addr,
+                    clients: &mut Vec<ClientSpec>| {
+        // Every 4th client address is additionally covered by a /16.
+        let extra_prefix = clients.len() % 4 == 0;
+        clients.push(ClientSpec {
+            name,
+            category,
+            colocation,
+            wan_group,
+            proxy,
+            profile,
+            addr,
+            extra_prefix,
+        });
+    };
+
+    // --- PlanetLab: 64 sites -------------------------------------------
+    // Site 0: Intel-like (2 nodes). Site 1: Columbia-like (3 nodes).
+    // Site 2: KAIST-like (3 nodes). Sites 3..=28: two-node sites (26 of
+    // them). Sites 29..=63: single-node sites (35), among them the BGP
+    // showcase clients.
+    {
+        let g = group;
+        group += 1;
+        for (i, name) in ["planet1.pittsburgh.intel-research.net", "planet2.pittsburgh.intel-research.net"]
+            .iter()
+            .enumerate()
+        {
+            push(
+                name.to_string(),
+                ClientCategory::PlanetLab,
+                Some(g),
+                Some(g),
+                None,
+                ClientProfile::PlIntelShared,
+                group_addr(g, i as u8),
+                &mut clients,
+            );
+        }
+    }
+    {
+        let g = group;
+        group += 1;
+        let profiles = [
+            ("planetlab2.comet.columbia.edu", ClientProfile::PlColumbiaNoisy),
+            ("planetlab3.comet.columbia.edu", ClientProfile::PlColumbiaNoisy),
+            ("planetlab1.comet.columbia.edu", ClientProfile::PlColumbiaQuiet),
+        ];
+        for (i, (name, profile)) in profiles.iter().enumerate() {
+            push(
+                name.to_string(),
+                ClientCategory::PlanetLab,
+                Some(g),
+                Some(g),
+                None,
+                *profile,
+                group_addr(g, i as u8),
+                &mut clients,
+            );
+        }
+    }
+    {
+        let g = group;
+        group += 1;
+        for (i, name) in ["csplanetlab1.kaist.ac.kr", "csplanetlab3.kaist.ac.kr", "csplanetlab4.kaist.ac.kr"]
+            .iter()
+            .enumerate()
+        {
+            push(
+                name.to_string(),
+                ClientCategory::PlanetLab,
+                Some(g),
+                Some(g),
+                None,
+                ClientProfile::PlKaist,
+                group_addr(g, i as u8),
+                &mut clients,
+            );
+        }
+    }
+    for site in 0..26 {
+        let g = group;
+        group += 1;
+        for i in 0..2u8 {
+            push(
+                format!("planetlab{}.site{:02}.pl.example.edu", i + 1, site),
+                ClientCategory::PlanetLab,
+                Some(g),
+                Some(g),
+                None,
+                ClientProfile::PlTypical,
+                group_addr(g, i),
+                &mut clients,
+            );
+        }
+    }
+    // 35 single-node sites; two of them are the BGP showcases.
+    for site in 0..35 {
+        let g = group;
+        group += 1;
+        let (name, profile) = match site {
+            0 => (
+                "nodea.howard.edu".to_string(),
+                ClientProfile::PlBgpShowcase,
+            ),
+            1 => (
+                "planetlab1.kscy.internet2.planet-lab.org".to_string(),
+                ClientProfile::PlKscyShowcase,
+            ),
+            _ => (
+                format!("planetlab1.solo{:02}.pl.example.org", site),
+                ClientProfile::PlTypical,
+            ),
+        };
+        push(
+            name,
+            ClientCategory::PlanetLab,
+            None, // single node: not a co-location pair
+            Some(g),
+            None,
+            profile,
+            group_addr(g, 0),
+            &mut clients,
+        );
+    }
+
+    // --- Dialup: 26 PoPs ---------------------------------------------------
+    let du_pops: [(&str, &str); 26] = [
+        ("boston", "icg"), ("boston", "level3"), ("boston", "qwest"),
+        ("chicago", "icg"), ("chicago", "level3"), ("chicago", "qwest"),
+        ("houston", "icg"), ("houston", "level3"), ("houston", "qwest"),
+        ("newyork", "icg"), ("newyork", "qwest"), ("newyork", "uunet"),
+        ("pittsburgh", "icg"), ("pittsburgh", "level3"), ("pittsburgh", "qwest"),
+        ("sandiego", "icg"), ("sandiego", "level3"), ("sandiego", "qwest"),
+        ("sanfrancisco", "icg"), ("sanfrancisco", "level3"), ("sanfrancisco", "qwest"),
+        ("seattle", "icg"), ("seattle", "level3"), ("seattle", "qwest"),
+        ("washingtondc", "icg"), ("washingtondc", "level3"),
+    ];
+    for (city, provider) in du_pops {
+        let g = group;
+        group += 1;
+        push(
+            format!("du-{city}-{provider}.msn.example"),
+            ClientCategory::Dialup,
+            None,
+            Some(g),
+            None,
+            ClientProfile::Dialup,
+            group_addr(g, 0),
+            &mut clients,
+        );
+    }
+
+    // --- CorpNet: 5 proxied + SEAEXT ---------------------------------------
+    let sea_group = group;
+    group += 1;
+    for (i, (name, proxy)) in [("sea1.corp.example", 0u16), ("sea2.corp.example", 1)]
+        .iter()
+        .enumerate()
+    {
+        push(
+            name.to_string(),
+            ClientCategory::CorpNet,
+            None, // the paper's 35 pairs exclude CN
+            Some(sea_group),
+            Some(ProxyId(*proxy)),
+            ClientProfile::CorpProxied,
+            group_addr(sea_group, i as u8),
+            &mut clients,
+        );
+    }
+    for (name, proxy) in [
+        ("sf.corp.example", 2u16),
+        ("uk.corp.example", 3),
+        ("chn.corp.example", 4),
+    ] {
+        let g = group;
+        group += 1;
+        push(
+            name.to_string(),
+            ClientCategory::CorpNet,
+            None,
+            Some(g),
+            Some(ProxyId(proxy)),
+            ClientProfile::CorpProxied,
+            group_addr(g, 0),
+            &mut clients,
+        );
+    }
+    push(
+        "seaext.corp.example".to_string(),
+        ClientCategory::CorpNet,
+        None,
+        Some(sea_group),
+        None,
+        ClientProfile::CorpExternal,
+        group_addr(sea_group, 2),
+        &mut clients,
+    );
+
+    // --- Broadband: 7 clients, 2 co-located pairs ---------------------------
+    {
+        let g = group;
+        group += 1;
+        for i in 0..2u8 {
+            push(
+                format!("bb-sandiego-roadrunner-{}", i + 1),
+                ClientCategory::Broadband,
+                Some(g),
+                Some(g),
+                None,
+                ClientProfile::Broadband,
+                group_addr(g, i),
+                &mut clients,
+            );
+        }
+    }
+    {
+        let g = group;
+        group += 1;
+        for i in 0..2u8 {
+            push(
+                format!("bb-seattle-verizon-{}", i + 1),
+                ClientCategory::Broadband,
+                Some(g),
+                Some(g),
+                None,
+                ClientProfile::Broadband,
+                group_addr(g, i),
+                &mut clients,
+            );
+        }
+    }
+    for name in [
+        "bb-pittsburgh-dsl",
+        "bb-seattle-speakeasy",
+        "bb-sanfrancisco-sbc",
+    ] {
+        let g = group;
+        group += 1;
+        push(
+            name.to_string(),
+            ClientCategory::Broadband,
+            None,
+            Some(g),
+            None,
+            ClientProfile::Broadband,
+            group_addr(g, 0),
+            &mut clients,
+        );
+    }
+
+    FleetSpec {
+        clients,
+        proxy_count: 5,
+        group_count: group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn fleet_is_134_clients() {
+        let fleet = build_fleet();
+        assert_eq!(fleet.len(), 134);
+        let count = |c: ClientCategory| {
+            fleet
+                .clients
+                .iter()
+                .filter(|cl| cl.category == c)
+                .count()
+        };
+        assert_eq!(count(ClientCategory::PlanetLab), 95);
+        assert_eq!(count(ClientCategory::Dialup), 26);
+        assert_eq!(count(ClientCategory::CorpNet), 6);
+        assert_eq!(count(ClientCategory::Broadband), 7);
+    }
+
+    #[test]
+    fn exactly_35_colocated_pairs() {
+        let fleet = build_fleet();
+        let mut groups: HashMap<u16, usize> = HashMap::new();
+        for c in &fleet.clients {
+            if let Some(g) = c.colocation {
+                *groups.entry(g).or_insert(0) += 1;
+            }
+        }
+        let pairs: usize = groups.values().map(|&k| k * (k - 1) / 2).sum();
+        assert_eq!(pairs, 35);
+    }
+
+    #[test]
+    fn proxies_assigned_correctly() {
+        let fleet = build_fleet();
+        let proxied: Vec<_> = fleet
+            .clients
+            .iter()
+            .filter(|c| c.proxy.is_some())
+            .collect();
+        assert_eq!(proxied.len(), 5);
+        assert!(proxied.iter().all(|c| c.category == ClientCategory::CorpNet));
+        let ids: HashSet<_> = proxied.iter().map(|c| c.proxy.unwrap()).collect();
+        assert_eq!(ids.len(), 5, "each CN client has its own proxy");
+        // SEAEXT exists, is CN, unproxied, and shares the SEA wan group.
+        let seaext = fleet
+            .clients
+            .iter()
+            .find(|c| c.name.starts_with("seaext"))
+            .unwrap();
+        assert!(seaext.proxy.is_none());
+        let sea1 = fleet
+            .clients
+            .iter()
+            .find(|c| c.name.starts_with("sea1"))
+            .unwrap();
+        assert_eq!(seaext.wan_group, sea1.wan_group);
+        assert!(seaext.colocation.is_none(), "CN trio not in the 35 pairs");
+    }
+
+    #[test]
+    fn addresses_unique() {
+        let fleet = build_fleet();
+        let addrs: HashSet<_> = fleet.clients.iter().map(|c| c.addr).collect();
+        assert_eq!(addrs.len(), fleet.len());
+    }
+
+    #[test]
+    fn colocated_clients_share_a_slash24() {
+        let fleet = build_fleet();
+        let mut by_group: HashMap<u16, Vec<Ipv4Addr>> = HashMap::new();
+        for c in &fleet.clients {
+            if let Some(g) = c.colocation {
+                by_group.entry(g).or_default().push(c.addr);
+            }
+        }
+        for (g, addrs) in by_group {
+            let nets: HashSet<_> = addrs
+                .iter()
+                .map(|a| model::Ipv4Prefix::slash24_of(*a))
+                .collect();
+            assert_eq!(nets.len(), 1, "group {g} spans subnets");
+        }
+    }
+
+    #[test]
+    fn showcase_clients_present() {
+        let fleet = build_fleet();
+        assert!(fleet
+            .clients
+            .iter()
+            .any(|c| c.name == "nodea.howard.edu" && c.profile == ClientProfile::PlBgpShowcase));
+        assert!(fleet.clients.iter().any(
+            |c| c.name.starts_with("planetlab1.kscy") && c.profile == ClientProfile::PlKscyShowcase
+        ));
+        let intel = fleet
+            .clients
+            .iter()
+            .filter(|c| c.profile == ClientProfile::PlIntelShared)
+            .count();
+        assert_eq!(intel, 2);
+        let columbia_noisy = fleet
+            .clients
+            .iter()
+            .filter(|c| c.profile == ClientProfile::PlColumbiaNoisy)
+            .count();
+        assert_eq!(columbia_noisy, 2);
+    }
+
+    #[test]
+    fn quarter_of_clients_have_two_prefixes() {
+        let fleet = build_fleet();
+        let extra = fleet.clients.iter().filter(|c| c.extra_prefix).count();
+        // Every 4th client: 134/4 rounded up.
+        assert_eq!(extra, 34);
+    }
+
+    #[test]
+    fn wan_groups_cover_everyone() {
+        let fleet = build_fleet();
+        assert!(fleet.clients.iter().all(|c| c.wan_group.is_some()));
+        assert!(fleet.group_count > 0);
+        let max = fleet
+            .clients
+            .iter()
+            .filter_map(|c| c.wan_group)
+            .max()
+            .unwrap();
+        assert!(max < fleet.group_count);
+    }
+}

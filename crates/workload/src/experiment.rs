@@ -1,0 +1,578 @@
+//! The experiment runner: a month of web accesses plus the BGP feed.
+//!
+//! Determinism contract: every client draws from its own forked RNG stream
+//! and reads only immutable shared state (zone tree, ground-truth
+//! timelines), so the dataset is bit-identical regardless of thread count or
+//! scheduling. Clients run in parallel with `std::thread::scope`.
+
+use crate::clients::{build_fleet, FleetSpec};
+use crate::faults::{canonical_host, GroundTruth};
+use crate::sites::{build_sites, site_addresses, SiteSpec};
+use crate::view::{ClientView, ProxyView};
+use bgpsim::{aggregate, clean, generate, BgpScenario, SevereEvent};
+use dnssim::ZoneTree;
+use dnswire::DomainName;
+use model::{
+    ClientId, ClientMeta, Dataset, ConnectionRecord, Ipv4Prefix, PerformanceRecord, PrefixId,
+    SimDuration, SimTime, SiteId, SiteMeta,
+};
+use netsim::SimRng;
+use webclient::{ClientSession, ProxySession, WgetConfig};
+use std::net::Ipv4Addr;
+
+/// Scale and fidelity knobs for one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    pub seed: u64,
+    /// Horizon in hours (the paper's month is 744).
+    pub hours: u32,
+    /// Accesses of each URL per hour per client (the paper's rate is ~4).
+    pub iterations_per_hour: u32,
+    /// Round-trip DNS/HTTP messages through the wire codecs.
+    pub wire_fidelity: bool,
+    /// Capture packet traces on PL/DU clients (BB never records; CN traces
+    /// are uninformative and skipped, as in the paper).
+    pub record_traces: bool,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Multiplier on every ground-truth fault intensity (1.0 = the
+    /// calibrated 2005 Internet; see
+    /// [`GroundTruth::materialize_scaled`]).
+    pub fault_scale: f64,
+}
+
+impl ExperimentConfig {
+    /// Full paper scale: 744 hours × 4 accesses/hour × 80 sites × 134
+    /// clients ≈ 32 M transactions. Heavy; wire fidelity off.
+    pub fn paper_scale(seed: u64) -> Self {
+        ExperimentConfig {
+            seed,
+            hours: 744,
+            iterations_per_hour: 4,
+            wire_fidelity: false,
+            record_traces: true,
+            threads: 0,
+            fault_scale: 1.0,
+        }
+    }
+
+    /// Default reproduction scale: the full month and fleet at 2
+    /// accesses/hour (~16 M transactions). Rates and shares — what the
+    /// paper's findings are about — are preserved; absolute counts halve.
+    pub fn reproduction(seed: u64) -> Self {
+        ExperimentConfig {
+            iterations_per_hour: 2,
+            ..Self::paper_scale(seed)
+        }
+    }
+
+    /// A small run for integration tests and examples: full fleet, 72
+    /// hours, 1 access/hour, full wire fidelity.
+    pub fn quick(seed: u64) -> Self {
+        ExperimentConfig {
+            seed,
+            hours: 72,
+            iterations_per_hour: 1,
+            wire_fidelity: true,
+            record_traces: true,
+            threads: 0,
+            fault_scale: 1.0,
+        }
+    }
+
+    /// Expected transaction count (modulo machine downtime).
+    pub fn expected_transactions(&self) -> u64 {
+        u64::from(self.hours) * u64::from(self.iterations_per_hour) * 80 * 134
+    }
+}
+
+/// Everything a run produces: the dataset plus the ground truth it came
+/// from (validation studies compare inference against this).
+pub struct ExperimentOutput {
+    pub dataset: Dataset,
+    pub truth: GroundTruth,
+    pub fleet: FleetSpec,
+    pub sites: Vec<SiteSpec>,
+}
+
+/// Run the experiment.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
+    let fleet = build_fleet();
+    let sites = build_sites();
+    let truth = GroundTruth::materialize_scaled(
+        &fleet,
+        &sites,
+        config.hours,
+        config.seed,
+        config.fault_scale,
+    );
+
+    // --- DNS world -----------------------------------------------------
+    let mut hosts: Vec<(DomainName, Vec<Ipv4Addr>)> = Vec::new();
+    let mut host_names: Vec<DomainName> = Vec::with_capacity(sites.len());
+    for (si, s) in sites.iter().enumerate() {
+        let name: DomainName = s.hostname.parse().expect("valid hostname");
+        let addrs = site_addresses(si, s.layout);
+        hosts.push((name.clone(), addrs.clone()));
+        if s.redirect_hop {
+            let canonical: DomainName = canonical_host(s.hostname).parse().expect("valid");
+            hosts.push((canonical, addrs));
+        }
+        host_names.push(name);
+    }
+    let tree = ZoneTree::build_for_hosts(&hosts);
+
+    // --- Prefix table -----------------------------------------------------
+    let (prefixes, client_prefix_ids, site_prefix_ids, extra_ids) =
+        build_prefixes(&fleet, &sites);
+
+    // --- BGP feed -----------------------------------------------------------
+    let bgp = build_bgp(config, &truth, prefixes.len());
+
+    // --- Access schedule + sessions, per client ------------------------------
+    let root = SimRng::new(config.seed);
+    let n_clients = fleet.len();
+    let mut per_client: Vec<Option<(Vec<PerformanceRecord>, Vec<ConnectionRecord>)>> =
+        (0..n_clients).map(|_| None).collect();
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        config.threads
+    };
+
+    {
+        let truth = &truth;
+        let tree = &tree;
+        let fleet = &fleet;
+        let host_names = &host_names;
+        let root = &root;
+        let chunks: Vec<&mut [Option<(Vec<PerformanceRecord>, Vec<ConnectionRecord>)>]> = {
+            // Split the output buffer into per-thread chunks of client slots.
+            let mut rest: &mut [Option<_>] = &mut per_client;
+            let mut out = Vec::new();
+            let per = n_clients.div_ceil(threads);
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                out.push(head);
+                rest = tail;
+            }
+            out
+        };
+        std::thread::scope(|scope| {
+            let mut base = 0usize;
+            for chunk in chunks {
+                let start = base;
+                base += chunk.len();
+                scope.spawn(move || {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let client = start + off;
+                        *slot = Some(run_client(
+                            config, truth, tree, fleet, host_names, root, client,
+                        ));
+                    }
+                });
+            }
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut connections = Vec::new();
+    for slot in per_client {
+        let (mut r, mut c) = slot.expect("every client ran");
+        records.append(&mut r);
+        connections.append(&mut c);
+    }
+
+    // --- Metadata ------------------------------------------------------------
+    let clients_meta: Vec<ClientMeta> = fleet
+        .clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut pfx = vec![client_prefix_ids[i]];
+            if let Some(extra) = extra_ids[i] {
+                pfx.push(extra);
+            }
+            ClientMeta {
+                id: ClientId(i as u16),
+                name: c.name.clone(),
+                category: c.category,
+                colocation: c.colocation,
+                proxy: c.proxy,
+                prefixes: pfx,
+                addr: c.addr,
+            }
+        })
+        .collect();
+    let sites_meta: Vec<SiteMeta> = sites
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            let addrs = site_addresses(si, s.layout);
+            let replica_prefixes = addrs
+                .iter()
+                .map(|a| (*a, vec![site_prefix_ids[si]]))
+                .collect();
+            SiteMeta {
+                id: SiteId(si as u16),
+                hostname: s.hostname.to_string(),
+                category: s.category,
+                addrs,
+                replica_prefixes,
+            }
+        })
+        .collect();
+
+    let dataset = Dataset {
+        hours: config.hours,
+        clients: clients_meta,
+        sites: sites_meta,
+        records,
+        connections,
+        prefixes,
+        bgp,
+    };
+    ExperimentOutput {
+        dataset,
+        truth,
+        fleet,
+        sites,
+    }
+}
+
+/// Prefix-table layout (must stay in sync with
+/// `faults::derive_severe_events`): indices `0..group_count` are the client
+/// /24s (by wan group), `group_count..group_count+80` the per-site /16s,
+/// and the remainder the extra /16s covering every 4th client.
+fn build_prefixes(
+    fleet: &FleetSpec,
+    sites: &[SiteSpec],
+) -> (
+    Vec<Ipv4Prefix>,
+    Vec<PrefixId>,
+    Vec<PrefixId>,
+    Vec<Option<PrefixId>>,
+) {
+    let mut prefixes: Vec<Ipv4Prefix> = Vec::new();
+    // Client group /24s.
+    for g in 0..fleet.group_count {
+        let base = Ipv4Addr::new(10, (g / 200) as u8, (g % 200) as u8, 0);
+        prefixes.push(Ipv4Prefix::new(base, 24).expect("valid"));
+    }
+    // Site /16s.
+    let mut site_prefix_ids = Vec::with_capacity(sites.len());
+    for (si, s) in sites.iter().enumerate() {
+        let first = site_addresses(si, s.layout)[0];
+        let octets = first.octets();
+        site_prefix_ids.push(PrefixId(prefixes.len() as u32));
+        prefixes.push(
+            Ipv4Prefix::new(Ipv4Addr::new(octets[0], octets[1], 0, 0), 16).expect("valid"),
+        );
+    }
+    // Client prefix ids + extra covering /16s.
+    let mut client_prefix_ids = Vec::with_capacity(fleet.len());
+    let mut extra_ids = Vec::with_capacity(fleet.len());
+    for c in &fleet.clients {
+        let g = c.wan_group.expect("all clients grouped");
+        client_prefix_ids.push(PrefixId(u32::from(g)));
+        if c.extra_prefix {
+            let octets = c.addr.octets();
+            let covering =
+                Ipv4Prefix::new(Ipv4Addr::new(octets[0], octets[1], 0, 0), 16).expect("valid");
+            let id = match prefixes.iter().position(|p| *p == covering) {
+                Some(i) => PrefixId(i as u32),
+                None => {
+                    prefixes.push(covering);
+                    PrefixId((prefixes.len() - 1) as u32)
+                }
+            };
+            extra_ids.push(Some(id));
+        } else {
+            extra_ids.push(None);
+        }
+    }
+    (prefixes, client_prefix_ids, site_prefix_ids, extra_ids)
+}
+
+/// Generate, aggregate and clean the BGP feed.
+fn build_bgp(
+    config: &ExperimentConfig,
+    truth: &GroundTruth,
+    prefix_count: usize,
+) -> model::BgpHourlySeries {
+    let severe_events: Vec<SevereEvent> = truth
+        .severe_bgp
+        .iter()
+        .map(|e| SevereEvent {
+            prefix: PrefixId(e.prefix_index),
+            hour: e.hour,
+            neighbors: e.neighbors,
+            withdrawals_per_neighbor: e.withdrawals_per_neighbor,
+            announcements_per_neighbor: 2,
+        })
+        .collect();
+    let mut scenario = BgpScenario::quiet(prefix_count, config.hours);
+    scenario.severe_events = severe_events;
+    // A collector reset roughly every 10 days.
+    let mut rng = SimRng::new(config.seed).fork_str("bgp-resets");
+    let mut h = 0u32;
+    while h < config.hours {
+        h += 120 + rng.below(240) as u32;
+        if h < config.hours {
+            scenario.reset_hours.push(h);
+        }
+    }
+    let raw = generate(&scenario, &mut SimRng::new(config.seed).fork_str("bgp-gen"));
+    let series = aggregate(&raw.updates, prefix_count, config.hours);
+    let (cleaned, _report) = clean(&series, &raw.hourly_unique_prefixes);
+    cleaned
+}
+
+/// Run one client's month.
+fn run_client(
+    config: &ExperimentConfig,
+    truth: &GroundTruth,
+    tree: &ZoneTree,
+    fleet: &FleetSpec,
+    host_names: &[DomainName],
+    root: &SimRng,
+    client: usize,
+) -> (Vec<PerformanceRecord>, Vec<ConnectionRecord>) {
+    let spec = &fleet.clients[client];
+    let mut rng = root.fork(0x90_0000 + client as u64);
+    let record_traces = config.record_traces
+        && matches!(
+            spec.category,
+            model::ClientCategory::PlanetLab | model::ClientCategory::Dialup
+        );
+    let mut wget = WgetConfig {
+        record_traces,
+        no_cache: spec.proxy.is_some(),
+        ..WgetConfig::default()
+    };
+    wget.resolver.wire_fidelity = config.wire_fidelity;
+    wget.http_wire_fidelity = config.wire_fidelity;
+
+    let view = ClientView::new(truth, client as u16);
+    let mut session = ClientSession::new(tree, wget, rng.fork(1));
+    let mut proxy_session = spec
+        .proxy
+        .map(|p| (p, ProxySession::new(Default::default(), rng.fork(2)), ProxyView::new(truth, p.0)));
+
+    let iterations = u64::from(config.hours) * u64::from(config.iterations_per_hour);
+    let iter_len = 3_600_000_000u64 / u64::from(config.iterations_per_hour); // µs
+    let n_sites = host_names.len();
+    // Dialup clients dial a PoP and download every URL at a stretch before
+    // hanging up (Section 3.4); everyone else spreads accesses over the
+    // iteration window.
+    let burst = spec.category == model::ClientCategory::Dialup;
+    let slot = if burst {
+        12_000_000 // ~12 s between URLs while dialed in
+    } else {
+        iter_len / n_sites as u64
+    };
+
+    let mut records = Vec::new();
+    let mut connections = Vec::new();
+    let mut order: Vec<usize> = (0..n_sites).collect();
+
+    for iter in 0..iterations {
+        let mut base = SimTime::from_micros(iter * iter_len);
+        if burst {
+            // Dial in at a random point of the window that leaves room for
+            // the whole batch.
+            let batch = slot * n_sites as u64;
+            let slack = iter_len.saturating_sub(batch).max(1);
+            base = base + SimDuration::from_micros(rng.below(slack));
+        }
+        // Randomized URL order each iteration (Section 3.1).
+        rng.shuffle(&mut order);
+        for (k, &si) in order.iter().enumerate() {
+            let jitter = rng.below(slot / 4);
+            let t = base + SimDuration::from_micros(k as u64 * slot + jitter);
+            if truth.machine_down(client, t) {
+                continue;
+            }
+            let obs = match proxy_session.as_mut() {
+                Some((_, ps, pview)) => {
+                    session.run_proxied_transaction(&view, ps, pview, &host_names[si], t)
+                }
+                None => session.run_transaction(&view, &host_names[si], t),
+            };
+            let cid = ClientId(client as u16);
+            let sid = SiteId(si as u16);
+            for c in &obs.connections {
+                connections.push(ConnectionRecord {
+                    client: cid,
+                    site: sid,
+                    replica: c.replica,
+                    start: c.start,
+                    outcome: c.outcome,
+                    syn_retransmissions: c.syn_retransmissions,
+                    retransmissions: c.retransmissions,
+                });
+            }
+            records.push(PerformanceRecord {
+                client: cid,
+                site: sid,
+                replica: obs.replica,
+                start: obs.start,
+                dns: obs.dns,
+                outcome: obs.outcome,
+                download_time: obs.download_time,
+                bytes_received: obs.bytes_received,
+                connections_attempted: obs.connections.len() as u16,
+                retransmissions: obs.retransmissions,
+                dig: obs.dig,
+                proxy: spec.proxy,
+            });
+        }
+    }
+    (records, connections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::ClientCategory;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 5,
+            hours: 12,
+            iterations_per_hour: 1,
+            wire_fidelity: true,
+            record_traces: true,
+            threads: 0,
+            fault_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn tiny_run_produces_records_for_everyone() {
+        let out = run_experiment(&tiny());
+        let ds = &out.dataset;
+        assert_eq!(ds.clients.len(), 134);
+        assert_eq!(ds.sites.len(), 80);
+        // ~12×80×134 = 128k minus machine downtime.
+        let expected = tiny().expected_transactions() as usize;
+        assert!(ds.records.len() > expected * 90 / 100, "{}", ds.records.len());
+        assert!(ds.records.len() <= expected);
+        // Every client made accesses.
+        let mut per_client = vec![0usize; 134];
+        for r in &ds.records {
+            per_client[r.client.0 as usize] += 1;
+        }
+        assert!(per_client.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn connection_counts_exceed_transactions_for_direct_clients() {
+        let out = run_experiment(&tiny());
+        let ds = &out.dataset;
+        let direct_txns = ds
+            .records
+            .iter()
+            .filter(|r| r.proxy.is_none())
+            .count();
+        assert!(
+            ds.connections.len() > direct_txns,
+            "{} conns vs {} direct txns",
+            ds.connections.len(),
+            direct_txns
+        );
+        // Ratio in the paper's ballpark (1.2–1.3).
+        let ratio = ds.connections.len() as f64 / direct_txns as f64;
+        assert!((1.05..1.6).contains(&ratio), "ratio {ratio}");
+        // CN clients have no connection records (masked by the proxy).
+        for c in ds.clients_in(ClientCategory::CorpNet) {
+            if c.proxy.is_some() {
+                assert!(ds.connections.iter().all(|conn| conn.client != c.id));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut cfg = tiny();
+        cfg.hours = 6;
+        cfg.threads = 1;
+        let a = run_experiment(&cfg);
+        cfg.threads = 7;
+        let b = run_experiment(&cfg);
+        assert_eq!(a.dataset.records.len(), b.dataset.records.len());
+        assert_eq!(a.dataset.connections.len(), b.dataset.connections.len());
+        for (x, y) in a.dataset.records.iter().zip(&b.dataset.records) {
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+
+    #[test]
+    fn prefix_table_covers_everyone() {
+        let out = run_experiment(&tiny());
+        let ds = &out.dataset;
+        for c in &ds.clients {
+            assert!(!c.prefixes.is_empty());
+            for p in &c.prefixes {
+                assert!(ds.prefix(*p).contains(c.addr), "{} not covered", c.name);
+            }
+        }
+        for s in &ds.sites {
+            for (addr, pfx) in &s.replica_prefixes {
+                for p in pfx {
+                    assert!(ds.prefix(*p).contains(*addr));
+                }
+            }
+        }
+        // ~a quarter of clients carry a second prefix.
+        let two = ds.clients.iter().filter(|c| c.prefixes.len() == 2).count();
+        assert_eq!(two, 34);
+    }
+
+    #[test]
+    fn bgp_series_has_severe_activity() {
+        let mut cfg = tiny();
+        cfg.hours = 48;
+        let out = run_experiment(&cfg);
+        let ds = &out.dataset;
+        let severe = ds
+            .bgp
+            .active_cells()
+            .filter(|(_, _, cell)| cell.neighbors_withdrawing >= 70)
+            .count();
+        // Showcase clients plus coupled server events, scaled to 48 h.
+        assert!(severe >= 1, "no severe BGP cells");
+    }
+
+    #[test]
+    fn failure_rates_roughly_ordered_by_category() {
+        // Even at tiny scale, PL should fail more than DU.
+        let mut cfg = tiny();
+        cfg.hours = 48;
+        cfg.wire_fidelity = false;
+        let out = run_experiment(&cfg);
+        let ds = &out.dataset;
+        let rate = |cat: ClientCategory| {
+            let mut total = 0usize;
+            let mut failed = 0usize;
+            for r in &ds.records {
+                if ds.client(r.client).category == cat {
+                    total += 1;
+                    failed += usize::from(r.failed());
+                }
+            }
+            failed as f64 / total.max(1) as f64
+        };
+        let pl = rate(ClientCategory::PlanetLab);
+        let du = rate(ClientCategory::Dialup);
+        assert!(pl > du, "PL {pl} vs DU {du}");
+        assert!(pl > 0.01 && pl < 0.06, "PL rate {pl}");
+    }
+}

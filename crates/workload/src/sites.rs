@@ -1,0 +1,423 @@
+//! The 80 target websites (Table 2) and their ground-truth layouts.
+
+use model::SiteCategory;
+use std::net::Ipv4Addr;
+
+/// How a site's server addresses are laid out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaLayout {
+    /// One server IP (42 of the 80 sites qualify as single-replica).
+    Single,
+    /// `count` replicas on the same /24 (prone to correlated failure —
+    /// Section 4.5 finds almost all total-replica failures are same-subnet).
+    MultiSameSubnet { count: u8 },
+    /// `count` replicas on distinct /24s (independent failures).
+    MultiSpread { count: u8 },
+    /// CDN-served: a large rotating address pool, so no single address
+    /// reaches the 10%-of-connections bar to qualify as a replica.
+    Cdn { pool: u16 },
+}
+
+impl ReplicaLayout {
+    /// Number of distinct addresses the site answers with.
+    pub fn address_count(&self) -> u16 {
+        match *self {
+            ReplicaLayout::Single => 1,
+            ReplicaLayout::MultiSameSubnet { count } | ReplicaLayout::MultiSpread { count } => {
+                u16::from(count)
+            }
+            ReplicaLayout::Cdn { pool } => pool,
+        }
+    }
+
+    /// Whether the analysis should see qualified replicas at all.
+    pub fn is_cdn(&self) -> bool {
+        matches!(self, ReplicaLayout::Cdn { .. })
+    }
+}
+
+/// The reliability archetype driving a site's fault processes (calibrated
+/// against Table 6 and Sections 4.4.5/4.2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SiteReliability {
+    /// Long-run fraction of time the site is in a degraded episode.
+    pub down_fraction: f64,
+    /// Probability an access fails while degraded (episodes are abnormal
+    /// failure *rates*, not blackouts — Section 2.2).
+    pub episode_fail_prob: f64,
+    /// Fraction of time the site's authoritative DNS is unreachable
+    /// (produces non-LDNS timeouts).
+    pub auth_dns_down_fraction: f64,
+    /// Fraction of time the zone answers with an error (brazzil/espn-style
+    /// misconfiguration bursts).
+    pub zone_error_fraction: f64,
+    /// For spread-replica sites only: fraction of time each replica is
+    /// hard-down in short (minutes-long) flaps. The first replica flaps at
+    /// this rate, the others at half of it. Short flaps hover the site's
+    /// hourly failure rate around the episode threshold and are the
+    /// mechanism behind the Table 9 proxy residuals.
+    pub replica_flap_fraction: f64,
+}
+
+impl SiteReliability {
+    pub const SOLID: SiteReliability = SiteReliability {
+        down_fraction: 0.004,
+        episode_fail_prob: 0.20,
+        auth_dns_down_fraction: 0.0004,
+        zone_error_fraction: 0.0,
+        replica_flap_fraction: 0.0,
+    };
+
+    pub const TYPICAL: SiteReliability = SiteReliability {
+        down_fraction: 0.012,
+        episode_fail_prob: 0.20,
+        auth_dns_down_fraction: 0.0006,
+        zone_error_fraction: 0.0,
+        replica_flap_fraction: 0.0,
+    };
+
+    pub const SHAKY: SiteReliability = SiteReliability {
+        down_fraction: 0.04,
+        episode_fail_prob: 0.25,
+        auth_dns_down_fraction: 0.0015,
+        zone_error_fraction: 0.0,
+        replica_flap_fraction: 0.0,
+    };
+}
+
+/// Static specification of one website.
+#[derive(Clone, Debug)]
+pub struct SiteSpec {
+    pub hostname: &'static str,
+    pub category: SiteCategory,
+    pub layout: ReplicaLayout,
+    /// Index object size in bytes.
+    pub index_bytes: u64,
+    /// Whether `hostname` is reached via a redirect hop from the bare
+    /// domain (inflates connection counts).
+    pub redirect_hop: bool,
+    pub reliability: SiteReliability,
+    /// Extra mean RTT to this site (intl sites are farther from the mostly
+    /// US fleet).
+    pub rtt_penalty_ms: u32,
+}
+
+fn site(
+    hostname: &'static str,
+    category: SiteCategory,
+    layout: ReplicaLayout,
+    index_bytes: u64,
+    redirect_hop: bool,
+    reliability: SiteReliability,
+) -> SiteSpec {
+    let rtt_penalty_ms = if category.is_us() { 0 } else { 90 };
+    SiteSpec {
+        hostname,
+        category,
+        layout,
+        index_bytes,
+        redirect_hop,
+        reliability,
+        rtt_penalty_ms,
+    }
+}
+
+/// Shorthands used in the table below.
+fn rel(down_fraction: f64, episode_fail_prob: f64) -> SiteReliability {
+    SiteReliability {
+        down_fraction,
+        episode_fail_prob,
+        ..SiteReliability::TYPICAL
+    }
+}
+
+/// Build the 80-site list.
+///
+/// Reliability assignments reproduce the paper's named heavy hitters
+/// (Table 6: sina.com.cn and iitb.ac.in degraded almost all month, sohu,
+/// craigslist, brazzil, technion, chinabroadcast, ucl, nih, mit), the DNS
+/// error concentration on brazzil/espn (Figure 2), and the 3-replica iitb
+/// layout behind the proxy fail-over finding (Table 9, Section 4.7).
+pub fn build_sites() -> Vec<SiteSpec> {
+    use ReplicaLayout as L;
+    use SiteCategory::*;
+    let cdn = |pool| L::Cdn { pool };
+    let multi = |count| L::MultiSameSubnet { count };
+    let spread = |count| L::MultiSpread { count };
+
+    vec![
+        // --- US-EDU (8) ----------------------------------------------------
+        site("www.berkeley.edu", UsEdu, L::Single, 28_000, false, SiteReliability::SOLID),
+        site("www.washington.edu", UsEdu, L::Single, 26_000, false, SiteReliability::SOLID),
+        site("www.cmu.edu", UsEdu, L::Single, 22_000, false, SiteReliability::TYPICAL),
+        site("www.umn.edu", UsEdu, L::Single, 30_000, false, SiteReliability::TYPICAL),
+        site("www.caltech.edu", UsEdu, L::Single, 18_000, false, SiteReliability::SOLID),
+        site("www.nmt.edu", UsEdu, L::Single, 15_000, false, SiteReliability::SHAKY),
+        site("www.ufl.edu", UsEdu, L::Single, 24_000, false, SiteReliability::TYPICAL),
+        // mit.edu: 23 server-side episodes, spread 91.8% (Table 6)
+        site("www.mit.edu", UsEdu, multi(2), 21_000, false, rel(0.030, 0.22)),
+        // --- US-POPULAR (22) -----------------------------------------------
+        site("www.amazon.com", UsPopular, multi(3), 62_000, true, SiteReliability::SOLID),
+        site("www.microsoft.com", UsPopular, cdn(40), 45_000, true, SiteReliability::SOLID),
+        site("www.ebay.com", UsPopular, multi(3), 55_000, true, SiteReliability::SOLID),
+        site("www.mapquest.com", UsPopular, multi(2), 35_000, false, SiteReliability::TYPICAL),
+        site("www.cnn.com", UsPopular, multi(4), 70_000, false, SiteReliability::SOLID),
+        site("www.cnnsi.com", UsPopular, multi(2), 52_000, true, SiteReliability::TYPICAL),
+        site("www.webmd.com", UsPopular, L::Single, 41_000, false, SiteReliability::TYPICAL),
+        // espn.go.com: 30% of the DNS error responses (Figure 2)
+        site(
+            "espn.go.com",
+            UsPopular,
+            multi(3),
+            68_000,
+            false,
+            SiteReliability {
+                zone_error_fraction: 0.017,
+                ..SiteReliability::SOLID
+            },
+        ),
+        site("www.sportsline.com", UsPopular, L::Single, 58_000, false, SiteReliability::TYPICAL),
+        site("www.expedia.com", UsPopular, multi(3), 47_000, true, SiteReliability::SOLID),
+        site("www.orbitz.com", UsPopular, multi(2), 44_000, true, SiteReliability::TYPICAL),
+        site("www.imdb.com", UsPopular, multi(2), 39_000, false, SiteReliability::SOLID),
+        site("www.google.com", UsPopular, cdn(60), 12_000, false, SiteReliability::SOLID),
+        site("www.yahoo.com", UsPopular, cdn(50), 34_000, false, SiteReliability::SOLID),
+        site("games.yahoo.com", UsPopular, multi(2), 42_000, false, SiteReliability::SOLID),
+        site("weather.yahoo.com", UsPopular, multi(2), 37_000, false, SiteReliability::SOLID),
+        site("www.msn.com", UsPopular, cdn(30), 40_000, false, SiteReliability::SOLID),
+        site("www.passport.net", UsPopular, multi(2), 9_000, true, SiteReliability::SOLID),
+        site("www.aol.com", UsPopular, multi(3), 48_000, true, SiteReliability::SOLID),
+        site("www.nytimes.com", UsPopular, multi(2), 65_000, false, SiteReliability::TYPICAL),
+        site("www.lycos.com", UsPopular, L::Single, 38_000, false, SiteReliability::TYPICAL),
+        site("www.cnet.com", UsPopular, multi(2), 56_000, true, SiteReliability::TYPICAL),
+        // --- US-MISC (15) ---------------------------------------------------
+        site("www.latimes.com", UsMisc, L::Single, 61_000, false, SiteReliability::TYPICAL),
+        site("www.nfl.com", UsMisc, multi(2), 54_000, false, SiteReliability::TYPICAL),
+        site("www.pbs.org", UsMisc, L::Single, 33_000, false, SiteReliability::TYPICAL),
+        site("www.cisco.com", UsMisc, multi(2), 29_000, false, SiteReliability::SOLID),
+        site("www.juniper.net", UsMisc, L::Single, 25_000, false, SiteReliability::SOLID),
+        site("www.ibm.com", UsMisc, L::Single, 36_000, true, SiteReliability::SOLID),
+        site("www.fastclick.com", UsMisc, L::Single, 14_000, false, SiteReliability::SHAKY),
+        site("www.advertising.com", UsMisc, L::Single, 16_000, false, SiteReliability::SHAKY),
+        site("www.slashdot.org", UsMisc, L::Single, 49_000, false, SiteReliability::TYPICAL),
+        site("www.un.org", UsMisc, L::Single, 31_000, false, SiteReliability::TYPICAL),
+        // craigslist.org: 166 episodes, spread 70.9% (Table 6, US-based)
+        site("www.craigslist.org", UsMisc, L::Single, 20_000, false, rel(0.21, 0.15)),
+        site("www.state.gov", UsMisc, L::Single, 27_000, false, SiteReliability::TYPICAL),
+        // nih.gov: 35 episodes, spread 60.4%
+        site("www.nih.gov", UsMisc, multi(2), 23_000, false, rel(0.045, 0.20)),
+        site("www.nasa.gov", UsMisc, multi(2), 32_000, false, SiteReliability::TYPICAL),
+        // mp3.com: the northwestern.edu checksum case involves this server
+        site("www.mp3.com", UsMisc, L::Single, 43_000, false, SiteReliability::SHAKY),
+        // --- INTL-EDU (10) --------------------------------------------------
+        // iitb.ac.in: 759 episodes, spread 85.1%; 3 replicas, often 1–2 down
+        // in short flaps (the proxy fail-over case of Section 4.7). The
+        // flaps keep the hourly failure rate hovering near the threshold,
+        // giving it the second-highest episode count.
+        site(
+            "www.iitb.ac.in",
+            IntlEdu,
+            spread(3),
+            19_000,
+            false,
+            SiteReliability {
+                replica_flap_fraction: 0.06,
+                ..rel(0.0, 0.0)
+            },
+        ),
+        site("www.iitm.ac.in", IntlEdu, L::Single, 17_000, false, SiteReliability::SHAKY),
+        // technion.ac.il: 90 episodes; cs.technion.ac.il: 95
+        site("www.technion.ac.il", IntlEdu, L::Single, 21_000, false, rel(0.115, 0.20)),
+        site("cs.technion.ac.il", IntlEdu, L::Single, 18_000, false, rel(0.12, 0.20)),
+        site("www.ucl.ac.uk", IntlEdu, L::Single, 26_000, false, rel(0.07, 0.22)),
+        site("cs.ucl.ac.uk", IntlEdu, L::Single, 16_000, false, SiteReliability::SHAKY),
+        site("www.cam.ac.uk", IntlEdu, L::Single, 24_000, false, SiteReliability::TYPICAL),
+        site("www.inria.fr", IntlEdu, L::Single, 22_000, false, SiteReliability::TYPICAL),
+        site("www.hku.hk", IntlEdu, L::Single, 25_000, false, SiteReliability::SHAKY),
+        site("www.nus.edu.sg", IntlEdu, L::Single, 27_000, false, SiteReliability::TYPICAL),
+        // --- INTL-POPULAR (15) ------------------------------------------------
+        site("www.amazon.co.uk", IntlPopular, multi(2), 58_000, true, SiteReliability::SOLID),
+        site("www.amazon.co.jp", IntlPopular, multi(2), 57_000, true, SiteReliability::SOLID),
+        site("www.bbc.co.uk", IntlPopular, multi(3), 51_000, false, SiteReliability::SOLID),
+        site("www.muenchen.de", IntlPopular, L::Single, 34_000, false, SiteReliability::TYPICAL),
+        site("www.terra.com", IntlPopular, multi(2), 46_000, false, SiteReliability::TYPICAL),
+        site("www.alibaba.com", IntlPopular, multi(2), 44_000, false, SiteReliability::SHAKY),
+        site("www.wanadoo.fr", IntlPopular, L::Single, 39_000, false, SiteReliability::TYPICAL),
+        // sohu.com: 243 episodes, spread 72.4%; also 8 blocked pairs
+        site("www.sohu.com", IntlPopular, multi(2), 53_000, false, rel(0.31, 0.15)),
+        site("sina.com.hk", IntlPopular, L::Single, 48_000, false, SiteReliability::SHAKY),
+        site("www.cosmos.com.mx", IntlPopular, L::Single, 29_000, false, SiteReliability::SHAKY),
+        // msn.com.tw: 10 blocked pairs
+        site("www.msn.com.tw", IntlPopular, multi(2), 41_000, false, SiteReliability::TYPICAL),
+        site("www.msn.co.in", IntlPopular, L::Single, 38_000, false, SiteReliability::TYPICAL),
+        site("www.google.co.uk", IntlPopular, cdn(20), 12_000, false, SiteReliability::SOLID),
+        site("www.google.co.jp", IntlPopular, cdn(20), 12_000, false, SiteReliability::SOLID),
+        // sina.com.cn: 764 episodes, spread 78.4%, 448-hour coalesced run;
+        // 9 blocked pairs
+        site("www.sina.com.cn", IntlPopular, multi(3), 55_000, false, rel(0.92, 0.15)),
+        // --- INTL-MISC (10) ---------------------------------------------------
+        site("www.lufthansa.com", IntlMisc, multi(2), 42_000, false, SiteReliability::TYPICAL),
+        site("english.pravda.ru", IntlMisc, L::Single, 36_000, false, SiteReliability::SHAKY),
+        site("www.rediff.com", IntlMisc, multi(2), 47_000, false, SiteReliability::SHAKY),
+        site("www.samachar.com", IntlMisc, L::Single, 33_000, false, SiteReliability::SHAKY),
+        // chinabroadcast.cn: 89 episodes, spread 73.9%
+        site("www.chinabroadcast.cn", IntlMisc, L::Single, 37_000, false, rel(0.11, 0.20)),
+        site("www.nttdocomo.co.jp", IntlMisc, L::Single, 28_000, false, SiteReliability::TYPICAL),
+        site("www.sony.co.jp", IntlMisc, L::Single, 31_000, false, SiteReliability::SOLID),
+        // brazzil.com: 57% of all DNS error responses (SERVFAIL/NXDOMAIN from
+        // buggy authoritative servers); 97 server-side episodes
+        site(
+            "www.brazzil.com",
+            IntlMisc,
+            L::Single,
+            26_000,
+            false,
+            SiteReliability {
+                down_fraction: 0.12,
+                episode_fail_prob: 0.20,
+                auth_dns_down_fraction: 0.002,
+                zone_error_fraction: 0.038,
+                replica_flap_fraction: 0.0,
+            },
+        ),
+        // royal.gov.uk: the second proxy-residual site of Table 9 — two
+        // replicas on distinct subnets flapping independently.
+        site(
+            "www.royal.gov.uk",
+            IntlMisc,
+            spread(2),
+            23_000,
+            false,
+            SiteReliability {
+                replica_flap_fraction: 0.05,
+                ..rel(0.0, 0.0)
+            },
+        ),
+        site("www.direct.gov.uk", IntlMisc, L::Single, 25_000, false, SiteReliability::TYPICAL),
+    ]
+}
+
+/// Deterministic ground-truth addresses for site `site_index` under a given
+/// layout. Single/multi sites draw from 203.0–203.200; CDN pools from
+/// 151.x.y.z so their addresses never qualify as replicas.
+pub fn site_addresses(site_index: usize, layout: ReplicaLayout) -> Vec<Ipv4Addr> {
+    let s = site_index as u8;
+    match layout {
+        ReplicaLayout::Single => vec![Ipv4Addr::new(203, s, 10, 80)],
+        ReplicaLayout::MultiSameSubnet { count } => (0..count)
+            .map(|i| Ipv4Addr::new(203, s, 10, 80 + i))
+            .collect(),
+        ReplicaLayout::MultiSpread { count } => (0..count)
+            .map(|i| Ipv4Addr::new(203, s, 10 + 10 * i, 80))
+            .collect(),
+        ReplicaLayout::Cdn { pool } => (0..pool)
+            .map(|i| Ipv4Addr::new(151, s, (i / 250) as u8, (i % 250) as u8 + 1))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_eighty_sites() {
+        let sites = build_sites();
+        assert_eq!(sites.len(), 80);
+    }
+
+    #[test]
+    fn category_counts_match_table_2() {
+        let sites = build_sites();
+        let count = |c: SiteCategory| sites.iter().filter(|s| s.category == c).count();
+        assert_eq!(count(SiteCategory::UsEdu), 8);
+        assert_eq!(count(SiteCategory::UsPopular), 22);
+        assert_eq!(count(SiteCategory::UsMisc), 15);
+        assert_eq!(count(SiteCategory::IntlEdu), 10);
+        assert_eq!(count(SiteCategory::IntlPopular), 15);
+        assert_eq!(count(SiteCategory::IntlMisc), 10);
+    }
+
+    #[test]
+    fn replica_structure_matches_section_4_5() {
+        let sites = build_sites();
+        let cdn = sites.iter().filter(|s| s.layout.is_cdn()).count();
+        let single = sites
+            .iter()
+            .filter(|s| s.layout == ReplicaLayout::Single)
+            .count();
+        let multi = sites.len() - cdn - single;
+        assert_eq!(cdn, 6, "6 sites with zero qualifying replicas");
+        assert_eq!(single, 42, "42 single-replica sites");
+        assert_eq!(multi, 32, "32 multi-replica sites");
+        // Most multi-replica sites are same-subnet (drives the 85%
+        // total-replica-failure share).
+        let same_subnet = sites
+            .iter()
+            .filter(|s| matches!(s.layout, ReplicaLayout::MultiSameSubnet { .. }))
+            .count();
+        assert!(same_subnet >= 28, "same-subnet multi sites: {same_subnet}");
+    }
+
+    #[test]
+    fn hostnames_unique_and_parseable() {
+        let sites = build_sites();
+        let mut seen = HashSet::new();
+        for s in &sites {
+            assert!(seen.insert(s.hostname), "duplicate {}", s.hostname);
+            let parsed: Result<dnswire::DomainName, _> = s.hostname.parse();
+            assert!(parsed.is_ok(), "unparseable {}", s.hostname);
+        }
+    }
+
+    #[test]
+    fn named_heavy_hitters_are_present() {
+        let sites = build_sites();
+        let get = |h: &str| sites.iter().find(|s| s.hostname == h).unwrap();
+        assert!(get("www.sina.com.cn").reliability.down_fraction > 0.8);
+        assert!(get("www.iitb.ac.in").reliability.replica_flap_fraction >= 0.05);
+        assert!(get("www.royal.gov.uk").reliability.replica_flap_fraction >= 0.05);
+        assert!(get("www.brazzil.com").reliability.zone_error_fraction > 0.02);
+        assert!(get("espn.go.com").reliability.zone_error_fraction > 0.01);
+        assert_eq!(get("www.iitb.ac.in").layout.address_count(), 3);
+        assert_eq!(get("www.royal.gov.uk").layout.address_count(), 2);
+    }
+
+    #[test]
+    fn addresses_are_distinct_within_and_across_sites() {
+        let sites = build_sites();
+        let mut all = HashSet::new();
+        for (i, s) in sites.iter().enumerate() {
+            let addrs = site_addresses(i, s.layout);
+            assert_eq!(addrs.len(), s.layout.address_count() as usize);
+            for a in addrs {
+                assert!(all.insert(a), "address {a} reused (site {})", s.hostname);
+            }
+        }
+    }
+
+    #[test]
+    fn same_subnet_layout_shares_slash24() {
+        let addrs = site_addresses(5, ReplicaLayout::MultiSameSubnet { count: 3 });
+        let nets: HashSet<_> = addrs
+            .iter()
+            .map(|a| model::Ipv4Prefix::slash24_of(*a))
+            .collect();
+        assert_eq!(nets.len(), 1);
+        let spread = site_addresses(6, ReplicaLayout::MultiSpread { count: 3 });
+        let nets: HashSet<_> = spread
+            .iter()
+            .map(|a| model::Ipv4Prefix::slash24_of(*a))
+            .collect();
+        assert_eq!(nets.len(), 3);
+    }
+
+    #[test]
+    fn redirect_sites_exist() {
+        // Enough redirecting sites to lift connections/transaction to ~1.2.
+        let sites = build_sites();
+        let redirects = sites.iter().filter(|s| s.redirect_hop).count();
+        assert!((10..25).contains(&redirects), "{redirects} redirect sites");
+    }
+}

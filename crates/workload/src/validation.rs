@@ -1,0 +1,168 @@
+//! Scoring the paper's inference against the simulator's ground truth.
+//!
+//! The paper could only validate its blame attribution *indirectly*
+//! (Section 4.4.6: spread and co-location similarity). A simulation can do
+//! it directly: for every classified failure, check whether the fault the
+//! classification implies was actually injected at that instant.
+
+use crate::experiment::ExperimentOutput;
+use crate::faults::GroundTruth;
+use model::SimTime;
+use netprofiler::blame::{classify_hour, BlameClass};
+use netprofiler::Analysis;
+use std::net::Ipv4Addr;
+
+/// Precision/recall of the client/server attribution.
+#[derive(Clone, Debug, Default)]
+pub struct AttributionScore {
+    /// Failures classified server-side.
+    pub server_calls: u64,
+    /// ... of those, a server-side fault (degradation or replica flap) was
+    /// really active.
+    pub server_correct: u64,
+    /// Failures classified client-side.
+    pub client_calls: u64,
+    /// ... of those, the client's WAN was really down.
+    pub client_correct: u64,
+    /// Failures with a real server fault active (recall denominator).
+    pub server_truth: u64,
+    /// ... of those, classified server-side or both.
+    pub server_found: u64,
+    /// Failures with a real client WAN outage active.
+    pub client_truth: u64,
+    /// ... of those, classified client-side or both.
+    pub client_found: u64,
+}
+
+impl AttributionScore {
+    pub fn server_precision(&self) -> f64 {
+        ratio(self.server_correct, self.server_calls)
+    }
+
+    pub fn client_precision(&self) -> f64 {
+        ratio(self.client_correct, self.client_calls)
+    }
+
+    pub fn server_recall(&self) -> f64 {
+        ratio(self.server_found, self.server_truth)
+    }
+
+    pub fn client_recall(&self) -> f64 {
+        ratio(self.client_found, self.client_truth)
+    }
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Was a server-side fault (group degradation or hard-down flap) active for
+/// `replica` at `t`?
+pub fn server_fault_active(truth: &GroundTruth, replica: Ipv4Addr, t: SimTime) -> bool {
+    let degraded = truth
+        .replica_group_of
+        .get(&replica)
+        .map(|gid| *truth.replica_group_fault[*gid as usize].at(t))
+        .unwrap_or(false);
+    let flapping = truth
+        .replica_hard_down
+        .get(&replica)
+        .map(|tl| *tl.at(t))
+        .unwrap_or(false);
+    degraded || flapping
+}
+
+/// Score the blame attribution of `analysis` against the run's ground truth.
+pub fn score_attribution(out: &ExperimentOutput, analysis: &Analysis<'_>) -> AttributionScore {
+    let ds = &out.dataset;
+    let truth = &out.truth;
+    let f = analysis.config.episode_threshold;
+    let min = analysis.config.min_hour_samples;
+    let mut score = AttributionScore::default();
+    for conn in &ds.connections {
+        if !conn.failed() || analysis.permanent.contains(conn.client, conn.site) {
+            continue;
+        }
+        let class = classify_hour(
+            &analysis.client_grid,
+            &analysis.server_grid,
+            conn.client.0 as usize,
+            conn.site.0 as usize,
+            conn.hour(),
+            f,
+            min,
+        );
+        let s_truth = server_fault_active(truth, conn.replica, conn.start);
+        let c_truth = *truth.wan[conn.client.0 as usize].at(conn.start);
+        match class {
+            BlameClass::ServerSide => {
+                score.server_calls += 1;
+                score.server_correct += u64::from(s_truth);
+            }
+            BlameClass::ClientSide => {
+                score.client_calls += 1;
+                score.client_correct += u64::from(c_truth);
+            }
+            BlameClass::Both | BlameClass::Other => {}
+        }
+        if s_truth {
+            score.server_truth += 1;
+            score.server_found += u64::from(matches!(
+                class,
+                BlameClass::ServerSide | BlameClass::Both
+            ));
+        }
+        if c_truth {
+            score.client_truth += 1;
+            score.client_found += u64::from(matches!(
+                class,
+                BlameClass::ClientSide | BlameClass::Both
+            ));
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, ExperimentConfig};
+    use netprofiler::AnalysisConfig;
+
+    #[test]
+    fn attribution_scores_well_against_ground_truth() {
+        let mut cfg = ExperimentConfig::quick(61);
+        cfg.hours = 72;
+        cfg.wire_fidelity = false;
+        let out = run_experiment(&cfg);
+        let analysis = Analysis::new(&out.dataset, AnalysisConfig::default());
+        let score = score_attribution(&out, &analysis);
+        assert!(score.server_calls > 500, "{} server calls", score.server_calls);
+        assert!(
+            score.server_precision() > 0.9,
+            "server precision {}",
+            score.server_precision()
+        );
+        assert!(
+            score.server_recall() > 0.5,
+            "server recall {}",
+            score.server_recall()
+        );
+        assert!(
+            score.client_precision() > 0.5,
+            "client precision {}",
+            score.client_precision()
+        );
+    }
+
+    #[test]
+    fn empty_score_ratios_are_zero() {
+        let s = AttributionScore::default();
+        assert_eq!(s.server_precision(), 0.0);
+        assert_eq!(s.client_recall(), 0.0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Per-vantage views over the ground truth.
+//!
+//! A [`ClientView`] (or [`ProxyView`]) binds one vantage point to the shared
+//! immutable [`GroundTruth`] and answers the resolver's and connector's
+//! questions. Per-access randomness (does *this* access fail during a
+//! degraded episode?) is computed by stateless hashing of
+//! `(seed, replica, instant, vantage)`, keeping views `Sync` and the whole
+//! experiment deterministic under any thread schedule.
+
+use crate::faults::GroundTruth;
+use dnssim::DnsFaults;
+use dnswire::DomainName;
+use httpsim::Origin;
+use model::{DnsErrorCode, SimDuration, SimTime};
+use netsim::rng::splitmix64;
+use tcpsim::{PathQuality, ServerBehavior};
+use webclient::AccessEnvironment;
+use std::net::Ipv4Addr;
+
+/// Stateless uniform draw in [0, 1) from a key tuple.
+fn hash_unit(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+    let mut s = seed ^ tag.rotate_left(17);
+    let mut x = splitmix64(&mut s);
+    x ^= a.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut s2 = x ^ b.rotate_left(29) ^ c.rotate_left(47);
+    let v = splitmix64(&mut s2);
+    (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Pick an index from a 3-way mix using a unit draw.
+fn pick_mix(mix: &[f64; 3], u: f64) -> usize {
+    let total: f64 = mix.iter().sum();
+    let mut acc = 0.0;
+    for (i, w) in mix.iter().enumerate() {
+        acc += w / total;
+        if u < acc {
+            return i;
+        }
+    }
+    2
+}
+
+/// Behaviour mix inside a server degradation episode: mostly unanswered
+/// SYNs, some accept-but-dead, some mid-transfer stalls — calibrated
+/// against Figure 3 (no-connection dominates). Fast RSTs are reserved for
+/// the near-permanent blocked pairs: within a degradation episode the
+/// coherent-bucket draws would otherwise let wget burn its whole retry
+/// budget on instant refusals and flood the client's own hourly rate.
+const SERVER_EPISODE_MIX: [f64; 4] = [0.62, 0.0, 0.21, 0.17];
+
+/// Server-fault draws are coherent over this window: a retry (or fail-over
+/// to a same-group replica) seconds later sees the same condition, so a
+/// degraded access usually fails as a *transaction*, not just as one
+/// connection — the burstiness behind the paper's near-equal transaction
+/// and connection failure counts.
+const SERVER_DRAW_WINDOW_US: u64 = 120 * 1_000_000;
+
+fn episode_behavior(u: f64, index_bytes: u64, stall_u: f64) -> ServerBehavior {
+    let mut acc = 0.0;
+    for (i, w) in SERVER_EPISODE_MIX.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return match i {
+                0 => ServerBehavior::Unreachable,
+                1 => ServerBehavior::Refusing,
+                2 => ServerBehavior::AcceptNoResponse,
+                _ => ServerBehavior::StallAfter((index_bytes as f64 * stall_u) as u64),
+            };
+        }
+    }
+    ServerBehavior::Unreachable
+}
+
+/// One measurement client's view of the world.
+#[derive(Clone, Copy)]
+pub struct ClientView<'g> {
+    gt: &'g GroundTruth,
+    client: u16,
+}
+
+impl<'g> ClientView<'g> {
+    pub fn new(gt: &'g GroundTruth, client: u16) -> Self {
+        ClientView { gt, client }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn shared_server_behavior(
+        gt: &GroundTruth,
+        vantage_salt: u64,
+        noise_prob: f64,
+        noise_mix: &[f64; 3],
+        blocked: bool,
+        pair_fail_prob: f64,
+        wan_down: bool,
+        replica: Ipv4Addr,
+        t: SimTime,
+    ) -> ServerBehavior {
+        if blocked {
+            // The paper's near-permanent pairs fail instantly (filtering at
+            // the site or the client's network answers with resets), so
+            // wget's time budget allows many retries — the mechanism behind
+            // their outsized share of connection failures.
+            return ServerBehavior::Refusing;
+        }
+        if wan_down {
+            return ServerBehavior::Unreachable;
+        }
+        // Transiently degraded pair: path-specific trouble, coherent within
+        // a transaction like the server draws.
+        if pair_fail_prob > 0.0 {
+            let bucket = t.as_micros() / SERVER_DRAW_WINDOW_US;
+            let u = hash_unit(gt.seed, 0xC1, u64::from(u32::from(replica)), bucket, vantage_salt);
+            if u < pair_fail_prob {
+                return ServerBehavior::Unreachable;
+            }
+        }
+        // Hard-down flap (spread-site replicas): complete outage.
+        if let Some(tl) = gt.replica_hard_down.get(&replica) {
+            if *tl.at(t) {
+                return ServerBehavior::Unreachable;
+            }
+        }
+        let addr_key = u64::from(u32::from(replica));
+        let site = gt.site_of_addr.get(&replica).copied();
+        // Server-side degradation episode? Draws are keyed by the fault
+        // *group* and a coarse time bucket: retries and same-group replicas
+        // share the outcome.
+        if let Some(&gid) = gt.replica_group_of.get(&replica) {
+            if *gt.replica_group_fault[gid as usize].at(t) {
+                let fail_prob = site
+                    .map(|s| gt.site_fail_prob[s as usize])
+                    .unwrap_or(0.3);
+                let bucket = t.as_micros() / SERVER_DRAW_WINDOW_US;
+                let u = hash_unit(gt.seed, 0xA1, u64::from(gid), bucket, vantage_salt);
+                if u < fail_prob {
+                    let u2 = hash_unit(gt.seed, 0xA2, u64::from(gid), bucket, vantage_salt);
+                    let stall_u = hash_unit(gt.seed, 0xA3, u64::from(gid), bucket, vantage_salt);
+                    let bytes = site
+                        .map(|s| gt.site_index_bytes[s as usize])
+                        .unwrap_or(20_000);
+                    return episode_behavior(u2, bytes, stall_u);
+                }
+            }
+        }
+        // Transient background noise.
+        let u = hash_unit(gt.seed, 0xB1, addr_key, t.as_micros(), vantage_salt);
+        if u < noise_prob {
+            let u2 = hash_unit(gt.seed, 0xB2, addr_key, t.as_micros(), vantage_salt);
+            let stall_u = hash_unit(gt.seed, 0xB3, addr_key, t.as_micros(), vantage_salt);
+            let bytes = site
+                .map(|s| gt.site_index_bytes[s as usize])
+                .unwrap_or(20_000);
+            return match pick_mix(noise_mix, u2) {
+                0 => ServerBehavior::Unreachable,
+                1 => ServerBehavior::AcceptNoResponse,
+                _ => ServerBehavior::StallAfter((bytes as f64 * stall_u) as u64),
+            };
+        }
+        ServerBehavior::Healthy
+    }
+}
+
+impl DnsFaults for ClientView<'_> {
+    fn client_link_up(&self, t: SimTime) -> bool {
+        !*self.gt.link[self.client as usize].at(t)
+    }
+
+    fn ldns_up(&self, t: SimTime) -> bool {
+        !*self.gt.ldns[self.client as usize].at(t)
+    }
+
+    fn auth_up(&self, zone_apex: &DomainName, t: SimTime) -> bool {
+        // A wide-area outage cuts the LDNS off from every authoritative
+        // server; zone-specific outages cut one zone off from everyone.
+        if *self.gt.wan[self.client as usize].at(t) {
+            return false;
+        }
+        match self.gt.zone_auth_down.get(zone_apex) {
+            Some(tl) => !*tl.at(t),
+            None => true,
+        }
+    }
+
+    fn zone_error(&self, zone_apex: &DomainName, t: SimTime) -> Option<DnsErrorCode> {
+        let (tl, code) = self.gt.zone_error.get(zone_apex)?;
+        (*tl.at(t)).then_some(*code)
+    }
+}
+
+impl AccessEnvironment for ClientView<'_> {
+    fn server_behavior(&self, replica: Ipv4Addr, t: SimTime) -> ServerBehavior {
+        let c = self.client as usize;
+        let site = self.gt.site_of_addr.get(&replica);
+        let blocked =
+            site.is_some_and(|site| self.gt.blocked.contains(&(self.client, *site)));
+        let pair_fail_prob = site
+            .and_then(|site| self.gt.degraded_pairs.get(&(self.client, *site)))
+            .copied()
+            .unwrap_or(0.0);
+        let wan_down = *self.gt.wan[c].at(t);
+        let p = &self.gt.profile[c];
+        Self::shared_server_behavior(
+            self.gt,
+            u64::from(self.client),
+            p.noise_prob,
+            &p.noise_mix,
+            blocked,
+            pair_fail_prob,
+            wan_down,
+            replica,
+            t,
+        )
+    }
+
+    fn path_quality(&self, replica: Ipv4Addr, t: SimTime) -> PathQuality {
+        let p = &self.gt.profile[self.client as usize];
+        let penalty = self
+            .gt
+            .site_of_addr
+            .get(&replica)
+            .map(|s| self.gt.site_rtt_penalty[*s as usize])
+            .unwrap_or(0);
+        // Loss breathes a little with time of day (diurnal congestion).
+        let hour = t.hour_bin() as f64;
+        let diurnal = 1.0 + 0.3 * ((hour % 24.0) / 24.0 * std::f64::consts::TAU).sin();
+        PathQuality {
+            loss: (p.base_loss * diurnal).clamp(0.0, 0.2),
+            rtt: p.base_rtt + SimDuration::from_millis(u64::from(penalty)),
+        }
+    }
+
+    fn origin(&self, host: &str) -> Option<&Origin> {
+        self.gt.origins.get(host)
+    }
+}
+
+/// A corporate proxy's wide-area vantage.
+#[derive(Clone, Copy)]
+pub struct ProxyView<'g> {
+    gt: &'g GroundTruth,
+    proxy: u16,
+    /// Extra RTT for proxies far from the US (the CHN client's proxy sits
+    /// in Japan).
+    pub rtt: SimDuration,
+}
+
+impl<'g> ProxyView<'g> {
+    pub fn new(gt: &'g GroundTruth, proxy: u16) -> Self {
+        let rtt = if proxy >= 3 {
+            SimDuration::from_millis(120) // UK and CHN-via-Japan proxies
+        } else {
+            SimDuration::from_millis(40)
+        };
+        ProxyView { gt, proxy, rtt }
+    }
+}
+
+impl DnsFaults for ProxyView<'_> {
+    fn client_link_up(&self, t: SimTime) -> bool {
+        !*self.gt.proxy_link[self.proxy as usize].at(t)
+    }
+
+    fn ldns_up(&self, t: SimTime) -> bool {
+        !*self.gt.proxy_ldns[self.proxy as usize].at(t)
+    }
+
+    fn auth_up(&self, zone_apex: &DomainName, t: SimTime) -> bool {
+        match self.gt.zone_auth_down.get(zone_apex) {
+            Some(tl) => !*tl.at(t),
+            None => true,
+        }
+    }
+
+    fn zone_error(&self, zone_apex: &DomainName, t: SimTime) -> Option<DnsErrorCode> {
+        let (tl, code) = self.gt.zone_error.get(zone_apex)?;
+        (*tl.at(t)).then_some(*code)
+    }
+}
+
+impl AccessEnvironment for ProxyView<'_> {
+    fn server_behavior(&self, replica: Ipv4Addr, t: SimTime) -> ServerBehavior {
+        ClientView::shared_server_behavior(
+            self.gt,
+            0x5000 + u64::from(self.proxy),
+            0.0008,
+            &[0.7, 0.18, 0.12],
+            false,
+            0.0,
+            false,
+            replica,
+            t,
+        )
+    }
+
+    fn path_quality(&self, replica: Ipv4Addr, t: SimTime) -> PathQuality {
+        let penalty = self
+            .gt
+            .site_of_addr
+            .get(&replica)
+            .map(|s| self.gt.site_rtt_penalty[*s as usize])
+            .unwrap_or(0);
+        let _ = t;
+        PathQuality {
+            loss: 0.004,
+            rtt: self.rtt + SimDuration::from_millis(u64::from(penalty)),
+        }
+    }
+
+    fn origin(&self, host: &str) -> Option<&Origin> {
+        self.gt.origins.get(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::build_fleet;
+    use crate::sites::{build_sites, site_addresses};
+    use model::ClientCategory;
+
+    fn world() -> (crate::clients::FleetSpec, Vec<crate::sites::SiteSpec>, GroundTruth) {
+        let fleet = build_fleet();
+        let sites = build_sites();
+        let gt = GroundTruth::materialize(&fleet, &sites, 168, 11);
+        (fleet, sites, gt)
+    }
+
+    #[test]
+    fn hash_unit_is_deterministic_and_uniformish() {
+        let a = hash_unit(1, 2, 3, 4, 5);
+        let b = hash_unit(1, 2, 3, 4, 5);
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a));
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| hash_unit(7, 1, i, i * 3 + 1, 9))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_mix_respects_weights() {
+        let mix = [0.5, 0.3, 0.2];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for i in 0..n {
+            let u = hash_unit(3, 9, i, 0, 0);
+            counts[pick_mix(&mix, u)] += 1;
+        }
+        for (i, &w) in mix.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.02, "bucket {i}: {freq} vs {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_pair_refuses_forever() {
+        let (_, sites, gt) = world();
+        let (client, site) = *gt.blocked.iter().next().unwrap();
+        let view = ClientView::new(&gt, client);
+        let addrs = site_addresses(site as usize, sites[site as usize].layout);
+        for h in [0u64, 50, 100] {
+            assert_eq!(
+                view.server_behavior(addrs[0], SimTime::from_hours(h)),
+                ServerBehavior::Refusing,
+                "blocked pairs fail fast with resets"
+            );
+        }
+        // Another client is not blocked on that site (almost surely).
+        let other = (0..134u16)
+            .find(|c| !gt.blocked.contains(&(*c, site)))
+            .unwrap();
+        let other_view = ClientView::new(&gt, other);
+        // At *some* instant the replica behaves healthily for the other
+        // client (unless the site is one of the always-degraded ones).
+        let mut any_healthy = false;
+        for h in 0..168u64 {
+            if other_view.server_behavior(addrs[0], SimTime::from_hours(h))
+                == ServerBehavior::Healthy
+            {
+                any_healthy = true;
+                break;
+            }
+        }
+        let hostname = sites[site as usize].hostname;
+        if !["www.sina.com.cn", "www.iitb.ac.in"].contains(&hostname) {
+            assert!(any_healthy, "{hostname} never healthy for unblocked client");
+        }
+    }
+
+    #[test]
+    fn degraded_site_fails_a_calibrated_fraction() {
+        let (_, sites, gt) = world();
+        let si = sites
+            .iter()
+            .position(|s| s.hostname == "www.sina.com.cn")
+            .unwrap();
+        let addr = site_addresses(si, sites[si].layout)[0];
+        let view = ClientView::new(&gt, 20);
+        // Sample many instants inside degraded periods.
+        let gid = gt.replica_group_of[&addr];
+        let tl = &gt.replica_group_fault[gid as usize];
+        let mut degraded_samples = 0;
+        let mut failures = 0;
+        for k in 0..40_000u64 {
+            let t = SimTime::from_micros(k * gt.horizon.as_micros() / 40_000);
+            if !*tl.at(t) {
+                continue;
+            }
+            degraded_samples += 1;
+            if view.server_behavior(addr, t) != ServerBehavior::Healthy {
+                failures += 1;
+            }
+        }
+        assert!(degraded_samples > 1_000, "sina degraded often");
+        let rate = failures as f64 / degraded_samples as f64;
+        let expect = sites[si].reliability.episode_fail_prob;
+        assert!(
+            (rate - expect).abs() < 0.05,
+            "episode fail rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn wan_outage_blocks_servers_and_auth() {
+        let (fleet, sites, gt) = world();
+        // Find a client with some WAN downtime in the window.
+        let idx = (0..fleet.len())
+            .find(|&i| {
+                gt.wan[i].micros_matching(SimTime::ZERO, gt.horizon, |s| *s) > 0
+            })
+            .expect("some client has WAN trouble");
+        let tl = &gt.wan[idx];
+        let (start, end, _) = tl
+            .segments()
+            .find(|(_, _, s)| **s)
+            .expect("has a down segment");
+        let mid = SimTime::from_micros(
+            (start.as_micros() + end.unwrap_or(gt.horizon).as_micros()) / 2,
+        );
+        let view = ClientView::new(&gt, idx as u16);
+        let addr = site_addresses(0, sites[0].layout)[0];
+        assert_eq!(view.server_behavior(addr, mid), ServerBehavior::Unreachable);
+        let apex: DomainName = "example.com".parse().unwrap();
+        assert!(!view.auth_up(&apex, mid));
+    }
+
+    #[test]
+    fn proxy_view_is_well_connected() {
+        let (_, sites, gt) = world();
+        let view = ProxyView::new(&gt, 0);
+        let addr = site_addresses(0, sites[0].layout)[0];
+        let mut healthy = 0;
+        let mut total = 0;
+        for h in 0..168u64 {
+            total += 1;
+            if view.server_behavior(addr, SimTime::from_hours(h)) == ServerBehavior::Healthy {
+                healthy += 1;
+            }
+        }
+        assert!(healthy * 100 / total >= 95, "{healthy}/{total}");
+        // Far-east proxy has higher RTT.
+        assert!(ProxyView::new(&gt, 4).rtt > ProxyView::new(&gt, 0).rtt);
+    }
+
+    #[test]
+    fn dialup_rtt_exceeds_planetlab() {
+        let (fleet, sites, gt) = world();
+        let pl = fleet
+            .clients
+            .iter()
+            .position(|c| c.category == ClientCategory::PlanetLab)
+            .unwrap();
+        let du = fleet
+            .clients
+            .iter()
+            .position(|c| c.category == ClientCategory::Dialup)
+            .unwrap();
+        let addr = site_addresses(0, sites[0].layout)[0];
+        let t = SimTime::from_hours(5);
+        let pl_q = ClientView::new(&gt, pl as u16).path_quality(addr, t);
+        let du_q = ClientView::new(&gt, du as u16).path_quality(addr, t);
+        assert!(du_q.rtt > pl_q.rtt);
+    }
+
+    #[test]
+    fn intl_sites_are_farther() {
+        let (_, sites, gt) = world();
+        let us = sites
+            .iter()
+            .position(|s| s.category == model::SiteCategory::UsEdu)
+            .unwrap();
+        let intl = sites
+            .iter()
+            .position(|s| s.category == model::SiteCategory::IntlEdu)
+            .unwrap();
+        let view = ClientView::new(&gt, 0);
+        let t = SimTime::from_hours(1);
+        let us_rtt = view
+            .path_quality(site_addresses(us, sites[us].layout)[0], t)
+            .rtt;
+        let intl_rtt = view
+            .path_quality(site_addresses(intl, sites[intl].layout)[0], t)
+            .rtt;
+        assert!(intl_rtt > us_rtt);
+    }
+}

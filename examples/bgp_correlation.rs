@@ -1,0 +1,78 @@
+//! BGP churn vs end-to-end failures (the paper's Section 4.6).
+//!
+//! Prints the Figure 5-style time series for the howard.edu-like showcase
+//! client (TCP attempts/failures/streaks against the withdrawal activity of
+//! its prefix), the low-visibility kscy case of Figure 7, and the severe-
+//! instability correlation summary.
+//!
+//! ```text
+//! cargo run --release --example bgp_correlation
+//! ```
+
+use netprofiler::bgp_corr::client_timeseries;
+use netprofiler::{Analysis, AnalysisConfig};
+use report::render;
+use workload::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let mut config = ExperimentConfig::quick(23);
+    config.hours = 168; // a week: enough for several WAN outages
+    println!("simulating {} hours ...", config.hours);
+    let out = run_experiment(&config);
+    let ds = &out.dataset;
+    let analysis = Analysis::new(ds, AnalysisConfig::default());
+
+    println!("{}", render::render_bgp(&analysis));
+
+    for (label, needle) in [
+        ("Figure 5 — severe, wide-visibility withdrawals (howard-like)", "howard"),
+        ("Figure 7 — 2-neighbor withdrawals, still devastating (kscy-like)", "kscy"),
+    ] {
+        let client = ds
+            .clients
+            .iter()
+            .find(|c| c.name.contains(needle))
+            .expect("showcase client exists");
+        let ts = client_timeseries(ds, client.id);
+        println!("\n{label}: {}", client.name);
+        println!("hour  attempts  failures  streak  withdrawals  neighbors");
+        let mut shown = 0;
+        for h in 0..ts.attempts.len() {
+            let interesting = ts.failures[h] > 0 || ts.withdrawals[h] > 0;
+            if !interesting {
+                continue;
+            }
+            println!(
+                "{:>4}  {:>8}  {:>8}  {:>6}  {:>11}  {:>9}",
+                h,
+                ts.attempts[h],
+                ts.failures[h],
+                ts.longest_streak[h],
+                ts.withdrawals[h],
+                ts.neighbors_withdrawing[h]
+            );
+            shown += 1;
+            if shown > 40 {
+                println!("...");
+                break;
+            }
+        }
+        // The paper's observation: heavy BGP withdrawal hours coincide with
+        // long consecutive-failure streaks.
+        let heavy: Vec<usize> = (0..ts.attempts.len())
+            .filter(|&h| ts.neighbors_withdrawing[h] >= 50 && ts.attempts[h] >= 12)
+            .collect();
+        if !heavy.is_empty() {
+            let mean_rate: f64 = heavy
+                .iter()
+                .map(|&h| f64::from(ts.failures[h]) / f64::from(ts.attempts[h].max(1)))
+                .sum::<f64>()
+                / heavy.len() as f64;
+            println!(
+                "mean TCP failure rate in ≥50-neighbor withdrawal hours: {:.0}%  ({} hours)",
+                mean_rate * 100.0,
+                heavy.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run a small simulated measurement and print the headline
+//! failure statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use netprofiler::{blame, summary, Analysis, AnalysisConfig};
+use report::render;
+use workload::{run_experiment, ExperimentConfig};
+
+fn main() {
+    // A 48-hour experiment with the full 134-client fleet and 80 sites.
+    let mut config = ExperimentConfig::quick(7);
+    config.hours = 48;
+    println!(
+        "simulating {} hours x {} access/hour x 80 sites x 134 clients ...",
+        config.hours, config.iterations_per_hour
+    );
+    let out = run_experiment(&config);
+    let ds = &out.dataset;
+    println!(
+        "done: {} transactions, {} TCP connections\n",
+        ds.records.len(),
+        ds.connections.len()
+    );
+
+    // Overall failure statistics (Table 3 / Figure 1).
+    println!("{}", render::render_table3(ds));
+    println!("{}", render::render_figure1(ds));
+
+    // The paper's headline: failures are rare but non-negligible, DNS is a
+    // third of them, and server-side problems dominate the TCP side.
+    let b = summary::overall_breakdown(ds);
+    println!(
+        "failure mix: DNS {:.0}%, TCP {:.0}%, HTTP {:.1}%",
+        b.dns_share() * 100.0,
+        b.tcp_share() * 100.0,
+        b.http_share() * 100.0
+    );
+
+    let analysis = Analysis::new(ds, AnalysisConfig::default());
+    let t5 = blame::table5(&analysis);
+    println!(
+        "blame attribution (f=5%): server-side {:.0}%, client-side {:.0}%, both {:.1}%, other {:.0}%",
+        t5.share(blame::BlameClass::ServerSide) * 100.0,
+        t5.share(blame::BlameClass::ClientSide) * 100.0,
+        t5.share(blame::BlameClass::Both) * 100.0,
+        t5.share(blame::BlameClass::Other) * 100.0,
+    );
+}

@@ -1,0 +1,78 @@
+//! Reproducibility guarantees: the whole month-long "Internet" is a pure
+//! function of the seed.
+
+use model::Dataset;
+use workload::{run_experiment, ExperimentConfig};
+
+fn run(seed: u64, threads: usize) -> Dataset {
+    let mut cfg = ExperimentConfig::quick(seed);
+    cfg.hours = 8;
+    cfg.threads = threads;
+    run_experiment(&cfg).dataset
+}
+
+/// A cheap structural fingerprint of a dataset.
+fn fingerprint(ds: &Dataset) -> (usize, usize, u64, u64, u64) {
+    let mut h1 = 0u64;
+    for r in &ds.records {
+        h1 = h1
+            .wrapping_mul(1_000_003)
+            .wrapping_add(u64::from(r.client.0))
+            .wrapping_add(u64::from(r.site.0).wrapping_mul(131))
+            .wrapping_add(r.start.as_micros())
+            .wrapping_add(u64::from(r.failed()));
+    }
+    let mut h2 = 0u64;
+    for c in &ds.connections {
+        h2 = h2
+            .wrapping_mul(1_000_033)
+            .wrapping_add(u64::from(u32::from(c.replica)))
+            .wrapping_add(c.start.as_micros())
+            .wrapping_add(u64::from(c.failed()) << 7);
+    }
+    let mut h3 = 0u64;
+    for (p, h, cell) in ds.bgp.active_cells() {
+        h3 = h3
+            .wrapping_mul(1_000_037)
+            .wrapping_add(u64::from(p.0))
+            .wrapping_add(u64::from(h) << 3)
+            .wrapping_add(u64::from(cell.withdrawals))
+            .wrapping_add(u64::from(cell.neighbors_withdrawing) << 17);
+    }
+    (ds.records.len(), ds.connections.len(), h1, h2, h3)
+}
+
+#[test]
+fn same_seed_same_dataset() {
+    let a = run(1234, 0);
+    let b = run(1234, 0);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let a = run(777, 1);
+    let b = run(777, 3);
+    let c = run(777, 13);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(fingerprint(&a), fingerprint(&c));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(1, 0);
+    let b = run(2, 0);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+    // But the structure is the same.
+    assert_eq!(a.clients.len(), b.clients.len());
+    assert_eq!(a.sites.len(), b.sites.len());
+}
+
+#[test]
+fn analysis_is_deterministic_too() {
+    use netprofiler::{blame, Analysis, AnalysisConfig};
+    let ds = run(55, 0);
+    let b1 = blame::table5(&Analysis::new(&ds, AnalysisConfig::default()));
+    let b2 = blame::table5(&Analysis::new(&ds, AnalysisConfig::default()));
+    assert_eq!(b1, b2);
+}
