@@ -125,8 +125,10 @@ fn ablate_threshold(ds: &Dataset) {
 fn ablate_permanent_exclusion(ds: &Dataset) {
     let with = Analysis::new(ds, AnalysisConfig::default());
     // Disable detection by demanding an impossible failure rate.
-    let mut cfg = AnalysisConfig::default();
-    cfg.permanent_threshold = 1.1;
+    let cfg = AnalysisConfig {
+        permanent_threshold: 1.1,
+        ..AnalysisConfig::default()
+    };
     let without = Analysis::new(ds, cfg);
     assert_eq!(without.permanent.len(), 0);
 
@@ -199,8 +201,10 @@ fn ablate_sample_floor(ds: &Dataset) {
         .with_title("Ablation 4: per-hour sample floor")
         .right_align(&[1, 2, 3, 4]);
     for min in [1u32, 6, 12, 40, 120] {
-        let mut cfg = AnalysisConfig::default();
-        cfg.min_hour_samples = min;
+        let cfg = AnalysisConfig {
+            min_hour_samples: min,
+            ..AnalysisConfig::default()
+        };
         let a = Analysis::new(ds, cfg);
         blame_row(&mut t, min.to_string(), &blame::table5(&a));
     }

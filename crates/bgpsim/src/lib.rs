@@ -28,5 +28,5 @@ pub mod types;
 pub use aggregate::aggregate;
 pub use clean::{clean, CleanReport};
 pub use generate::{generate, BgpScenario, RawBgpData, SevereEvent};
-pub use mrt::{decode_stream, encode_stream, MrtError, MrtPrefixTable};
+pub use mrt::{decode_stream, decode_stream_salvage, encode_stream, MrtError, MrtIssue, MrtPrefixTable};
 pub use types::{BgpUpdate, CollectorSet, UpdateKind, RESET_PREFIX_THRESHOLD, TOTAL_PEERS};

@@ -85,7 +85,7 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 fn encode_nlri(out: &mut Vec<u8>, prefix: model::Ipv4Prefix) {
     out.push(prefix.len());
     let octets = prefix.network().octets();
-    let n = (usize::from(prefix.len()) + 7) / 8;
+    let n = usize::from(prefix.len()).div_ceil(8);
     out.extend_from_slice(&octets[..n]);
 }
 
@@ -122,7 +122,7 @@ pub fn encode_record(update: &BgpUpdate, table: &MrtPrefixTable<'_>) -> Option<V
     let mut body = Vec::new();
     put_u16(&mut body, 64_000 + update.peer); // peer AS
     put_u16(&mut body, 65_000); // local AS (the collector)
-    put_u16(&mut body, u16::from(update.peer)); // interface index (peer id)
+    put_u16(&mut body, update.peer); // interface index (peer id)
     put_u16(&mut body, AFI_IPV4);
     body.extend_from_slice(&[10, 255, (update.peer >> 8) as u8, update.peer as u8]); // peer IP
     body.extend_from_slice(&[10, 255, 255, 254]); // local IP
@@ -188,7 +188,7 @@ fn decode_nlri(r: &mut Reader<'_>) -> Result<model::Ipv4Prefix, MrtError> {
     if len > 32 {
         return Err(MrtError::BadPrefixLength(len));
     }
-    let n = (usize::from(len) + 7) / 8;
+    let n = usize::from(len).div_ceil(8);
     let bytes = r.take(n)?;
     let mut octets = [0u8; 4];
     octets[..n].copy_from_slice(bytes);
@@ -277,6 +277,79 @@ pub fn decode_stream(
         data = &data[consumed..];
     }
     Ok(out)
+}
+
+/// One quarantined region found while salvage-decoding an MRT stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MrtIssue {
+    /// Byte offset of the record (or garbage run) that failed to decode.
+    pub offset: usize,
+    pub error: MrtError,
+}
+
+impl std::fmt::Display for MrtIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.error)
+    }
+}
+
+/// The total length an MRT record at `pos` claims for itself, when the
+/// claim is credible (the declared body fits in the remaining input). MRT
+/// frames are self-describing, so even a record whose *body* is corrupt
+/// can usually be skipped whole.
+fn frame_len(data: &[u8], pos: usize) -> Option<usize> {
+    if data.len().saturating_sub(pos) < 12 {
+        return None;
+    }
+    let len = u32::from_be_bytes([data[pos + 8], data[pos + 9], data[pos + 10], data[pos + 11]])
+        as usize;
+    (len > 0 && pos + 12 + len <= data.len()).then_some(12 + len)
+}
+
+/// Scan forward from `from` for the next offset that looks like the start
+/// of a BGP4MP/MESSAGE record: matching type/subtype and a credible length.
+fn resync(data: &[u8], from: usize) -> Option<usize> {
+    (from..data.len()).find(|&p| {
+        if data.len() - p < 12 {
+            return false;
+        }
+        let mrt_type = u16::from_be_bytes([data[p + 4], data[p + 5]]);
+        let subtype = u16::from_be_bytes([data[p + 6], data[p + 7]]);
+        mrt_type == MRT_TYPE_BGP4MP && subtype == BGP4MP_MESSAGE && frame_len(data, p).is_some()
+    })
+}
+
+/// Lossy parse of a possibly corrupt MRT stream: every record that decodes
+/// is kept, every one that does not is quarantined as an [`MrtIssue`] and
+/// skipped — by its own declared length when that is credible, otherwise
+/// by scanning for the next plausible record header. Never fails and never
+/// panics; a fully unreadable input yields `(vec![], issues)`.
+pub fn decode_stream_salvage(
+    data: &[u8],
+    table: &MrtPrefixTable<'_>,
+) -> (Vec<BgpUpdate>, Vec<MrtIssue>) {
+    let mut out = Vec::new();
+    let mut issues = Vec::new();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        match decode_record(&data[pos..], table) {
+            Ok((mut updates, consumed)) => {
+                out.append(&mut updates);
+                pos += consumed;
+            }
+            Err(error) => {
+                issues.push(MrtIssue { offset: pos, error });
+                pos = match frame_len(data, pos) {
+                    Some(total) => pos + total,
+                    None => match resync(data, pos + 1) {
+                        Some(next) => next,
+                        None => break,
+                    },
+                };
+            }
+        }
+    }
+    (out, issues)
 }
 
 #[cfg(test)]
@@ -398,6 +471,80 @@ mod tests {
             decode_record(&bad, &table),
             Err(MrtError::UnsupportedType { .. })
         ));
+    }
+
+    #[test]
+    fn salvage_on_clean_stream_matches_strict() {
+        let prefixes = table_prefixes(6);
+        let table = MrtPrefixTable::new(&prefixes);
+        let updates: Vec<BgpUpdate> = (0..50)
+            .map(|i| upd(i * 7, (i % 9) as u16, (i % 6) as u32, UpdateKind::Announce))
+            .collect();
+        let wire = encode_stream(&updates, &table);
+        let strict = decode_stream(&wire, &table).unwrap();
+        let (salvaged, issues) = decode_stream_salvage(&wire, &table);
+        assert!(issues.is_empty());
+        assert_eq!(salvaged.len(), strict.len());
+    }
+
+    #[test]
+    fn salvage_skips_a_corrupt_record_and_keeps_the_rest() {
+        let prefixes = table_prefixes(4);
+        let table = MrtPrefixTable::new(&prefixes);
+        let updates: Vec<BgpUpdate> = (0..10)
+            .map(|i| upd(i, 1, (i % 4) as u32, UpdateKind::Withdraw))
+            .collect();
+        let mut wire = encode_stream(&updates, &table);
+        let rec_len = encode_record(&updates[0], &table).unwrap().len();
+        // Corrupt the 4th record's body (its AFI), leaving the header sound.
+        wire[3 * rec_len + 12 + 7] ^= 0xFF;
+        let (salvaged, issues) = decode_stream_salvage(&wire, &table);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].offset, 3 * rec_len);
+        assert_eq!(salvaged.len(), 9, "one record quarantined, nine kept");
+        assert!(issues[0].to_string().contains("offset"));
+    }
+
+    #[test]
+    fn salvage_resyncs_over_leading_garbage() {
+        let prefixes = table_prefixes(4);
+        let table = MrtPrefixTable::new(&prefixes);
+        let updates: Vec<BgpUpdate> = (0..5)
+            .map(|i| upd(i, 1, 0, UpdateKind::Announce))
+            .collect();
+        let clean = encode_stream(&updates, &table);
+        let mut wire = vec![0xEEu8; 37]; // garbage that frames nothing
+        wire.extend_from_slice(&clean);
+        let (salvaged, issues) = decode_stream_salvage(&wire, &table);
+        assert!(!issues.is_empty());
+        assert_eq!(salvaged.len(), 5, "resync found the real records");
+    }
+
+    #[test]
+    fn salvage_of_truncated_stream_keeps_the_prefix() {
+        let prefixes = table_prefixes(4);
+        let table = MrtPrefixTable::new(&prefixes);
+        let updates: Vec<BgpUpdate> = (0..10)
+            .map(|i| upd(i, 1, 1, UpdateKind::Announce))
+            .collect();
+        let wire = encode_stream(&updates, &table);
+        let rec_len = wire.len() / 10;
+        let cut = &wire[..7 * rec_len + 5]; // mid-record cut
+        assert!(decode_stream(cut, &table).is_err());
+        let (salvaged, issues) = decode_stream_salvage(cut, &table);
+        assert_eq!(salvaged.len(), 7);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].error, MrtError::Truncated);
+    }
+
+    #[test]
+    fn salvage_of_pure_garbage_yields_nothing_quietly() {
+        let prefixes = table_prefixes(2);
+        let table = MrtPrefixTable::new(&prefixes);
+        let garbage: Vec<u8> = (0..300).map(|i| (i * 31 + 7) as u8).collect();
+        let (salvaged, issues) = decode_stream_salvage(&garbage, &table);
+        assert!(salvaged.is_empty());
+        assert!(!issues.is_empty());
     }
 
     #[test]

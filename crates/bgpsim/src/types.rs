@@ -19,7 +19,7 @@ pub enum UpdateKind {
 }
 
 /// One BGP update as heard by a collector (MRT-record equivalent).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BgpUpdate {
     pub time: SimTime,
     /// Peering session (0..TOTAL_PEERS) the update was heard on.

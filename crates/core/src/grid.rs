@@ -87,6 +87,34 @@ impl HourlyGrid {
         out
     }
 
+    /// Does `(row, hour)` have data, but too little to trust its rate?
+    ///
+    /// These are the cells a degraded run produces around a client death or
+    /// heavy record loss: not empty, yet below the `min_samples` floor every
+    /// rate/episode computation applies, so they silently fall out of the
+    /// analysis. Degradation reporting surfaces them.
+    pub fn is_thin(&self, row: usize, hour: u32, min_samples: u32) -> bool {
+        let (a, _) = self.cell(row, hour);
+        a > 0 && a < min_samples.max(1)
+    }
+
+    /// Count of cells with any data, and of those, how many are thin.
+    pub fn coverage(&self, min_samples: u32) -> GridCoverage {
+        let mut cov = GridCoverage::default();
+        for row in 0..self.rows {
+            for hour in 0..self.hours {
+                let (a, _) = self.cell(row, hour);
+                if a > 0 {
+                    cov.active += 1;
+                    if a < min_samples.max(1) {
+                        cov.thin += 1;
+                    }
+                }
+            }
+        }
+        cov
+    }
+
     /// Monthly totals for one row.
     pub fn row_totals(&self, row: usize) -> (u64, u64) {
         let mut a = 0u64;
@@ -97,6 +125,27 @@ impl HourlyGrid {
             f += u64::from(cf);
         }
         (a, f)
+    }
+}
+
+/// How many cells of a grid hold data, and how many of those are too thin
+/// for their rates to be trusted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GridCoverage {
+    /// Cells with at least one sample.
+    pub active: usize,
+    /// Active cells below the `min_samples` floor.
+    pub thin: usize,
+}
+
+impl GridCoverage {
+    /// Fraction of active cells whose rate is trustworthy.
+    pub fn confident_fraction(&self) -> f64 {
+        if self.active == 0 {
+            1.0
+        } else {
+            (self.active - self.thin) as f64 / self.active as f64
+        }
     }
 }
 
@@ -228,6 +277,25 @@ mod tests {
         let g = client_connection_grid(&ds, &perm);
         assert_eq!(g.cell(0, 0), (0, 0), "permanent pair excluded");
         assert_eq!(g.cell(1, 0), (30, 0));
+    }
+
+    #[test]
+    fn thin_cell_detection_and_coverage() {
+        let mut g = HourlyGrid::new(2, 3);
+        for _ in 0..20 {
+            g.add(0, 0, false); // confident
+        }
+        for _ in 0..3 {
+            g.add(0, 1, true); // thin
+        }
+        g.add(1, 2, false); // thin
+        assert!(!g.is_thin(0, 0, 12));
+        assert!(g.is_thin(0, 1, 12));
+        assert!(!g.is_thin(1, 0, 12), "empty cells are not thin, just absent");
+        let cov = g.coverage(12);
+        assert_eq!(cov, GridCoverage { active: 3, thin: 2 });
+        assert!((cov.confident_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(GridCoverage::default().confident_fraction(), 1.0);
     }
 
     #[test]

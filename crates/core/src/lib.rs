@@ -32,6 +32,7 @@ pub mod config;
 pub mod dns_analysis;
 pub mod episodes;
 pub mod grid;
+pub mod integrity;
 pub mod loss_corr;
 pub mod pair_episodes;
 pub mod permanent;
@@ -46,7 +47,8 @@ pub mod timing;
 
 pub use blame::{BlameBreakdown, BlameClass};
 pub use config::AnalysisConfig;
-pub use grid::HourlyGrid;
+pub use grid::{GridCoverage, HourlyGrid};
+pub use integrity::{ConfidentBlame, DegradationReport};
 pub use permanent::PermanentPairs;
 
 use model::Dataset;

@@ -125,7 +125,7 @@ pub fn detect(analysis: &Analysis<'_>, cfg: PairEpisodeConfig) -> PairEpisodeRep
     }
     report
         .episodes
-        .sort_by(|a, b| (a.client.0, a.site.0, a.window).cmp(&(b.client.0, b.site.0, b.window)));
+        .sort_by_key(|a| (a.client.0, a.site.0, a.window));
     report.distinct_pairs = pairs_seen.len();
     report
 }

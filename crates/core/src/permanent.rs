@@ -77,7 +77,7 @@ pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
             });
         }
     }
-    detail.sort_by(|a, b| (a.client.0, a.site.0).cmp(&(b.client.0, b.site.0)));
+    detail.sort_by_key(|a| (a.client.0, a.site.0));
 
     // Impact shares.
     let total_txn_failures = ds.records.iter().filter(|r| r.failed()).count();

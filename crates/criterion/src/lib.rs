@@ -1,0 +1,259 @@
+//! A self-contained, offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion::benchmark_group`], group `sample_size`/`throughput`/
+//! `bench_function`/`finish`, `Bencher::iter`/`iter_batched`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints the per-iteration mean and
+//! min. No statistical analysis, plots, or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim times the routine alone
+/// regardless, so the variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Top-level harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// API-compatibility no-op (the real crate reads CLI flags here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, None, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass: also discovers a per-sample iteration count that keeps
+    // one sample's routine time around 5 ms (bounded for slow benches).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(5);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        total += per;
+        best = best.min(per);
+    }
+    let mean = total / samples as u32;
+    let rate = |per: Duration, n: u64| {
+        let secs = per.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            n as f64 / secs
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => println!(
+            "{name}: mean {mean:?}, min {best:?} ({:.3e} elem/s)",
+            rate(mean, n)
+        ),
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => println!(
+            "{name}: mean {mean:?}, min {best:?} ({:.3e} B/s)",
+            rate(mean, n)
+        ),
+        None => println!("{name}: mean {mean:?}, min {best:?}"),
+    }
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive like `black_box`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Re-export for benches that `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Group benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs >= 3, "warm-up + samples all executed ({runs})");
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

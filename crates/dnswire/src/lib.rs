@@ -36,6 +36,6 @@ pub mod wire;
 
 pub use error::WireError;
 pub use header::{Header, Opcode, Rcode};
-pub use message::{Message, Question};
+pub use message::{DnsIssue, DnsSection, Message, Question};
 pub use name::DomainName;
 pub use rr::{RData, RecordClass, RecordType, ResourceRecord};

@@ -223,7 +223,8 @@ impl ResourceRecord {
         if r.remaining() < rdlen {
             return Err(WireError::Truncated);
         }
-        let end = r.pos() + rdlen;
+        let start = r.pos();
+        let end = start + rdlen;
         let rdata = match rtype {
             RecordType::A => {
                 let b = r.get_slice(4)?;
@@ -255,16 +256,27 @@ impl ResourceRecord {
                 let mut out = Vec::with_capacity(rdlen);
                 while r.pos() < end {
                     let n = r.get_u8()? as usize;
+                    // A character-string may not run past the declared
+                    // RDATA frame, even if the message has more bytes.
+                    if r.pos() + n > end {
+                        return Err(WireError::RdataLengthMismatch {
+                            declared: rdlen as u16,
+                            actual: r.pos() + n - start,
+                        });
+                    }
                     out.extend_from_slice(r.get_slice(n)?);
                 }
                 RData::Txt(out)
             }
             RecordType::Other(_) => RData::Opaque(r.get_slice(rdlen)?.to_vec()),
         };
+        // A name inside RDATA (NS/CNAME/MX/SOA...) can legitimately parse
+        // yet overrun the frame, so compare against the recorded start
+        // rather than subtracting from rdlen (which would underflow).
         if r.pos() != end {
             return Err(WireError::RdataLengthMismatch {
                 declared: rdlen as u16,
-                actual: rdlen - (end - r.pos()),
+                actual: r.pos() - start,
             });
         }
         Ok(ResourceRecord {

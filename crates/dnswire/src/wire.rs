@@ -68,24 +68,24 @@ impl WireWriter {
         // find a suffix already written, then emit a pointer to it.
         let mut suffix = name.clone();
         loop {
-            if suffix.is_root() {
-                self.buf.push(0);
-                return;
-            }
             if let Some(&off) = self.name_offsets.get(&suffix) {
                 self.put_u16(0xC000 | off);
                 return;
             }
+            // Root (no first label / no parent): emit the terminator.
+            let (Some(label), Some(parent)) = (suffix.labels().next(), suffix.parent()) else {
+                self.buf.push(0);
+                return;
+            };
             // Record where this suffix starts (only if pointer-addressable:
             // pointers carry 14 bits).
             let here = self.buf.len();
             if here <= 0x3FFF {
                 self.name_offsets.insert(suffix.clone(), here as u16);
             }
-            let label = suffix.labels().next().expect("non-root");
             self.buf.push(label.len() as u8);
             self.buf.extend_from_slice(label);
-            suffix = suffix.parent().expect("non-root");
+            suffix = parent;
         }
     }
 
@@ -168,10 +168,9 @@ impl<'a> WireReader<'a> {
             match len_octet & 0xC0 {
                 0x00 => {
                     if len_octet == 0 {
-                        // Root: name complete.
-                        if cursor_after.is_none() {
-                            cursor_after = Some(read_pos + 1);
-                        }
+                        // Root: name complete. If no pointer fixed the
+                        // cursor yet, it lands just past this octet.
+                        self.pos = cursor_after.unwrap_or(read_pos + 1);
                         break;
                     }
                     let len = len_octet as usize;
@@ -207,8 +206,15 @@ impl<'a> WireReader<'a> {
             }
         }
 
-        self.pos = cursor_after.expect("set on exit");
         DomainName::from_labels(labels)
+    }
+
+    /// Move the cursor to an absolute offset (clamped to the input length).
+    ///
+    /// Used by salvage decoding to resynchronize after a record that failed
+    /// to parse; a strict decode never needs this.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.data.len());
     }
 }
 

@@ -20,7 +20,7 @@ pub mod records;
 pub mod time;
 
 pub use bgp::{BgpHourly, BgpHourlySeries};
-pub use dataset::{ClientMeta, Dataset, SiteMeta};
+pub use dataset::{ClientMeta, Dataset, IntegrityReport, SiteMeta};
 pub use failure::{DnsErrorCode, DnsFailureKind, FailureClass, TcpFailureKind};
 pub use ids::{ClientCategory, ClientId, PrefixId, ProxyId, SiteCategory, SiteId};
 pub use net::Ipv4Prefix;

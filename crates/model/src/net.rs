@@ -58,7 +58,8 @@ impl Ipv4Prefix {
         self.addr
     }
 
-    /// Prefix length.
+    /// Prefix length (mask bits — not a container length).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -94,7 +94,7 @@ impl OnOffProcess {
         let mut t = SimTime::ZERO;
         loop {
             let up = rng.exp_duration(self.mean_up);
-            t = t + up;
+            t += up;
             if t >= horizon {
                 break;
             }
@@ -103,7 +103,7 @@ impl OnOffProcess {
                 continue;
             }
             changes.push((t, true));
-            t = t + down;
+            t += down;
             changes.push((t, false));
             if t >= horizon {
                 break;
@@ -159,7 +159,7 @@ impl PoissonProcess {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
-            t = t + rng.exp_duration(self.mean_gap);
+            t += rng.exp_duration(self.mean_gap);
             if t >= horizon {
                 break;
             }

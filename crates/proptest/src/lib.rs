@@ -1,0 +1,699 @@
+//! A self-contained, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of proptest's API that its property tests
+//! actually use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, integer/float range strategies, `any::<T>()`,
+//! [`collection::vec`], [`string::string_regex`] (character-class subset),
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   baked into the assertion message instead of a minimized counterexample.
+//! * **Deterministic seeding.** Each test's RNG is seeded from its module
+//!   path and name, so runs are reproducible without a persistence file.
+//! * `string_regex` supports the character-class + quantifier subset used
+//!   here (e.g. `[a-z0-9_-]{1,20}`), not full regex syntax.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG behind generation.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64: tiny, fast, and plenty good for test-input generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Deterministic per-test seeding from the test's full path.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::new(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform in `[0, n)`; 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                return 0;
+            }
+            // Modulo bias is irrelevant for test generation.
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: `generate`
+    /// produces the final value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Box a strategy into a trait object (used by [`prop_oneof!`]).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128 - lo as u128).saturating_add(1);
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.f64() as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (hi - lo) * rng.f64() as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` over the primitive types the workspace generates.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            let mut out = [T::default(); N];
+            for slot in &mut out {
+                *slot = T::arbitrary(rng);
+            }
+            out
+        }
+    }
+
+    /// Strategy generating any value of `A`.
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive size bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A vector of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! `string_regex`: strings matching a character-class regex subset.
+    //!
+    //! Supported syntax: literal characters, `[...]` classes with ranges
+    //! (`a-z`) and literals (`_-`), and the quantifiers `{n}`, `{m,n}`,
+    //! `?`, `*`, `+` (`*`/`+` are capped at 8 repetitions).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// Regex-parse failure.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Clone, Debug)]
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A strategy generating strings matching `pattern`.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let span = (atom.max - atom.min) as u64 + 1;
+                let reps = atom.min + rng.below(span) as usize;
+                for _ in 0..reps {
+                    let i = rng.below(atom.choices.len() as u64) as usize;
+                    out.push(atom.choices[i]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Build a strategy for strings matching `pattern`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => parse_class(&mut chars, pattern)?,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("{pattern}: trailing backslash")))?;
+                    vec![unescape(esc)]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error(format!("{pattern}: unsupported metachar {c:?}")))
+                }
+                other => vec![other],
+            };
+            if choices.is_empty() {
+                return Err(Error(format!("{pattern}: empty character class")));
+            }
+            let (min, max) = parse_quantifier(&mut chars, pattern)?;
+            atoms.push(Atom { choices, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<Vec<char>, Error> {
+        let mut out = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error(format!("{pattern}: unterminated class")))?;
+            match c {
+                ']' => return Ok(out),
+                '^' if out.is_empty() && prev.is_none() => {
+                    return Err(Error(format!("{pattern}: negated classes unsupported")))
+                }
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = prev.take().expect("checked");
+                    let hi = chars.next().expect("peeked");
+                    if hi < lo {
+                        return Err(Error(format!("{pattern}: inverted range {lo}-{hi}")));
+                    }
+                    // `lo` was already pushed when first seen; add the rest.
+                    for u in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(u) {
+                            out.push(ch);
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("{pattern}: trailing backslash")))?;
+                    let ch = unescape(esc);
+                    out.push(ch);
+                    prev = Some(ch);
+                }
+                other => {
+                    out.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<(usize, usize), Error> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let parse = |s: &str| {
+                            s.parse::<usize>()
+                                .map_err(|_| Error(format!("{pattern}: bad quantifier")))
+                        };
+                        return match body.split_once(',') {
+                            Some((m, n)) => Ok((parse(m)?, parse(n)?)),
+                            None => {
+                                let n = parse(&body)?;
+                                Ok((n, n))
+                            }
+                        };
+                    }
+                    body.push(c);
+                }
+                Err(Error(format!("{pattern}: unterminated quantifier")))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` test expects in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each generated case draws fresh inputs from the
+/// argument strategies; a failing assertion panics immediately (no
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let w = Strategy::generate(&(0u8..=32), &mut rng);
+            assert!(w <= 32);
+            let f = Strategy::generate(&(0.5f64..3.0), &mut rng);
+            assert!((0.5..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 1..200), &mut rng);
+            assert!((1..200).contains(&v.len()));
+            let w = Strategy::generate(&crate::collection::vec(0u64..5, 2..=4), &mut rng);
+            assert!((2..=4).contains(&w.len()));
+            assert!(w.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = TestRng::new(3);
+        let s = crate::string::string_regex("[a-z0-9_-]{1,20}").unwrap();
+        for _ in 0..500 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..=20).contains(&v.len()), "{v:?}");
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("[^a]").is_err());
+        let lit = crate::string::string_regex("ab{2}c?").unwrap();
+        let v = Strategy::generate(&lit, &mut rng);
+        assert!(v == "abb" || v == "abbc", "{v:?}");
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::new(4);
+        let s = prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            Just(1u32),
+        ];
+        let mut saw_odd = false;
+        let mut saw_even = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v == 1 || (v % 2 == 0 && v < 20));
+            saw_odd |= v == 1;
+            saw_even |= v % 2 == 0;
+        }
+        assert!(saw_odd && saw_even);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: multiple args, trailing comma, doc attr.
+        #[test]
+        fn macro_smoke(a in 0u64..100, b in any::<bool>(), v in crate::collection::vec(0u8..4, 0..5),) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(v.len(), 6);
+        }
+    }
+}

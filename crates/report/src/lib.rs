@@ -5,13 +5,17 @@
 //! * [`export`] — full-dataset CSV export (the paper published its data);
 //! * [`paper`] — the paper's reported numbers, as comparison targets;
 //! * [`render`] — one renderer per table/figure, turning `netprofiler`
-//!   results into the text the `reproduce` harness prints.
+//!   results into the text the `reproduce` harness prints;
+//! * [`quarantine`] — the degraded-run loss summary (lost clients, dropped
+//!   records, salvaged bytes).
 
 pub mod csv;
 pub mod export;
 pub mod paper;
+pub mod quarantine;
 pub mod render;
 pub mod table;
 
 pub use paper::PaperTargets;
+pub use quarantine::{QuarantineSummary, SalvageLine};
 pub use table::TextTable;

@@ -1,0 +1,153 @@
+//! Quarantine summary: what the apparatus lost and what salvage saved.
+//!
+//! A degraded collection run still produces an analyzable dataset, but the
+//! paper's tables are only honest if the report says what is missing. This
+//! module renders the losses in one place: clients that died mid-month,
+//! records dropped in the collection pipeline, and trace/feed bytes the
+//! salvage decoders had to quarantine.
+//!
+//! The summary is deliberately plain data (counts and strings) so any layer
+//! — the workload runner, the analysis, a decoder — can contribute lines
+//! without this crate depending on them.
+
+use crate::table::TextTable;
+
+/// Salvage outcome for one codec or feed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvageLine {
+    /// What was being decoded, e.g. `"bgp-mrt"` or `"tcp-pcap"`.
+    pub source: String,
+    /// Records decoded successfully.
+    pub kept: u64,
+    /// Corrupt regions skipped by the salvage decoder.
+    pub quarantined: u64,
+    /// A few representative issue descriptions (not all of them).
+    pub samples: Vec<String>,
+}
+
+/// Everything a degraded run lost, in renderable form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuarantineSummary {
+    /// Clients the experiment started.
+    pub clients_total: usize,
+    /// Names of clients whose node died before finishing the month.
+    pub clients_lost: Vec<String>,
+    /// PerformanceRecords that made it into the dataset.
+    pub records_kept: u64,
+    /// PerformanceRecords dropped by the collection apparatus.
+    pub records_dropped: u64,
+    /// Per-codec salvage outcomes.
+    pub salvage: Vec<SalvageLine>,
+}
+
+impl QuarantineSummary {
+    /// True when nothing was lost anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.clients_lost.is_empty()
+            && self.records_dropped == 0
+            && self.salvage.iter().all(|s| s.quarantined == 0)
+    }
+
+    /// Fraction of emitted records that the apparatus dropped.
+    pub fn record_drop_rate(&self) -> f64 {
+        let total = self.records_kept + self.records_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.records_dropped as f64 / total as f64
+        }
+    }
+
+    /// Render the summary as the text block the reproduce harness prints.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "Data quarantine: clean run, nothing lost.\n".to_string();
+        }
+        let mut t = TextTable::new(["loss", "count", "detail"])
+            .with_title("Data quarantine")
+            .right_align(&[1]);
+        t.row([
+            "clients lost".to_string(),
+            self.clients_lost.len().to_string(),
+            format!("of {} started: {}", self.clients_total, self.clients_lost.join(", ")),
+        ]);
+        t.row([
+            "records dropped".to_string(),
+            self.records_dropped.to_string(),
+            format!(
+                "{:.2}% of {} emitted",
+                100.0 * self.record_drop_rate(),
+                self.records_kept + self.records_dropped
+            ),
+        ]);
+        for s in &self.salvage {
+            t.row([
+                format!("{} quarantined", s.source),
+                s.quarantined.to_string(),
+                format!("{} records salvaged", s.kept),
+            ]);
+        }
+        let mut out = t.render();
+        for s in &self.salvage {
+            for sample in &s.samples {
+                out.push_str(&format!("  [{}] {}\n", s.source, sample));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degraded() -> QuarantineSummary {
+        QuarantineSummary {
+            clients_total: 134,
+            clients_lost: vec!["planetlab-03".into(), "dialup-11".into()],
+            records_kept: 98_000,
+            records_dropped: 2_000,
+            salvage: vec![SalvageLine {
+                source: "bgp-mrt".into(),
+                kept: 5_400,
+                quarantined: 17,
+                samples: vec!["offset 1234: truncated record".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_summary_renders_one_line() {
+        let s = QuarantineSummary::default();
+        assert!(s.is_clean());
+        assert_eq!(s.record_drop_rate(), 0.0);
+        assert!(s.render().contains("clean run"));
+    }
+
+    #[test]
+    fn degraded_summary_lists_every_loss() {
+        let s = degraded();
+        assert!(!s.is_clean());
+        assert!((s.record_drop_rate() - 0.02).abs() < 1e-12);
+        let text = s.render();
+        assert!(text.contains("planetlab-03"));
+        assert!(text.contains("records dropped"));
+        assert!(text.contains("2.00%"));
+        assert!(text.contains("bgp-mrt quarantined"));
+        assert!(text.contains("offset 1234"));
+    }
+
+    #[test]
+    fn salvage_issues_alone_make_a_run_dirty() {
+        let s = QuarantineSummary {
+            salvage: vec![SalvageLine {
+                source: "dns".into(),
+                kept: 10,
+                quarantined: 1,
+                samples: vec![],
+            }],
+            ..QuarantineSummary::default()
+        };
+        assert!(!s.is_clean());
+    }
+}

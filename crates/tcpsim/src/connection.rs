@@ -159,13 +159,13 @@ pub fn simulate_connection(
         // SYN must survive the forward path.
         let syn_arrives = behavior != ServerBehavior::Unreachable && !rng.chance(path.loss);
         if !syn_arrives {
-            now = now + backoff;
+            now += backoff;
             continue;
         }
         if behavior == ServerBehavior::Refusing {
             // RST on the reverse path.
             if rng.chance(path.loss) {
-                now = now + backoff;
+                now += backoff;
                 continue;
             }
             let t_rst = now + rtt(rng);
@@ -176,7 +176,7 @@ pub fn simulate_connection(
         }
         // SYN-ACK on the reverse path.
         if rng.chance(path.loss) {
-            now = now + backoff;
+            now += backoff;
             continue;
         }
         let t_synack = now + rtt(rng);
@@ -220,7 +220,7 @@ pub fn simulate_connection(
     for attempt in 0..cfg.max_segment_attempts {
         if attempt > 0 {
             retx_sent += 1;
-            now = now + cfg.rto;
+            now += cfg.rto;
         }
         cap.push(now, Direction::ClientToServer, PacketKind::Request { seq: 0 });
         if rng.chance(path.loss) {
@@ -239,7 +239,7 @@ pub fn simulate_connection(
     if !request_delivered {
         // Pathological loss: the connection makes no progress; the client's
         // idle rule fires.
-        now = now + cfg.idle_timeout;
+        now += cfg.idle_timeout;
         return ConnectionResult {
             outcome: Err(TcpFailureKind::NoResponse),
             established: true,
@@ -261,7 +261,7 @@ pub fn simulate_connection(
     let stalls = will_deliver < response_bytes;
 
     if will_deliver == 0 {
-        now = now + cfg.idle_timeout;
+        now += cfg.idle_timeout;
         return ConnectionResult {
             outcome: Err(TcpFailureKind::NoResponse),
             established: true,
@@ -329,7 +329,7 @@ pub fn simulate_connection(
 
     if transfer_stalled || stalls {
         // No further progress: the idle rule ends the transaction.
-        now = now + cfg.idle_timeout;
+        now += cfg.idle_timeout;
         let outcome = if bytes_delivered == 0 {
             Err(TcpFailureKind::NoResponse)
         } else {

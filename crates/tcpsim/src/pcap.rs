@@ -153,6 +153,62 @@ fn ipv4_checksum(header: &[u8]) -> u16 {
     !(sum as u16)
 }
 
+/// Decode one captured packet (16-byte record header already consumed).
+fn decode_packet(
+    pkt: &[u8],
+    ts_sec: u32,
+    ts_usec: u32,
+    client: Ipv4Addr,
+) -> Result<TracePacket, PcapError> {
+    if pkt.len() < 40 || pkt[0] != 0x45 {
+        return Err(PcapError::BadPacket("short or non-IPv4"));
+    }
+    if pkt[9] != 6 {
+        return Err(PcapError::BadPacket("not TCP"));
+    }
+    let src = Ipv4Addr::new(pkt[12], pkt[13], pkt[14], pkt[15]);
+    let direction = if src == client {
+        Direction::ClientToServer
+    } else {
+        Direction::ServerToClient
+    };
+    let tcp = &pkt[20..];
+    let seq = u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]);
+    let flags = tcp[13];
+    let payload = pkt.len() - 40;
+    let kind = match flags {
+        f if f & TCP_RST != 0 => PacketKind::Rst,
+        f if f & TCP_SYN != 0 && f & TCP_ACK != 0 => PacketKind::SynAck,
+        f if f & TCP_SYN != 0 => PacketKind::Syn,
+        f if f & TCP_FIN != 0 => PacketKind::Fin,
+        f if f & TCP_PSH != 0 && payload > 0 => {
+            // Our encoder writes seq+1; wrapping keeps hand-crafted
+            // packets carrying seq 0 from underflowing.
+            if direction == Direction::ClientToServer {
+                PacketKind::Request {
+                    seq: seq.wrapping_sub(1),
+                }
+            } else {
+                PacketKind::Data {
+                    seq: seq.wrapping_sub(1),
+                }
+            }
+        }
+        _ => PacketKind::Ack,
+    };
+    Ok(TracePacket {
+        time: SimTime::from_micros(0)
+            + SimDuration::from_secs(u64::from(ts_sec))
+            + SimDuration::from_micros(u64::from(ts_usec)),
+        direction,
+        kind,
+    })
+}
+
+fn u32at(data: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]])
+}
+
 /// Parse a pcap buffer produced by [`encode_pcap`] back into a trace.
 ///
 /// The client address is needed to recover packet directions.
@@ -160,11 +216,11 @@ pub fn decode_pcap(data: &[u8], client: Ipv4Addr) -> Result<Trace, PcapError> {
     if data.len() < 24 {
         return Err(PcapError::Truncated);
     }
-    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    let magic = u32at(data, 0);
     if magic != PCAP_MAGIC {
         return Err(PcapError::BadMagic(magic));
     }
-    let linktype = u32::from_le_bytes([data[20], data[21], data[22], data[23]]);
+    let linktype = u32at(data, 20);
     if linktype != LINKTYPE_RAW {
         return Err(PcapError::BadLinkType(linktype));
     }
@@ -175,62 +231,113 @@ pub fn decode_pcap(data: &[u8], client: Ipv4Addr) -> Result<Trace, PcapError> {
         if data.len() - pos < 16 {
             return Err(PcapError::Truncated);
         }
-        let u32at = |off: usize| {
-            u32::from_le_bytes([
-                data[off],
-                data[off + 1],
-                data[off + 2],
-                data[off + 3],
-            ])
-        };
-        let ts_sec = u32at(pos);
-        let ts_usec = u32at(pos + 4);
-        let incl = u32at(pos + 8) as usize;
+        let ts_sec = u32at(data, pos);
+        let ts_usec = u32at(data, pos + 4);
+        let incl = u32at(data, pos + 8) as usize;
         pos += 16;
         if data.len() - pos < incl {
             return Err(PcapError::Truncated);
         }
         let pkt = &data[pos..pos + incl];
         pos += incl;
-        if incl < 40 || pkt[0] != 0x45 {
-            return Err(PcapError::BadPacket("short or non-IPv4"));
-        }
-        if pkt[9] != 6 {
-            return Err(PcapError::BadPacket("not TCP"));
-        }
-        let src = Ipv4Addr::new(pkt[12], pkt[13], pkt[14], pkt[15]);
-        let direction = if src == client {
-            Direction::ClientToServer
-        } else {
-            Direction::ServerToClient
-        };
-        let tcp = &pkt[20..];
-        let seq = u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]);
-        let flags = tcp[13];
-        let payload = incl - 40;
-        let kind = match flags {
-            f if f & TCP_RST != 0 => PacketKind::Rst,
-            f if f & TCP_SYN != 0 && f & TCP_ACK != 0 => PacketKind::SynAck,
-            f if f & TCP_SYN != 0 => PacketKind::Syn,
-            f if f & TCP_FIN != 0 => PacketKind::Fin,
-            f if f & TCP_PSH != 0 && payload > 0 => {
-                if direction == Direction::ClientToServer {
-                    PacketKind::Request { seq: seq - 1 }
-                } else {
-                    PacketKind::Data { seq: seq - 1 }
-                }
-            }
-            _ => PacketKind::Ack,
-        };
-        trace.push(TracePacket {
-            time: SimTime::from_micros(0)
-                + SimDuration::from_secs(u64::from(ts_sec))
-                + SimDuration::from_micros(u64::from(ts_usec)),
-            direction,
-            kind,
-        });
+        trace.push(decode_packet(pkt, ts_sec, ts_usec, client)?);
     }
     Ok(trace)
+}
+
+/// One quarantined region found while salvage-decoding a pcap buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PcapIssue {
+    /// Byte offset of the record header (or garbage run) that failed.
+    pub offset: usize,
+    pub error: PcapError,
+}
+
+impl std::fmt::Display for PcapIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.error)
+    }
+}
+
+/// Does `pos` look like the start of a pcap record header? Our encoder
+/// always writes `incl == orig` and whole IPv4+TCP packets, so a credible
+/// header has matching lengths in packet range, fully contained in the
+/// input.
+fn plausible_record(data: &[u8], pos: usize) -> bool {
+    if data.len().saturating_sub(pos) < 16 {
+        return false;
+    }
+    let incl = u32at(data, pos + 8) as usize;
+    let orig = u32at(data, pos + 12) as usize;
+    incl == orig && (40..=2048).contains(&incl) && pos + 16 + incl <= data.len()
+}
+
+/// Lossy parse of a possibly corrupt pcap buffer: skips records that fail
+/// to decode, resynchronizes on the next credible record header after a
+/// framing error, and reports everything it quarantined. Never fails and
+/// never panics; a hopeless input yields `(vec![], issues)`.
+pub fn decode_pcap_salvage(data: &[u8], client: Ipv4Addr) -> (Trace, Vec<PcapIssue>) {
+    let mut trace = Vec::new();
+    let mut issues = Vec::new();
+    if data.len() < 24 {
+        issues.push(PcapIssue {
+            offset: 0,
+            error: PcapError::Truncated,
+        });
+        return (trace, issues);
+    }
+    // A damaged global header is reported but not fatal: record framing is
+    // independent of it, so the packets may still be recoverable.
+    let magic = u32at(data, 0);
+    if magic != PCAP_MAGIC {
+        issues.push(PcapIssue {
+            offset: 0,
+            error: PcapError::BadMagic(magic),
+        });
+    }
+    let linktype = u32at(data, 20);
+    if linktype != LINKTYPE_RAW {
+        issues.push(PcapIssue {
+            offset: 20,
+            error: PcapError::BadLinkType(linktype),
+        });
+    }
+
+    let mut pos = 24;
+    while pos < data.len() {
+        if data.len() - pos < 16 {
+            issues.push(PcapIssue {
+                offset: pos,
+                error: PcapError::Truncated,
+            });
+            break;
+        }
+        if !plausible_record(data, pos) {
+            issues.push(PcapIssue {
+                offset: pos,
+                error: PcapError::BadPacket("implausible record header"),
+            });
+            match ((pos + 1)..data.len()).find(|&p| plausible_record(data, p)) {
+                Some(next) => {
+                    pos = next;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let ts_sec = u32at(data, pos);
+        let ts_usec = u32at(data, pos + 4);
+        let incl = u32at(data, pos + 8) as usize;
+        let pkt = &data[pos + 16..pos + 16 + incl];
+        match decode_packet(pkt, ts_sec, ts_usec, client) {
+            Ok(p) => trace.push(p),
+            // Framing was sound, only the packet bytes were bad: skip just
+            // this record.
+            Err(error) => issues.push(PcapIssue { offset: pos, error }),
+        }
+        pos += 16 + incl;
+    }
+    (trace, issues)
 }
 
 #[cfg(test)]
@@ -310,6 +417,126 @@ mod tests {
         assert_eq!(wire.len(), 24);
         let decoded = decode_pcap(&wire, PcapEndpoints::default().client).unwrap();
         assert!(decoded.is_empty());
+    }
+
+    /// Byte offsets of each record header in an encoded buffer.
+    fn record_offsets(wire: &[u8]) -> Vec<usize> {
+        let mut offs = Vec::new();
+        let mut pos = 24;
+        while pos < wire.len() {
+            offs.push(pos);
+            let incl = u32at(wire, pos + 8) as usize;
+            pos += 16 + incl;
+        }
+        offs
+    }
+
+    #[test]
+    fn salvage_on_clean_stream_matches_strict() {
+        let ep = PcapEndpoints::default();
+        let trace = run_trace(ServerBehavior::Healthy, 0.05, 9);
+        let wire = encode_pcap(&trace, &ep);
+        let strict = decode_pcap(&wire, ep.client).unwrap();
+        let (salvaged, issues) = decode_pcap_salvage(&wire, ep.client);
+        assert!(issues.is_empty(), "clean input must not report issues");
+        assert_eq!(salvaged, strict);
+    }
+
+    #[test]
+    fn salvage_skips_a_corrupt_packet_and_keeps_the_rest() {
+        let ep = PcapEndpoints::default();
+        let trace = run_trace(ServerBehavior::Healthy, 0.0, 10);
+        let wire = encode_pcap(&trace, &ep);
+        let offs = record_offsets(&wire);
+        assert!(offs.len() >= 4, "need a few packets for this test");
+        let mut bad = wire.clone();
+        // Wreck the IP header of the second packet; framing stays intact.
+        bad[offs[1] + 16] = 0xFF;
+        assert!(decode_pcap(&bad, ep.client).is_err());
+        let (salvaged, issues) = decode_pcap_salvage(&bad, ep.client);
+        assert_eq!(salvaged.len(), trace.len() - 1);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].offset, offs[1]);
+        assert!(matches!(issues[0].error, PcapError::BadPacket(_)));
+    }
+
+    #[test]
+    fn salvage_resyncs_over_injected_garbage() {
+        let ep = PcapEndpoints::default();
+        let trace = run_trace(ServerBehavior::Healthy, 0.0, 11);
+        let wire = encode_pcap(&trace, &ep);
+        let offs = record_offsets(&wire);
+        assert!(offs.len() >= 4);
+        let mut bad = wire[..offs[2]].to_vec();
+        bad.extend(std::iter::repeat_n(0xEE, 33));
+        bad.extend_from_slice(&wire[offs[2]..]);
+        let (salvaged, issues) = decode_pcap_salvage(&bad, ep.client);
+        assert_eq!(salvaged.len(), trace.len(), "all real packets recovered");
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].offset, offs[2], "garbage run flagged where it starts");
+    }
+
+    #[test]
+    fn salvage_of_truncated_capture_keeps_the_prefix() {
+        let ep = PcapEndpoints::default();
+        let trace = run_trace(ServerBehavior::Healthy, 0.0, 12);
+        let wire = encode_pcap(&trace, &ep);
+        let offs = record_offsets(&wire);
+        assert!(offs.len() >= 4);
+        // Cut inside the third record's packet bytes.
+        let cut = &wire[..offs[2] + 16 + 7];
+        assert_eq!(decode_pcap(cut, ep.client), Err(PcapError::Truncated));
+        let (salvaged, issues) = decode_pcap_salvage(cut, ep.client);
+        assert_eq!(salvaged.len(), 2);
+        assert_eq!(issues.len(), 1);
+        assert!(matches!(
+            issues[0].error,
+            PcapError::Truncated | PcapError::BadPacket(_)
+        ));
+    }
+
+    #[test]
+    fn salvage_recovers_packets_despite_damaged_global_header() {
+        let ep = PcapEndpoints::default();
+        let trace = run_trace(ServerBehavior::Healthy, 0.0, 13);
+        let mut wire = encode_pcap(&trace, &ep);
+        wire[0] = 0; // break the magic
+        wire[20] = 1; // and the linktype
+        assert!(decode_pcap(&wire, ep.client).is_err());
+        let (salvaged, issues) = decode_pcap_salvage(&wire, ep.client);
+        assert_eq!(salvaged.len(), trace.len());
+        assert_eq!(issues.len(), 2);
+        assert!(matches!(issues[0].error, PcapError::BadMagic(_)));
+        assert!(matches!(issues[1].error, PcapError::BadLinkType(1)));
+    }
+
+    #[test]
+    fn salvage_of_pure_garbage_yields_nothing_quietly() {
+        let garbage = vec![0xABu8; 300];
+        let (salvaged, issues) = decode_pcap_salvage(&garbage, Ipv4Addr::new(10, 0, 0, 1));
+        assert!(salvaged.is_empty());
+        assert!(!issues.is_empty());
+    }
+
+    #[test]
+    fn zero_seq_payload_packet_does_not_underflow() {
+        // Hand-craft a PSH+ACK data packet with seq == 0: the decoder must
+        // wrap rather than panic in debug builds.
+        let ep = PcapEndpoints::default();
+        let mut wire = encode_pcap(&Vec::new(), &ep);
+        let mut pkt = vec![0u8; 41];
+        pkt[0] = 0x45;
+        pkt[9] = 6; // TCP
+        pkt[12..16].copy_from_slice(&ep.server.octets());
+        pkt[33] = TCP_PSH | TCP_ACK; // tcp[13]
+        put_u32(&mut wire, 1); // ts_sec
+        put_u32(&mut wire, 0); // ts_usec
+        put_u32(&mut wire, pkt.len() as u32); // incl
+        put_u32(&mut wire, pkt.len() as u32); // orig
+        wire.extend_from_slice(&pkt);
+        let decoded = decode_pcap(&wire, ep.client).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].kind, PacketKind::Data { seq: u32::MAX });
     }
 
     #[test]

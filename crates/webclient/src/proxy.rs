@@ -80,7 +80,7 @@ impl ProxySession {
 
         for _hop in 0..=self.max_redirects {
             let resolution = resolver.resolve(&current, env, now, &mut self.rng, &mut self.cache);
-            now = now + resolution.elapsed;
+            now += resolution.elapsed;
             let addrs = match resolution.result {
                 Ok(a) => a,
                 Err(kind) => return ProxyFetch::DnsFailed(kind, now - t),
@@ -110,11 +110,9 @@ impl ProxySession {
                 &mut self.rng,
                 false,
             );
-            now = now + result.duration;
+            now += result.duration;
             if result.outcome.is_err() {
-                return if result.established && result.bytes_delivered > 0 {
-                    ProxyFetch::TransferFailed(now - t)
-                } else if result.established {
+                return if result.established {
                     ProxyFetch::TransferFailed(now - t)
                 } else {
                     ProxyFetch::ConnectFailed(now - t)

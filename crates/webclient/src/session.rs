@@ -234,7 +234,7 @@ impl<'t> ClientSession<'t> {
                         syn_retransmissions: result.syn_retransmissions,
                         retransmissions: visible_retx,
                     });
-                    now = now + result.duration;
+                    now += result.duration;
                     if result.outcome.is_ok() {
                         bytes_received += result.bytes_delivered.min(answer.response.body_len);
                         connected_result = Some(*addr);
@@ -303,7 +303,7 @@ impl<'t> ClientSession<'t> {
                     let r = self
                         .resolver
                         .resolve(&next_name, env, now, &mut self.rng, &mut self.cache);
-                    now = now + r.elapsed;
+                    now += r.elapsed;
                     match r.result {
                         Ok(addrs) => {
                             last_addrs = addrs;

@@ -94,7 +94,7 @@ pub fn build_fleet() -> FleetSpec {
                     addr: Ipv4Addr,
                     clients: &mut Vec<ClientSpec>| {
         // Every 4th client address is additionally covered by a /16.
-        let extra_prefix = clients.len() % 4 == 0;
+        let extra_prefix = clients.len().is_multiple_of(4);
         clients.push(ClientSpec {
             name,
             category,

@@ -4,11 +4,20 @@
 //! and reads only immutable shared state (zone tree, ground-truth
 //! timelines), so the dataset is bit-identical regardless of thread count or
 //! scheduling. Clients run in parallel with `std::thread::scope`.
+//!
+//! Fault tolerance contract: a client worker that panics (a node death from
+//! the [`crate::apparatus`] model, or a genuine bug) loses that client's
+//! records but never the run — the panic is caught, the client is reported
+//! as lost in the [`RunReport`], and every other client's output is
+//! untouched (their RNG streams are forked independently, so a lost sibling
+//! cannot shift them).
 
+use crate::apparatus::ApparatusFaults;
 use crate::clients::{build_fleet, FleetSpec};
 use crate::faults::{canonical_host, GroundTruth};
 use crate::sites::{build_sites, site_addresses, SiteSpec};
 use crate::view::{ClientView, ProxyView};
+use bgpsim::mrt::{decode_stream_salvage, encode_stream, MrtPrefixTable};
 use bgpsim::{aggregate, clean, generate, BgpScenario, SevereEvent};
 use dnssim::ZoneTree;
 use dnswire::DomainName;
@@ -19,6 +28,7 @@ use model::{
 use netsim::SimRng;
 use webclient::{ClientSession, ProxySession, WgetConfig};
 use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
 
 /// Scale and fidelity knobs for one experiment run.
 #[derive(Clone, Debug)]
@@ -39,6 +49,10 @@ pub struct ExperimentConfig {
     /// calibrated 2005 Internet; see
     /// [`GroundTruth::materialize_scaled`]).
     pub fault_scale: f64,
+    /// Injected measurement-infrastructure faults (node deaths, record
+    /// loss, feed corruption). [`ApparatusFaults::none`] leaves the run
+    /// bit-for-bit identical to the healthy configuration.
+    pub apparatus: ApparatusFaults,
 }
 
 impl ExperimentConfig {
@@ -53,6 +67,7 @@ impl ExperimentConfig {
             record_traces: true,
             threads: 0,
             fault_scale: 1.0,
+            apparatus: ApparatusFaults::none(),
         }
     }
 
@@ -77,6 +92,7 @@ impl ExperimentConfig {
             record_traces: true,
             threads: 0,
             fault_scale: 1.0,
+            apparatus: ApparatusFaults::none(),
         }
     }
 
@@ -87,12 +103,136 @@ impl ExperimentConfig {
 }
 
 /// Everything a run produces: the dataset plus the ground truth it came
-/// from (validation studies compare inference against this).
+/// from (validation studies compare inference against this) and the
+/// [`RunReport`] accounting for the apparatus itself.
 pub struct ExperimentOutput {
     pub dataset: Dataset,
     pub truth: GroundTruth,
     pub fleet: FleetSpec,
     pub sites: Vec<SiteSpec>,
+    pub report: RunReport,
+}
+
+/// What happened to one client's worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// The client's month completed. Counts are post-collection, i.e. after
+    /// any apparatus record drops.
+    Completed {
+        records: usize,
+        connections: usize,
+        dropped_records: usize,
+    },
+    /// The worker panicked (node death or a bug); everything it gathered is
+    /// gone.
+    Lost { error: String },
+}
+
+impl ClientOutcome {
+    pub fn is_lost(&self) -> bool {
+        matches!(self, ClientOutcome::Lost { .. })
+    }
+}
+
+/// Per-client entry of the [`RunReport`].
+#[derive(Clone, Debug)]
+pub struct ClientRunReport {
+    pub client: ClientId,
+    /// Host name, so a lost client can be named in operator output.
+    pub name: String,
+    pub outcome: ClientOutcome,
+    /// Wall-clock time the worker spent on this client (diagnostic only —
+    /// the one deliberately nondeterministic field of a run).
+    pub wall: Duration,
+}
+
+/// Per-run accounting of the measurement apparatus: which clients ran,
+/// which were lost, what collection dropped, and what feed salvage had to
+/// quarantine. A healthy run has `is_clean() == true`.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    pub clients: Vec<ClientRunReport>,
+    /// Performance records lost in collection, across all clients.
+    pub records_dropped: u64,
+    /// MRT records salvage-decoding recovered from the corrupted BGP feed
+    /// (only non-zero when [`ApparatusFaults::corrupt_bgp_feed`] is set).
+    pub mrt_records_kept: u64,
+    /// MRT records quarantined while salvage-decoding the BGP feed (only
+    /// non-zero when [`ApparatusFaults::corrupt_bgp_feed`] is set).
+    pub mrt_issues: u64,
+    /// First few quarantined-record descriptions, for operator output.
+    pub mrt_issue_samples: Vec<String>,
+}
+
+impl RunReport {
+    /// Ids of clients whose workers were lost.
+    pub fn lost_clients(&self) -> Vec<ClientId> {
+        self.clients
+            .iter()
+            .filter(|c| c.outcome.is_lost())
+            .map(|c| c.client)
+            .collect()
+    }
+
+    /// Names of lost clients (for human-facing summaries).
+    pub fn lost_names(&self) -> Vec<&str> {
+        self.clients
+            .iter()
+            .filter(|c| c.outcome.is_lost())
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Records that made it into the dataset.
+    pub fn records_kept(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| match c.outcome {
+                ClientOutcome::Completed { records, .. } => records as u64,
+                ClientOutcome::Lost { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// No lost clients, no dropped records, no quarantined feed records.
+    pub fn is_clean(&self) -> bool {
+        self.clients.iter().all(|c| !c.outcome.is_lost())
+            && self.records_dropped == 0
+            && self.mrt_issues == 0
+    }
+
+    /// Condense this report into the renderable
+    /// [`report::QuarantineSummary`] block.
+    pub fn quarantine_summary(&self) -> report::QuarantineSummary {
+        let salvage = if self.mrt_issues > 0 || self.mrt_records_kept > 0 {
+            vec![report::SalvageLine {
+                source: "bgp-mrt".to_string(),
+                kept: self.mrt_records_kept,
+                quarantined: self.mrt_issues,
+                samples: self.mrt_issue_samples.clone(),
+            }]
+        } else {
+            Vec::new()
+        };
+        report::QuarantineSummary {
+            clients_total: self.clients.len(),
+            clients_lost: self.lost_names().iter().map(|s| s.to_string()).collect(),
+            records_kept: self.records_kept(),
+            records_dropped: self.records_dropped,
+            salvage,
+        }
+    }
+}
+
+/// Render a caught panic payload as an error string for the [`RunReport`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "client worker panicked with a non-string payload".to_string()
+    }
 }
 
 /// Run the experiment.
@@ -127,13 +267,18 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         build_prefixes(&fleet, &sites);
 
     // --- BGP feed -----------------------------------------------------------
-    let bgp = build_bgp(config, &truth, prefixes.len());
+    let (bgp, mrt_records_kept, mrt_issues, mrt_issue_samples) =
+        build_bgp(config, &truth, &prefixes);
 
     // --- Access schedule + sessions, per client ------------------------------
     let root = SimRng::new(config.seed);
     let n_clients = fleet.len();
-    let mut per_client: Vec<Option<(Vec<PerformanceRecord>, Vec<ConnectionRecord>)>> =
-        (0..n_clients).map(|_| None).collect();
+    // One slot per client: `None` if the worker never reported (it died
+    // before writing), otherwise the client's output or its panic message,
+    // plus the worker's wall time.
+    type ClientData = (Vec<PerformanceRecord>, Vec<ConnectionRecord>);
+    type ClientSlot = (Result<ClientData, String>, Duration);
+    let mut per_client: Vec<Option<ClientSlot>> = (0..n_clients).map(|_| None).collect();
 
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
@@ -149,7 +294,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         let fleet = &fleet;
         let host_names = &host_names;
         let root = &root;
-        let chunks: Vec<&mut [Option<(Vec<PerformanceRecord>, Vec<ConnectionRecord>)>]> = {
+        let chunks: Vec<&mut [Option<ClientSlot>]> = {
             // Split the output buffer into per-thread chunks of client slots.
             let mut rest: &mut [Option<_>] = &mut per_client;
             let mut out = Vec::new();
@@ -170,21 +315,74 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                 scope.spawn(move || {
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         let client = start + off;
-                        *slot = Some(run_client(
-                            config, truth, tree, fleet, host_names, root, client,
-                        ));
+                        let started = Instant::now();
+                        // A panicking client (apparatus node death, or a
+                        // real bug) must cost exactly one client, never the
+                        // run: catch it here, inside the worker loop, so
+                        // the rest of this chunk still executes.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || run_client(config, truth, tree, fleet, host_names, root, client),
+                        ))
+                        .map_err(panic_message);
+                        *slot = Some((result, started.elapsed()));
                     }
                 });
             }
         });
     }
 
+    // --- Collection: gather surviving output, account for the rest ----------
     let mut records = Vec::new();
     let mut connections = Vec::new();
-    for slot in per_client {
-        let (mut r, mut c) = slot.expect("every client ran");
-        records.append(&mut r);
-        connections.append(&mut c);
+    let mut report = RunReport {
+        mrt_records_kept,
+        mrt_issues,
+        mrt_issue_samples,
+        ..RunReport::default()
+    };
+    let drop_prob = config.apparatus.record_drop_prob;
+    for (i, slot) in per_client.into_iter().enumerate() {
+        let (outcome, wall) = match slot {
+            // A scope panic outside catch_unwind would abort the run before
+            // this point; an unwritten slot is still reported, not expected
+            // away, so a scheduling bug degrades to a lost client.
+            None => (
+                ClientOutcome::Lost {
+                    error: "worker never reported a result".to_string(),
+                },
+                Duration::ZERO,
+            ),
+            Some((Err(error), wall)) => (ClientOutcome::Lost { error }, wall),
+            Some((Ok((mut r, mut c)), wall)) => {
+                let mut dropped = 0usize;
+                if drop_prob > 0.0 {
+                    // Collection loss draws from a per-client fork of the
+                    // root stream, so the surviving set is identical across
+                    // thread counts.
+                    let mut rng = config.apparatus.drop_stream(&root, i);
+                    r.retain(|_| {
+                        let keep = rng.f64() >= drop_prob;
+                        dropped += usize::from(!keep);
+                        keep
+                    });
+                }
+                report.records_dropped += dropped as u64;
+                let outcome = ClientOutcome::Completed {
+                    records: r.len(),
+                    connections: c.len(),
+                    dropped_records: dropped,
+                };
+                records.append(&mut r);
+                connections.append(&mut c);
+                (outcome, wall)
+            }
+        };
+        report.clients.push(ClientRunReport {
+            client: ClientId(i as u16),
+            name: fleet.clients[i].name.clone(),
+            outcome,
+            wall,
+        });
     }
 
     // --- Metadata ------------------------------------------------------------
@@ -241,6 +439,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         truth,
         fleet,
         sites,
+        report,
     }
 }
 
@@ -299,11 +498,17 @@ fn build_prefixes(
 }
 
 /// Generate, aggregate and clean the BGP feed.
+///
+/// When apparatus feed corruption is enabled, the generated update stream
+/// is round-tripped through real MRT bytes, corrupted, and salvage-decoded
+/// — the hourly series is then computed from what salvage recovered, and
+/// the quarantined-record count flows into the [`RunReport`].
 fn build_bgp(
     config: &ExperimentConfig,
     truth: &GroundTruth,
-    prefix_count: usize,
-) -> model::BgpHourlySeries {
+    prefixes: &[Ipv4Prefix],
+) -> (model::BgpHourlySeries, u64, u64, Vec<String>) {
+    let prefix_count = prefixes.len();
     let severe_events: Vec<SevereEvent> = truth
         .severe_bgp
         .iter()
@@ -327,9 +532,31 @@ fn build_bgp(
         }
     }
     let raw = generate(&scenario, &mut SimRng::new(config.seed).fork_str("bgp-gen"));
-    let series = aggregate(&raw.updates, prefix_count, config.hours);
+
+    let mut kept_count = 0u64;
+    let mut issue_count = 0u64;
+    let mut issue_samples = Vec::new();
+    let updates = if config.apparatus.corrupt_bgp_feed {
+        let table = MrtPrefixTable::new(prefixes);
+        let mut wire = encode_stream(&raw.updates, &table);
+        let mut rng = SimRng::new(config.seed).fork_str("apparatus-mrt");
+        config.apparatus.corrupt_buffer(&mut rng, &mut wire);
+        let (salvaged, issues) = decode_stream_salvage(&wire, &table);
+        kept_count = salvaged.len() as u64;
+        issue_count = issues.len() as u64;
+        issue_samples = issues
+            .iter()
+            .take(8)
+            .map(|i| format!("MRT offset {}: {}", i.offset, i.error))
+            .collect();
+        salvaged
+    } else {
+        raw.updates
+    };
+
+    let series = aggregate(&updates, prefix_count, config.hours);
     let (cleaned, _report) = clean(&series, &raw.hourly_unique_prefixes);
-    cleaned
+    (cleaned, kept_count, issue_count, issue_samples)
 }
 
 /// Run one client's month.
@@ -344,6 +571,10 @@ fn run_client(
 ) -> (Vec<PerformanceRecord>, Vec<ConnectionRecord>) {
     let spec = &fleet.clients[client];
     let mut rng = root.fork(0x90_0000 + client as u64);
+    // Apparatus node death: the worker genuinely panics at the drawn
+    // instant (caught by the runner's catch_unwind). The draw uses its own
+    // stream, so enabling it never perturbs the simulated accesses.
+    let death = config.apparatus.death_time(root, client, config.hours);
     let record_traces = config.record_traces
         && matches!(
             spec.category,
@@ -387,13 +618,21 @@ fn run_client(
             // the whole batch.
             let batch = slot * n_sites as u64;
             let slack = iter_len.saturating_sub(batch).max(1);
-            base = base + SimDuration::from_micros(rng.below(slack));
+            base += SimDuration::from_micros(rng.below(slack));
         }
         // Randomized URL order each iteration (Section 3.1).
         rng.shuffle(&mut order);
         for (k, &si) in order.iter().enumerate() {
             let jitter = rng.below(slot / 4);
             let t = base + SimDuration::from_micros(k as u64 * slot + jitter);
+            if let Some(d) = death {
+                if t >= d {
+                    panic!(
+                        "apparatus: client {client} node died at {}s",
+                        d.as_micros() / 1_000_000
+                    );
+                }
+            }
             if truth.machine_down(client, t) {
                 continue;
             }
@@ -449,6 +688,7 @@ mod tests {
             record_traces: true,
             threads: 0,
             fault_scale: 1.0,
+            apparatus: ApparatusFaults::none(),
         }
     }
 
@@ -549,6 +789,142 @@ mod tests {
             .count();
         // Showcase clients plus coupled server events, scaled to 48 h.
         assert!(severe >= 1, "no severe BGP cells");
+    }
+
+    #[test]
+    fn healthy_run_report_is_clean() {
+        let out = run_experiment(&tiny());
+        assert!(out.report.is_clean());
+        assert!(out.report.lost_clients().is_empty());
+        assert_eq!(out.report.clients.len(), 134);
+        assert_eq!(out.report.records_kept() as usize, out.dataset.records.len());
+        for c in &out.report.clients {
+            match &c.outcome {
+                ClientOutcome::Completed {
+                    records,
+                    dropped_records,
+                    ..
+                } => {
+                    assert!(*records > 0, "{} made no accesses", c.name);
+                    assert_eq!(*dropped_records, 0);
+                }
+                ClientOutcome::Lost { error } => panic!("{} lost: {error}", c.name),
+            }
+        }
+    }
+
+    #[test]
+    fn node_deaths_lose_clients_not_the_run() {
+        let mut cfg = tiny();
+        cfg.wire_fidelity = false;
+        cfg.apparatus = ApparatusFaults {
+            client_death_prob: 0.2,
+            ..ApparatusFaults::none()
+        };
+        let out = run_experiment(&cfg);
+        let lost = out.report.lost_clients();
+        assert!(!lost.is_empty(), "p=0.2 over 134 clients must kill some");
+        assert!(lost.len() < 134, "and most must survive");
+        // Lost clients left no records; survivors all did.
+        for c in &out.report.clients {
+            let n = out
+                .dataset
+                .records
+                .iter()
+                .filter(|r| r.client == c.client)
+                .count();
+            match &c.outcome {
+                ClientOutcome::Lost { error } => {
+                    assert_eq!(n, 0, "{} died but left records", c.name);
+                    assert!(error.contains("died"), "unexpected panic text: {error}");
+                }
+                ClientOutcome::Completed { records, .. } => assert_eq!(n, *records),
+            }
+        }
+        // Survivors' records are identical to the healthy run's.
+        let healthy = run_experiment(&{
+            let mut c = cfg.clone();
+            c.apparatus = ApparatusFaults::none();
+            c
+        });
+        let lost_set: std::collections::HashSet<ClientId> = lost.into_iter().collect();
+        let surviving: Vec<_> = healthy
+            .dataset
+            .records
+            .iter()
+            .filter(|r| !lost_set.contains(&r.client))
+            .collect();
+        assert_eq!(surviving.len(), out.dataset.records.len());
+        for (a, b) in surviving.iter().zip(&out.dataset.records) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn record_drops_are_accounted_exactly() {
+        let mut cfg = tiny();
+        cfg.hours = 6;
+        cfg.wire_fidelity = false;
+        cfg.apparatus = ApparatusFaults {
+            record_drop_prob: 0.05,
+            ..ApparatusFaults::none()
+        };
+        let out = run_experiment(&cfg);
+        assert!(out.report.records_dropped > 0);
+        assert_eq!(
+            out.report.records_kept() as usize,
+            out.dataset.records.len()
+        );
+        let healthy = run_experiment(&{
+            let mut c = cfg.clone();
+            c.apparatus = ApparatusFaults::none();
+            c
+        });
+        assert_eq!(
+            out.dataset.records.len() as u64 + out.report.records_dropped,
+            healthy.dataset.records.len() as u64
+        );
+        // Dropped rate in the configured ballpark.
+        let rate = out.report.records_dropped as f64 / healthy.dataset.records.len() as f64;
+        assert!((0.03..0.08).contains(&rate), "drop rate {rate}");
+        // Connections are never dropped by this mechanism.
+        assert_eq!(
+            out.dataset.connections.len(),
+            healthy.dataset.connections.len()
+        );
+    }
+
+    #[test]
+    fn corrupted_bgp_feed_is_salvaged_with_issues_reported() {
+        let mut cfg = tiny();
+        cfg.hours = 48;
+        cfg.wire_fidelity = false;
+        cfg.apparatus = ApparatusFaults {
+            corrupt_bgp_feed: true,
+            bitflips: 24,
+            truncate_prob: 1.0,
+            ..ApparatusFaults::none()
+        };
+        let out = run_experiment(&cfg);
+        assert!(out.report.mrt_issues > 0, "corruption must quarantine something");
+        assert!(!out.report.mrt_issue_samples.is_empty());
+        // The salvaged series still carries the bulk of BGP activity.
+        let healthy = run_experiment(&{
+            let mut c = cfg.clone();
+            c.apparatus = ApparatusFaults::none();
+            c
+        });
+        // The stress corruption truncates the tail third of the feed and
+        // flips two dozen bits, so the back of the month is gone — but the
+        // surviving prefix must still carry a substantial share of the
+        // activity rather than collapse to nothing.
+        let cells = out.dataset.bgp.active_cells().count();
+        let healthy_cells = healthy.dataset.bgp.active_cells().count();
+        assert!(
+            cells * 3 >= healthy_cells,
+            "salvage kept {cells} of {healthy_cells} active cells"
+        );
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   brazzil/espn).
 //! * **38 near-permanently blocked client–site pairs** (Section 4.4.2).
 //! * **Transient background noise** per connection — the "other" category.
+//!
+//! Distinct from all of the above is the **apparatus fault model**
+//! ([`ApparatusFaults`], re-exported from [`crate::apparatus`]): failures
+//! of the measurement platform itself (node crashes, lost records,
+//! corrupted trace files). Ground-truth faults are what the analysis
+//! *infers*; apparatus faults are what it must *survive*.
 
 use crate::clients::{ClientProfile, FleetSpec};
 use crate::sites::{site_addresses, ReplicaLayout, SiteSpec};
@@ -31,6 +37,12 @@ use netsim::process::EpisodeDuration;
 use netsim::{OnOffProcess, SimRng, Timeline};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+
+// The *apparatus* fault model — failures of the measurement platform
+// itself, as opposed to the network faults modelled below — lives in
+// [`crate::apparatus`] and is re-exported here so both fault families are
+// reachable from one module path.
+pub use crate::apparatus::{ApparatusFaults, CorruptionApplied};
 
 /// Per-client fault intensities (long-run down fractions and noise rates).
 #[derive(Clone, Copy, Debug)]

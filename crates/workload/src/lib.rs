@@ -24,6 +24,7 @@
 //! Everything is derived from a single `seed`, so the entire month-long
 //! "Internet" is reproducible bit-for-bit.
 
+pub mod apparatus;
 pub mod clients;
 pub mod experiment;
 pub mod faults;
@@ -31,8 +32,9 @@ pub mod sites;
 pub mod validation;
 pub mod view;
 
+pub use apparatus::ApparatusFaults;
 pub use clients::{build_fleet, ClientSpec, FleetSpec};
-pub use experiment::{run_experiment, ExperimentConfig};
+pub use experiment::{run_experiment, ClientOutcome, ExperimentConfig, RunReport};
 pub use faults::{FaultProfile, GroundTruth};
 pub use sites::{build_sites, ReplicaLayout, SiteSpec};
 pub use validation::{score_attribution, AttributionScore};

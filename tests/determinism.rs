@@ -69,6 +69,29 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn apparatus_faults_stay_deterministic_across_threads() {
+    use workload::ApparatusFaults;
+    // Injected infrastructure faults draw from their own RNG streams, so a
+    // degraded run must be as thread-invariant as a healthy one — same
+    // surviving records, same lost clients, same quarantine counts.
+    let faulted = |threads: usize| {
+        let mut cfg = ExperimentConfig::quick(4242);
+        cfg.hours = 8;
+        cfg.wire_fidelity = false;
+        cfg.threads = threads;
+        cfg.apparatus = ApparatusFaults::stress();
+        workload::run_experiment(&cfg)
+    };
+    let a = faulted(1);
+    let b = faulted(5);
+    assert_eq!(fingerprint(&a.dataset), fingerprint(&b.dataset));
+    assert_eq!(a.report.lost_clients(), b.report.lost_clients());
+    assert_eq!(a.report.records_dropped, b.report.records_dropped);
+    assert_eq!(a.report.mrt_issues, b.report.mrt_issues);
+    assert!(!a.report.is_clean(), "stress faults must leave a mark");
+}
+
+#[test]
 fn analysis_is_deterministic_too() {
     use netprofiler::{blame, Analysis, AnalysisConfig};
     let ds = run(55, 0);
