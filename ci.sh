@@ -12,7 +12,20 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> telemetry-disabled build stays deterministic"
+cargo test -q --no-default-features --test determinism
+
+echo "==> examples build and run"
+cargo build --release --examples
+for ex in quickstart custom_world blame_attribution bgp_correlation degraded_run proxy_failover profiled_run; do
+    echo "   -> example: $ex"
+    cargo run --release --example "$ex" > /dev/null
+done
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "CI green."

@@ -17,7 +17,12 @@
 //!
 //! ```text
 //! cargo run --release -p bench-suite --bin ablation [--hours N] [--seed N]
+//!                                                   [--profile [DIR]]
 //! ```
+//!
+//! `--profile` records telemetry across every ablation rerun and writes the
+//! standard profile artifacts (`telemetry.jsonl`, `trace.json`) to DIR
+//! (default `profile/`).
 
 use model::Dataset;
 use netprofiler::grid::HourlyGrid;
@@ -28,16 +33,27 @@ use workload::{run_experiment, ExperimentConfig};
 fn main() {
     let mut hours = 168u32;
     let mut seed = 20050101u64;
-    let mut args = std::env::args().skip(1);
+    let mut profile_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--hours" => hours = args.next().and_then(|v| v.parse().ok()).unwrap_or(hours),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--profile" => {
+                let dir = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().unwrap(),
+                    _ => "profile".to_string(),
+                };
+                profile_dir = Some(std::path::PathBuf::from(dir));
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if profile_dir.is_some() {
+        telemetry::enable(true);
     }
 
     let mut config = ExperimentConfig::quick(seed);
@@ -57,6 +73,12 @@ fn main() {
     ablate_episode_duration(ds);
     ablate_sample_floor(ds);
     ablate_fault_scale(hours, seed);
+
+    if let Some(dir) = profile_dir {
+        if let Err(e) = bench_suite::write_profile(&dir) {
+            eprintln!("profile write failed: {e}");
+        }
+    }
 }
 
 fn ablate_fault_scale(hours: u32, seed: u64) {

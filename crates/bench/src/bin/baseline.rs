@@ -1,0 +1,84 @@
+//! Machine-readable performance baseline for the standard run.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin baseline [--scale quick|repro|paper]
+//!                                                   [--seed N] [--out FILE]
+//! ```
+//!
+//! Runs the experiment once with telemetry on and writes a small JSON
+//! document (default `BENCH_baseline.json`) capturing wall time and the
+//! telemetry layer's engine counters — most importantly the peak event-queue
+//! depth. The committed copy at the repo root is the reference point for
+//! spotting wall-time or queue-growth regressions; regenerate it on the same
+//! class of machine before comparing.
+
+use bench_suite::Scale;
+use std::time::Instant;
+use workload::run_experiment;
+
+fn main() {
+    let mut scale = Scale::Reproduction;
+    let mut seed = 20050101u64;
+    let mut out_path = std::path::PathBuf::from("BENCH_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (quick|repro|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--out" => {
+                out_path = args.next().map(std::path::PathBuf::from).unwrap_or(out_path);
+            }
+            "--help" | "-h" => {
+                println!("baseline [--scale quick|repro|paper] [--seed N] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    telemetry::enable(true);
+    telemetry::reset();
+    let config = scale.config(seed);
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Reproduction => "repro",
+        Scale::Paper => "paper",
+    };
+    eprintln!(
+        "baseline run: scale {scale_name}, {} hours x {} accesses/hour, seed {seed} ...",
+        config.hours, config.iterations_per_hour
+    );
+    let t0 = Instant::now();
+    let out = run_experiment(&config);
+    let wall = t0.elapsed().as_secs_f64();
+    let snap = telemetry::snapshot();
+    telemetry::enable(false);
+
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"seed\": {seed},\n  \"hours\": {},\n  \
+         \"threads\": {},\n  \"transactions\": {},\n  \"connections\": {},\n  \
+         \"wall_seconds\": {wall:.2},\n  \"events_dispatched\": {},\n  \
+         \"peak_event_queue_depth\": {}\n}}\n",
+        config.hours,
+        config.threads,
+        out.dataset.records.len(),
+        out.dataset.connections.len(),
+        snap.counter("engine.events_dispatched"),
+        snap.gauge("engine.queue_depth_peak").unwrap_or(0),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    eprint!("{json}");
+    eprintln!("written to {}", out_path.display());
+}

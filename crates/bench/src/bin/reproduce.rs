@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! reproduce [--scale quick|repro|paper] [--seed N] [--only ID[,ID...]]
+//!           [--export DIR] [--profile [DIR]]
 //! ```
+//!
+//! `--profile` switches the telemetry recorder on for the whole run and
+//! writes `telemetry.jsonl` + `trace.json` (Chrome trace format) to DIR
+//! (default `profile/`), with the stage summary on stderr.
 //!
 //! IDs: table1 table2 table3 fig1 table4 fig2 fig3 permanent fig4 table5
 //! episodes table6 table7 table8 replicas bgp fig5 fig6 fig7 table9 pairs
@@ -19,10 +24,19 @@ fn main() {
     let mut seed = 20050101u64;
     let mut only: Option<Vec<String>> = None;
     let mut export_dir: Option<std::path::PathBuf> = None;
+    let mut profile_dir: Option<std::path::PathBuf> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--profile" => {
+                // Optional DIR operand: consume the next arg unless it is a flag.
+                let dir = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().unwrap(),
+                    _ => "profile".to_string(),
+                };
+                profile_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
@@ -57,7 +71,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "reproduce [--scale quick|repro|paper] [--seed N] [--only IDs] [--export DIR]\n\
+                    "reproduce [--scale quick|repro|paper] [--seed N] [--only IDs] [--export DIR] [--profile [DIR]]\n\
                      regenerates the tables/figures of 'A Study of End-to-End Web \
                      Access Failures' (CoNEXT 2006) from a simulated experiment"
                 );
@@ -67,6 +81,10 @@ fn main() {
                 only = Some(vec![other.to_string()]);
             }
         }
+    }
+
+    if profile_dir.is_some() {
+        telemetry::enable(true);
     }
 
     let config = scale.config(seed);
@@ -157,6 +175,12 @@ fn main() {
             println!("{}", c.line());
         }
         println!("\n{ok}/{} comparisons within the paper's shape", comps.len());
+    }
+
+    if let Some(dir) = profile_dir {
+        if let Err(e) = bench_suite::write_profile(&dir) {
+            eprintln!("profile write failed: {e}");
+        }
     }
 }
 

@@ -40,6 +40,26 @@ pub fn dataset_at(scale: Scale, seed: u64) -> Dataset {
     run_experiment(&scale.config(seed)).dataset
 }
 
+/// Write the current telemetry snapshot as the standard profile artifact
+/// set: `telemetry.jsonl` (metric/event dump) and `trace.json`
+/// (Chrome-trace-format, loadable in `about:tracing` / Perfetto) under
+/// `dir`, plus the human summary on stderr.
+///
+/// Used by the `--profile` flag of the harness binaries.
+pub fn write_profile(dir: &std::path::Path) -> std::io::Result<()> {
+    let snap = telemetry::snapshot();
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("telemetry.jsonl"), snap.to_jsonl())?;
+    std::fs::write(dir.join("trace.json"), snap.to_chrome_trace())?;
+    eprintln!("{}", snap.render_summary());
+    eprintln!(
+        "profile written: {} and {}",
+        dir.join("telemetry.jsonl").display(),
+        dir.join("trace.json").display()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

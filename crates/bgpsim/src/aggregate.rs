@@ -10,6 +10,8 @@ use std::collections::HashSet;
 /// analysis consumes: counts of announcements/withdrawals and of distinct
 /// neighbors participating in each.
 pub fn aggregate(updates: &[BgpUpdate], prefix_count: usize, hours: u32) -> BgpHourlySeries {
+    let _span = telemetry::span!("bgp.aggregate");
+    telemetry::counter!("bgp.updates_aggregated", updates.len() as u64);
     let mut series = BgpHourlySeries::new(prefix_count, hours);
     // Track distinct peers per (prefix, hour, kind). The stream is sparse,
     // so per-cell hash sets built on the fly are fine.

@@ -34,6 +34,7 @@ pub fn clean(
     series: &BgpHourlySeries,
     hourly_unique_prefixes: &[u32],
 ) -> (BgpHourlySeries, CleanReport) {
+    let _span = telemetry::span!("bgp.clean");
     let mut out = series.clone();
     let mut report = CleanReport::default();
     let hours = series.hours().min(hourly_unique_prefixes.len() as u32);

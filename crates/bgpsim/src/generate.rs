@@ -80,6 +80,7 @@ pub struct RawBgpData {
 
 /// Generate the update stream for `scenario`.
 pub fn generate(scenario: &BgpScenario, rng: &mut SimRng) -> RawBgpData {
+    let _span = telemetry::span!("bgp.generate");
     let horizon = SimTime::from_hours(u64::from(scenario.hours));
     let peers_total = scenario.collectors.total_peers();
     let mut updates: Vec<BgpUpdate> = Vec::new();

@@ -349,6 +349,8 @@ pub fn decode_stream_salvage(
             }
         }
     }
+    telemetry::counter!("bgp.mrt_salvaged", out.len() as u64);
+    telemetry::counter!("bgp.mrt_quarantined", issues.len() as u64);
     (out, issues)
 }
 

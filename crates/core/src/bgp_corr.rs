@@ -61,6 +61,7 @@ pub struct SevereInstabilityReport {
 /// Hourly TCP grid per *prefix* (row = PrefixId index): a connection counts
 /// toward its client's prefixes and its replica's prefixes.
 pub fn prefix_grid(analysis: &Analysis<'_>) -> HourlyGrid {
+    let _span = telemetry::span!("analysis.bgp.prefix_grid");
     let ds = analysis.ds;
     let mut client_prefixes: Vec<&[PrefixId]> = Vec::with_capacity(ds.clients.len());
     for c in &ds.clients {
@@ -104,6 +105,7 @@ pub fn severe_instability_with_grid(
     rule: SeverityRule,
     grid: &HourlyGrid,
 ) -> SevereInstabilityReport {
+    let _span = telemetry::span!("analysis.bgp.severe_instability");
     let ds = analysis.ds;
     let min = analysis.config.min_hour_samples;
     let mut instances = Vec::new();
@@ -142,6 +144,7 @@ pub fn severe_instability_with_grid(
 
 /// Figure 6's raw series: TCP failure rates during the alt-rule instances.
 pub fn figure6_rates(analysis: &Analysis<'_>) -> Vec<f64> {
+    let _span = telemetry::span!("analysis.bgp.figure6");
     let rule = SeverityRule::WithdrawalsAndNeighbors(
         analysis.config.alt_withdrawals,
         analysis.config.alt_neighbors,

@@ -75,6 +75,7 @@ pub fn classify_hour(
 /// Run blame attribution over every failed connection at the analysis's
 /// threshold `f` (Table 5 rows are this at f = 5% and f = 10%).
 pub fn table5(analysis: &Analysis<'_>) -> BlameBreakdown {
+    let _span = telemetry::span!("analysis.blame.table5");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
     let mut out = BlameBreakdown::default();
@@ -136,6 +137,7 @@ pub struct ServerEpisodeStats {
 
 /// Compute the Section 4.4.5 statistics from the server grid.
 pub fn server_episode_stats(analysis: &Analysis<'_>) -> ServerEpisodeStats {
+    let _span = telemetry::span!("analysis.blame.server_episodes");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
     let mut stats = ServerEpisodeStats {

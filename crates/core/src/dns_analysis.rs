@@ -37,6 +37,7 @@ fn share(n: u64, d: u64) -> f64 {
 /// Compute Table 4 for one client category (the paper reports PL, BB, DU;
 /// CN's resolution is done by its proxies).
 pub fn dns_breakdown(ds: &Dataset, category: ClientCategory) -> DnsBreakdown {
+    let _span = telemetry::span!("analysis.dns.breakdown");
     let mut b = DnsBreakdown::default();
     for r in &ds.records {
         if ds.client(r.client).category != category {

@@ -80,6 +80,7 @@ pub struct Figure4 {
 
 /// Compute Figure 4 from the analysis's connection grids.
 pub fn figure4(analysis: &Analysis<'_>) -> Figure4 {
+    let _span = telemetry::span!("analysis.episodes.figure4");
     let min = analysis.config.min_hour_samples;
     let clients = RateCdf::from_rates(&analysis.client_grid.all_rates(min));
     let servers = RateCdf::from_rates(&analysis.server_grid.all_rates(min));

@@ -82,6 +82,7 @@ impl ConfidentBlame {
 /// Run blame attribution like [`crate::blame::table5`], additionally
 /// counting attributions made on thin endpoint cells.
 pub fn table5_with_confidence(analysis: &Analysis<'_>) -> ConfidentBlame {
+    let _span = telemetry::span!("analysis.integrity.table5");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
     let mut out = ConfidentBlame::default();

@@ -69,6 +69,7 @@ pub struct Analysis<'d> {
 impl<'d> Analysis<'d> {
     /// Index `ds` under `config`.
     pub fn new(ds: &'d Dataset, config: AnalysisConfig) -> Analysis<'d> {
+        let _span = telemetry::span!("analysis.index");
         let permanent = permanent::detect(ds, &config);
         let client_grid = grid::client_connection_grid(ds, &permanent);
         let server_grid = grid::server_connection_grid(ds, &permanent);

@@ -43,6 +43,7 @@ pub struct PairLossPoint {
 /// Collect per-pair points (pairs with at least `min_txns` transactions and
 /// at least one traced transaction).
 pub fn pair_points(ds: &Dataset, min_txns: u32) -> Vec<PairLossPoint> {
+    let _span = telemetry::span!("analysis.loss_corr.pair_points");
     struct Acc {
         txns: u32,
         failures: u32,

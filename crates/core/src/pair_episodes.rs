@@ -67,6 +67,7 @@ pub struct PairEpisodeReport {
 
 /// Scan for client-server-specific episodes.
 pub fn detect(analysis: &Analysis<'_>, cfg: PairEpisodeConfig) -> PairEpisodeReport {
+    let _span = telemetry::span!("analysis.pair_episodes");
     let ds = analysis.ds;
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;

@@ -56,6 +56,7 @@ impl PermanentPairs {
 
 /// Detect near-permanent pairs in `ds`.
 pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
+    let _span = telemetry::span!("analysis.permanent_pairs");
     let mut per_pair: HashMap<(u16, u16), (u32, u32)> = HashMap::new();
     for r in &ds.records {
         let e = per_pair.entry((r.client.0, r.site.0)).or_insert((0, 0));

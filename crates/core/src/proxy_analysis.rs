@@ -57,6 +57,7 @@ pub fn residual_rates_with_grid(
     site: SiteId,
     txn_grid: &HourlyGrid,
 ) -> Table9Row {
+    let _span = telemetry::span!("analysis.proxy.table9");
     let ds = analysis.ds;
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;

@@ -118,6 +118,7 @@ pub fn qualify_replicas(analysis: &Analysis<'_>) -> Vec<SiteReplicas> {
 
 /// Run the full replica analysis.
 pub fn analyze(analysis: &Analysis<'_>) -> ReplicaAnalysis {
+    let _span = telemetry::span!("analysis.replicas");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
     let per_site = qualify_replicas(analysis);

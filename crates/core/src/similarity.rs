@@ -158,6 +158,7 @@ pub fn random_pair_similarities(
 /// Table 8: named per-pair rows for the co-located pairs, sorted by union
 /// size descending (the paper highlights the extremes).
 pub fn table8(analysis: &Analysis<'_>) -> Vec<PairSimilarity> {
+    let _span = telemetry::span!("analysis.similarity.table8");
     let mut rows = colocated_similarities(analysis);
     rows.sort_by(|x, y| y.union.cmp(&x.union).then(x.a.0.cmp(&y.a.0)));
     rows

@@ -38,6 +38,7 @@ impl ServerSpread {
 /// Compute per-server episode counts and spreads, sorted by episode count
 /// descending (Table 6 lists the most failure-prone servers).
 pub fn table6(analysis: &Analysis<'_>) -> Vec<ServerSpread> {
+    let _span = telemetry::span!("analysis.spread.table6");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
     let n_sites = analysis.ds.sites.len();

@@ -59,6 +59,7 @@ fn rate(num: u64, den: u64) -> f64 {
 
 /// Compute Table 3: per-category transaction and connection counts.
 pub fn table3(ds: &Dataset) -> Vec<CategorySummary> {
+    let _span = telemetry::span!("analysis.summary.table3");
     ClientCategory::ALL
         .iter()
         .map(|&category| {

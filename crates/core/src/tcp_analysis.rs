@@ -62,6 +62,7 @@ pub fn tcp_breakdown(ds: &Dataset, category: ClientCategory) -> TcpBreakdown {
 
 /// Breakdown for every category, in the paper's order.
 pub fn figure3(ds: &Dataset) -> Vec<(ClientCategory, TcpBreakdown)> {
+    let _span = telemetry::span!("analysis.tcp.figure3");
     ClientCategory::ALL
         .iter()
         .map(|&c| (c, tcp_breakdown(ds, c)))

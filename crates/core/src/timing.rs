@@ -54,6 +54,7 @@ pub struct TimingSummary {
 
 /// Summarize per category over successful transactions.
 pub fn timing_by_category(ds: &Dataset) -> Vec<(ClientCategory, TimingSummary)> {
+    let _span = telemetry::span!("analysis.timing");
     ClientCategory::ALL
         .iter()
         .map(|&cat| {

@@ -176,6 +176,39 @@ impl<'t> StubResolver<'t> {
         rng: &mut SimRng,
         cache: &mut LdnsCache,
     ) -> Resolution {
+        let res = self.resolve_inner(qname, faults, t, rng, cache);
+        if telemetry::enabled() {
+            telemetry::counter!("dns.lookups", 1);
+            telemetry::histogram!("dns.elapsed_us", res.elapsed.as_micros());
+            if res.from_cache {
+                telemetry::counter!("dns.cache_hits", 1);
+            }
+            if let Err(kind) = &res.result {
+                static FAILURES: telemetry::CounterVec<3> = telemetry::CounterVec::new(
+                    "dns.failures",
+                    ["ldns_timeout", "non_ldns_timeout", "error_response"],
+                );
+                FAILURES.add(
+                    match kind {
+                        DnsFailureKind::LdnsTimeout => 0,
+                        DnsFailureKind::NonLdnsTimeout => 1,
+                        DnsFailureKind::ErrorResponse(_) => 2,
+                    },
+                    1,
+                );
+            }
+        }
+        res
+    }
+
+    fn resolve_inner<F: DnsFaults + ?Sized>(
+        &self,
+        qname: &DomainName,
+        faults: &F,
+        t: SimTime,
+        rng: &mut SimRng,
+        cache: &mut LdnsCache,
+    ) -> Resolution {
         let cfg = &self.config;
         let mut elapsed = SimDuration::ZERO;
         let mut messages = 0u32;

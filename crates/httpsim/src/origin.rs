@@ -58,7 +58,10 @@ impl Origin {
     /// Answer `request` addressed to `requested_host`.
     pub fn respond(&self, requested_host: &str, request: &HttpRequest, rng: &mut SimRng) -> OriginAnswer {
         debug_assert_eq!(request.method, "GET");
+        static RESPONSES: telemetry::CounterVec<3> =
+            telemetry::CounterVec::new("http.responses", ["ok", "redirect", "error"]);
         if rng.chance(self.http_error_rate) {
+            RESPONSES.add(2, 1);
             return OriginAnswer {
                 response: HttpResponse::error(self.http_error_status, "Service Unavailable"),
                 next_host: None,
@@ -76,12 +79,14 @@ impl Origin {
                 .cloned()
                 .unwrap_or_else(|| self.host.clone());
             let location = format!("http://{next}/");
+            RESPONSES.add(1, 1);
             return OriginAnswer {
                 response: HttpResponse::redirect(302, &location),
                 next_host: Some(next),
             };
         }
         // Canonical content.
+        RESPONSES.add(0, 1);
         OriginAnswer {
             response: HttpResponse::ok(self.index_bytes),
             next_host: None,

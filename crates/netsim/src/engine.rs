@@ -48,6 +48,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
     delivered: u64,
+    peak: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -63,6 +64,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             seq: 0,
             delivered: 0,
+            peak: 0,
         }
     }
 
@@ -79,6 +81,11 @@ impl<E> Scheduler<E> {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Largest number of events that were ever pending at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 
     pub fn is_empty(&self) -> bool {
@@ -102,6 +109,9 @@ impl<E> Scheduler<E> {
             seq,
             event,
         });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Schedule `event` after a delay from the current time.
@@ -152,6 +162,19 @@ impl<E> Scheduler<E> {
         }
         if self.now < until {
             self.now = until;
+        }
+    }
+}
+
+impl<E> Drop for Scheduler<E> {
+    /// Flush engine telemetry once per scheduler lifetime instead of paying
+    /// an atomic per event: totals aggregate across all schedulers of a run
+    /// (one per client), the gauge keeps the single deepest queue.
+    fn drop(&mut self) {
+        if telemetry::enabled() && self.delivered > 0 {
+            telemetry::counter!("engine.events_dispatched", self.delivered);
+            telemetry::gauge_max!("engine.queue_depth_peak", self.peak as u64);
+            telemetry::histogram!("engine.events_per_scheduler", self.delivered);
         }
     }
 }

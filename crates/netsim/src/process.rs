@@ -109,6 +109,7 @@ impl OnOffProcess {
                 break;
             }
         }
+        telemetry::counter!("faults.episodes_materialized", (changes.len() / 2) as u64);
         Timeline::from_changes(false, changes)
     }
 
@@ -165,6 +166,7 @@ impl PoissonProcess {
             }
             out.push(t);
         }
+        telemetry::counter!("faults.poisson_events_materialized", out.len() as u64);
         out
     }
 }

@@ -5,7 +5,7 @@
 //! actually use: the [`proptest!`] macro, [`strategy::Strategy`] with
 //! `prop_map`, integer/float range strategies, `any::<T>()`,
 //! [`collection::vec`], [`string::string_regex`] (character-class subset),
-//! [`prop_oneof!`], and the `prop_assert*` macros.
+//! `prop_oneof!`, and the `prop_assert*` macros.
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -129,7 +129,7 @@ pub mod strategy {
         }
     }
 
-    /// Box a strategy into a trait object (used by [`prop_oneof!`]).
+    /// Box a strategy into a trait object (used by `prop_oneof!`).
     pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
     where
         S: Strategy + 'static,
@@ -165,7 +165,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
     pub struct Union<T> {
         options: Vec<Box<dyn Strategy<Value = T>>>,
     }

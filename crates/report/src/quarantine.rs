@@ -59,6 +59,12 @@ impl QuarantineSummary {
     }
 
     /// Render the summary as the text block the reproduce harness prints.
+    ///
+    /// Long lists are truncated so a catastrophic run cannot flood the
+    /// report: at most [`MAX_NAMED_CLIENTS`](Self::MAX_NAMED_CLIENTS) lost
+    /// clients are named and at most
+    /// [`MAX_SALVAGE_SAMPLES`](Self::MAX_SALVAGE_SAMPLES) issue samples are
+    /// printed per salvage source.
     pub fn render(&self) -> String {
         if self.is_clean() {
             return "Data quarantine: clean run, nothing lost.\n".to_string();
@@ -66,10 +72,27 @@ impl QuarantineSummary {
         let mut t = TextTable::new(["loss", "count", "detail"])
             .with_title("Data quarantine")
             .right_align(&[1]);
+        let lost_detail = if self.clients_lost.is_empty() {
+            format!("of {} started", self.clients_total)
+        } else {
+            let named: Vec<&str> = self
+                .clients_lost
+                .iter()
+                .take(Self::MAX_NAMED_CLIENTS)
+                .map(String::as_str)
+                .collect();
+            let overflow = self.clients_lost.len().saturating_sub(Self::MAX_NAMED_CLIENTS);
+            let more = if overflow > 0 {
+                format!(" (+{overflow} more)")
+            } else {
+                String::new()
+            };
+            format!("of {} started: {}{}", self.clients_total, named.join(", "), more)
+        };
         t.row([
             "clients lost".to_string(),
             self.clients_lost.len().to_string(),
-            format!("of {} started: {}", self.clients_total, self.clients_lost.join(", ")),
+            lost_detail,
         ]);
         t.row([
             "records dropped".to_string(),
@@ -89,12 +112,21 @@ impl QuarantineSummary {
         }
         let mut out = t.render();
         for s in &self.salvage {
-            for sample in &s.samples {
+            for sample in s.samples.iter().take(Self::MAX_SALVAGE_SAMPLES) {
                 out.push_str(&format!("  [{}] {}\n", s.source, sample));
+            }
+            let overflow = s.samples.len().saturating_sub(Self::MAX_SALVAGE_SAMPLES);
+            if overflow > 0 {
+                out.push_str(&format!("  [{}] ... (+{} more samples)\n", s.source, overflow));
             }
         }
         out
     }
+
+    /// Most lost clients named in the rendered summary before truncation.
+    pub const MAX_NAMED_CLIENTS: usize = 8;
+    /// Most issue samples printed per salvage source before truncation.
+    pub const MAX_SALVAGE_SAMPLES: usize = 5;
 }
 
 #[cfg(test)]
@@ -135,6 +167,67 @@ mod tests {
         assert!(text.contains("2.00%"));
         assert!(text.contains("bgp-mrt quarantined"));
         assert!(text.contains("offset 1234"));
+    }
+
+    #[test]
+    fn single_lost_client_names_it_without_truncation() {
+        let s = QuarantineSummary {
+            clients_total: 134,
+            clients_lost: vec!["dialup-07".into()],
+            ..QuarantineSummary::default()
+        };
+        let text = s.render();
+        assert!(text.contains("of 134 started: dialup-07"));
+        assert!(!text.contains("more)"), "no overflow marker for one name:\n{text}");
+    }
+
+    #[test]
+    fn records_dropped_without_lost_clients_has_no_dangling_colon() {
+        let s = QuarantineSummary {
+            clients_total: 134,
+            records_kept: 99,
+            records_dropped: 1,
+            ..QuarantineSummary::default()
+        };
+        let text = s.render();
+        assert!(text.contains("of 134 started"));
+        assert!(!text.contains("started:"), "empty name list must not leave ':'\n{text}");
+    }
+
+    #[test]
+    fn fully_degraded_run_truncates_client_names_and_samples() {
+        let s = QuarantineSummary {
+            clients_total: 134,
+            clients_lost: (0..134).map(|i| format!("node-{i:03}")).collect(),
+            records_kept: 0,
+            records_dropped: 50_000,
+            salvage: vec![SalvageLine {
+                source: "bgp-mrt".into(),
+                kept: 0,
+                quarantined: 900,
+                samples: (0..20).map(|i| format!("offset {i}: garbage")).collect(),
+            }],
+        };
+        let text = s.render();
+        // All 134 are counted, only the first 8 are named.
+        assert!(text.contains("clients lost"));
+        assert!(text.contains("134"));
+        assert!(text.contains("node-007"));
+        assert!(!text.contains("node-008"), "names past the cap must be elided:\n{text}");
+        assert!(text.contains("(+126 more)"));
+        // 100% drop rate still renders sanely.
+        assert!(text.contains("100.00%"));
+        // Sample lines are capped at 5 with an overflow marker.
+        assert_eq!(text.matches(": garbage").count(), QuarantineSummary::MAX_SALVAGE_SAMPLES);
+        assert!(text.contains("(+15 more samples)"));
+    }
+
+    #[test]
+    fn truncation_caps_are_pinned() {
+        // The rendered report is parsed by eyeballs and scripts alike; the
+        // caps are part of its contract.
+        assert_eq!(QuarantineSummary::MAX_NAMED_CLIENTS, 8);
+        assert_eq!(QuarantineSummary::MAX_SALVAGE_SAMPLES, 5);
     }
 
     #[test]

@@ -142,6 +142,40 @@ pub fn simulate_connection(
     rng: &mut SimRng,
     record_trace: bool,
 ) -> ConnectionResult {
+    let res = simulate_connection_inner(cfg, behavior, path, response_bytes, start, rng, record_trace);
+    if telemetry::enabled() {
+        telemetry::counter!("tcp.connections", 1);
+        telemetry::counter!("tcp.syn_retransmissions", u64::from(res.syn_retransmissions));
+        telemetry::counter!("tcp.retransmissions_sent", u64::from(res.retransmissions_sent));
+        telemetry::histogram!("tcp.duration_us", res.duration.as_micros());
+        if let Err(kind) = res.outcome {
+            static FAILURES: telemetry::CounterVec<4> = telemetry::CounterVec::new(
+                "tcp.failures",
+                ["no_connection", "no_response", "partial_response", "no_or_partial_response"],
+            );
+            FAILURES.add(
+                match kind {
+                    TcpFailureKind::NoConnection => 0,
+                    TcpFailureKind::NoResponse => 1,
+                    TcpFailureKind::PartialResponse => 2,
+                    TcpFailureKind::NoOrPartialResponse => 3,
+                },
+                1,
+            );
+        }
+    }
+    res
+}
+
+fn simulate_connection_inner(
+    cfg: &TcpConfig,
+    behavior: ServerBehavior,
+    path: &PathQuality,
+    response_bytes: u64,
+    start: SimTime,
+    rng: &mut SimRng,
+    record_trace: bool,
+) -> ConnectionResult {
     let mut cap = Capture::new(record_trace);
     let mut now = start;
     let rtt = |rng: &mut SimRng| path.rtt * rng.normal(0.0, cfg.jitter_sigma).exp();

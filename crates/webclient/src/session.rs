@@ -105,6 +105,30 @@ impl TransactionObservation {
     }
 }
 
+/// Bump the per-class outcome counters (and the download-time histogram)
+/// for one completed transaction.
+fn record_transaction_outcome(obs: &TransactionObservation) {
+    if !telemetry::enabled() {
+        return;
+    }
+    static OUTCOMES: telemetry::CounterVec<4> = telemetry::CounterVec::new(
+        "client.transactions",
+        ["ok", "dns_failure", "tcp_failure", "http_failure"],
+    );
+    OUTCOMES.add(
+        match obs.outcome.failure() {
+            None => 0,
+            Some(FailureClass::Dns(_)) => 1,
+            Some(FailureClass::Tcp(_)) => 2,
+            Some(FailureClass::Http(_)) => 3,
+        },
+        1,
+    );
+    if let Some(d) = obs.download_time {
+        telemetry::histogram!("client.download_time_us", d.as_micros());
+    }
+}
+
 /// Per-client measurement state: the LDNS cache the client talks to, the
 /// client's RNG stream, and the wget configuration.
 pub struct ClientSession<'t> {
@@ -138,6 +162,29 @@ impl<'t> ClientSession<'t> {
 
     /// Run one direct (non-proxied) transaction for `host` starting at `t`.
     pub fn run_transaction<E: AccessEnvironment>(
+        &mut self,
+        env: &E,
+        host: &DomainName,
+        t: SimTime,
+    ) -> TransactionObservation {
+        // Span-trace roughly one transaction in a thousand: enough to see
+        // where simulation wall time goes without holding millions of spans.
+        static SAMPLER: telemetry::Sampler = telemetry::Sampler::new(1024);
+        let span = SAMPLER
+            .hit()
+            .then(|| telemetry::span!("client.transaction").with_detail(|| host.to_string()));
+        let obs = self.run_transaction_inner(env, host, t);
+        if let Some(mut span) = span {
+            let end = t
+                + obs.dns.unwrap_or(SimDuration::ZERO)
+                + obs.download_time.unwrap_or(SimDuration::ZERO);
+            span.set_sim_range(t.as_micros(), end.as_micros());
+        }
+        record_transaction_outcome(&obs);
+        obs
+    }
+
+    fn run_transaction_inner<E: AccessEnvironment>(
         &mut self,
         env: &E,
         host: &DomainName,
@@ -363,7 +410,7 @@ impl<'t> ClientSession<'t> {
     {
         // The client must reach its proxy over the corporate LAN/WAN.
         if !env.client_link_up(t) {
-            return TransactionObservation {
+            let obs = TransactionObservation {
                 start: t,
                 dns: Ok(SimDuration::ZERO),
                 outcome: TransactionOutcome::Failure(FailureClass::Tcp(
@@ -376,6 +423,8 @@ impl<'t> ClientSession<'t> {
                 retransmissions: None,
                 dig: DigOutcome::NotRun,
             };
+            record_transaction_outcome(&obs);
+            return obs;
         }
         let local_rtt = SimDuration::from_millis(5);
         // No retry here: the proxy answers the client with an HTTP gateway
@@ -407,7 +456,7 @@ impl<'t> ClientSession<'t> {
                 duration + local_rtt * 2u64,
             ),
         };
-        TransactionObservation {
+        let obs = TransactionObservation {
             start: t,
             dns: Ok(SimDuration::ZERO),
             outcome,
@@ -419,7 +468,9 @@ impl<'t> ClientSession<'t> {
             connections: Vec::new(),
             retransmissions: None,
             dig: DigOutcome::NotRun,
-        }
+        };
+        record_transaction_outcome(&obs);
+        obs
     }
 
     #[allow(clippy::too_many_arguments)]

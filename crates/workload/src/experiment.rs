@@ -25,7 +25,7 @@ use model::{
     ClientId, ClientMeta, Dataset, ConnectionRecord, Ipv4Prefix, PerformanceRecord, PrefixId,
     SimDuration, SimTime, SiteId, SiteMeta,
 };
-use netsim::SimRng;
+use netsim::{Scheduler, SimRng};
 use webclient::{ClientSession, ProxySession, WgetConfig};
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
@@ -162,6 +162,9 @@ pub struct RunReport {
     pub mrt_issues: u64,
     /// First few quarantined-record descriptions, for operator output.
     pub mrt_issue_samples: Vec<String>,
+    /// Rendered telemetry summary for the run (counters, histograms, span
+    /// aggregates). `None` unless the recorder was enabled during the run.
+    pub telemetry_summary: Option<String>,
 }
 
 impl RunReport {
@@ -237,6 +240,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Run the experiment.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
+    let horizon_us = u64::from(config.hours) * 3_600_000_000;
+    let build_span = telemetry::span!("workload.build_world")
+        .with_detail(|| format!("seed={} hours={}", config.seed, config.hours));
     let fleet = build_fleet();
     let sites = build_sites();
     let truth = GroundTruth::materialize_scaled(
@@ -266,11 +272,17 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
     let (prefixes, client_prefix_ids, site_prefix_ids, extra_ids) =
         build_prefixes(&fleet, &sites);
 
+    drop(build_span);
+
     // --- BGP feed -----------------------------------------------------------
-    let (bgp, mrt_records_kept, mrt_issues, mrt_issue_samples) =
-        build_bgp(config, &truth, &prefixes);
+    let (bgp, mrt_records_kept, mrt_issues, mrt_issue_samples) = {
+        let _span = telemetry::span!("workload.build_bgp");
+        build_bgp(config, &truth, &prefixes)
+    };
 
     // --- Access schedule + sessions, per client ------------------------------
+    let mut clients_span = telemetry::span!("workload.simulate_clients");
+    clients_span.set_sim_range(0, horizon_us);
     let root = SimRng::new(config.seed);
     let n_clients = fleet.len();
     // One slot per client: `None` if the worker never reported (it died
@@ -331,7 +343,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         });
     }
 
+    drop(clients_span);
+
     // --- Collection: gather surviving output, account for the rest ----------
+    let _collect_span = telemetry::span!("workload.collect");
     let mut records = Vec::new();
     let mut connections = Vec::new();
     let mut report = RunReport {
@@ -346,13 +361,19 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
             // A scope panic outside catch_unwind would abort the run before
             // this point; an unwritten slot is still reported, not expected
             // away, so a scheduling bug degrades to a lost client.
-            None => (
-                ClientOutcome::Lost {
-                    error: "worker never reported a result".to_string(),
-                },
-                Duration::ZERO,
-            ),
-            Some((Err(error), wall)) => (ClientOutcome::Lost { error }, wall),
+            None => {
+                telemetry::counter!("workload.clients_lost", 1);
+                (
+                    ClientOutcome::Lost {
+                        error: "worker never reported a result".to_string(),
+                    },
+                    Duration::ZERO,
+                )
+            }
+            Some((Err(error), wall)) => {
+                telemetry::counter!("workload.clients_lost", 1);
+                (ClientOutcome::Lost { error }, wall)
+            }
             Some((Ok((mut r, mut c)), wall)) => {
                 let mut dropped = 0usize;
                 if drop_prob > 0.0 {
@@ -367,6 +388,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                     });
                 }
                 report.records_dropped += dropped as u64;
+                telemetry::counter!("workload.records_dropped", dropped as u64);
                 let outcome = ClientOutcome::Completed {
                     records: r.len(),
                     connections: c.len(),
@@ -434,12 +456,51 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         prefixes,
         bgp,
     };
+    if telemetry::enabled() {
+        telemetry::counter!("workload.mrt_records_kept", report.mrt_records_kept);
+        telemetry::counter!("workload.mrt_records_quarantined", report.mrt_issues);
+        record_dataset_counters(&dataset);
+        report.telemetry_summary = Some(telemetry::snapshot().render_summary());
+    }
     ExperimentOutput {
         dataset,
         truth,
         fleet,
         sites,
         report,
+    }
+}
+
+/// Mirror the collected dataset's per-category transaction and connection
+/// outcomes into telemetry counters. Counted post-collection — after lost
+/// clients and record drops — so the totals agree exactly with what
+/// `netprofiler::summary::table3` computes from the same dataset (held by
+/// `tests/telemetry_consistency.rs`).
+fn record_dataset_counters(ds: &Dataset) {
+    const LABELS: [&str; 4] = ["PL", "DU", "CN", "BB"];
+    static TXNS: telemetry::CounterVec<4> =
+        telemetry::CounterVec::new("workload.transactions", LABELS);
+    static FAILED_TXNS: telemetry::CounterVec<4> =
+        telemetry::CounterVec::new("workload.failed_transactions", LABELS);
+    static CONNS: telemetry::CounterVec<4> =
+        telemetry::CounterVec::new("workload.connections", LABELS);
+    static FAILED_CONNS: telemetry::CounterVec<4> =
+        telemetry::CounterVec::new("workload.failed_connections", LABELS);
+    let cat_index = |c: model::ClientCategory| {
+        model::ClientCategory::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("category in ALL")
+    };
+    for r in &ds.records {
+        let i = cat_index(ds.client(r.client).category);
+        TXNS.add(i, 1);
+        FAILED_TXNS.add(i, u64::from(r.failed()));
+    }
+    for c in &ds.connections {
+        let i = cat_index(ds.client(c.client).category);
+        CONNS.add(i, 1);
+        FAILED_CONNS.add(i, u64::from(c.failed()));
     }
 }
 
@@ -559,6 +620,24 @@ fn build_bgp(
     (cleaned, kept_count, issue_count, issue_samples)
 }
 
+/// One client's discrete-event timeline. Iteration-start events draw the
+/// iteration's randomness (burst offset, URL order, jitters) and schedule
+/// the accesses; access events run transactions as the clock reaches them.
+///
+/// RNG draws happen only in `IterationStart` handlers, whose timestamps
+/// (`iter * iter_len`) are strictly increasing, so the client stream's draw
+/// order is the iteration order — identical to the former nested-loop
+/// runner. Access events execute in event-time order; within one iteration
+/// access times are strictly monotone in schedule order (the jitter is
+/// bounded by `slot / 4 < slot`), so records also come out in the loop
+/// runner's order whenever iteration windows don't overlap (they overlap
+/// only for dial-up bursts at ≥4 accesses/hour, where the batch outlasts
+/// the window).
+enum ClientEvent {
+    IterationStart(u64),
+    Access(usize),
+}
+
 /// Run one client's month.
 fn run_client(
     config: &ExperimentConfig,
@@ -611,66 +690,94 @@ fn run_client(
     let mut connections = Vec::new();
     let mut order: Vec<usize> = (0..n_sites).collect();
 
-    for iter in 0..iterations {
-        let mut base = SimTime::from_micros(iter * iter_len);
-        if burst {
-            // Dial in at a random point of the window that leaves room for
-            // the whole batch.
-            let batch = slot * n_sites as u64;
-            let slack = iter_len.saturating_sub(batch).max(1);
-            base += SimDuration::from_micros(rng.below(slack));
-        }
-        // Randomized URL order each iteration (Section 3.1).
-        rng.shuffle(&mut order);
-        for (k, &si) in order.iter().enumerate() {
-            let jitter = rng.below(slot / 4);
-            let t = base + SimDuration::from_micros(k as u64 * slot + jitter);
-            if let Some(d) = death {
-                if t >= d {
-                    panic!(
-                        "apparatus: client {client} node died at {}s",
-                        d.as_micros() / 1_000_000
+    let mut month_span = telemetry::span!("workload.client_month")
+        .with_detail(|| format!("{} ({})", spec.name, spec.category.abbrev()));
+    month_span.set_sim_range(0, u64::from(config.hours) * 3_600_000_000);
+
+    let mut sched: Scheduler<ClientEvent> = Scheduler::new();
+    if iterations > 0 {
+        sched.schedule_at(SimTime::ZERO, ClientEvent::IterationStart(0));
+    }
+    sched.run_with(|sched, now, ev| {
+        match ev {
+            ClientEvent::IterationStart(iter) => {
+                if iter + 1 < iterations {
+                    sched.schedule_at(
+                        SimTime::from_micros((iter + 1) * iter_len),
+                        ClientEvent::IterationStart(iter + 1),
                     );
                 }
-            }
-            if truth.machine_down(client, t) {
-                continue;
-            }
-            let obs = match proxy_session.as_mut() {
-                Some((_, ps, pview)) => {
-                    session.run_proxied_transaction(&view, ps, pview, &host_names[si], t)
+                let mut base = now;
+                if burst {
+                    // Dial in at a random point of the window that leaves
+                    // room for the whole batch.
+                    let batch = slot * n_sites as u64;
+                    let slack = iter_len.saturating_sub(batch).max(1);
+                    base += SimDuration::from_micros(rng.below(slack));
                 }
-                None => session.run_transaction(&view, &host_names[si], t),
-            };
-            let cid = ClientId(client as u16);
-            let sid = SiteId(si as u16);
-            for c in &obs.connections {
-                connections.push(ConnectionRecord {
+                // Randomized URL order each iteration (Section 3.1).
+                rng.shuffle(&mut order);
+                for (k, &si) in order.iter().enumerate() {
+                    let jitter = rng.below(slot / 4);
+                    let t = base + SimDuration::from_micros(k as u64 * slot + jitter);
+                    sched.schedule_at(t, ClientEvent::Access(si));
+                }
+            }
+            ClientEvent::Access(si) => {
+                let t = now;
+                if let Some(d) = death {
+                    if t >= d {
+                        panic!(
+                            "apparatus: client {client} node died at {}s",
+                            d.as_micros() / 1_000_000
+                        );
+                    }
+                }
+                if truth.machine_down(client, t) {
+                    telemetry::counter!("workload.accesses_skipped_down", 1);
+                    return true;
+                }
+                telemetry::counter!("workload.accesses_attempted", 1);
+                let obs = match proxy_session.as_mut() {
+                    Some((_, ps, pview)) => {
+                        session.run_proxied_transaction(&view, ps, pview, &host_names[si], t)
+                    }
+                    None => session.run_transaction(&view, &host_names[si], t),
+                };
+                let cid = ClientId(client as u16);
+                let sid = SiteId(si as u16);
+                for c in &obs.connections {
+                    connections.push(ConnectionRecord {
+                        client: cid,
+                        site: sid,
+                        replica: c.replica,
+                        start: c.start,
+                        outcome: c.outcome,
+                        syn_retransmissions: c.syn_retransmissions,
+                        retransmissions: c.retransmissions,
+                    });
+                }
+                records.push(PerformanceRecord {
                     client: cid,
                     site: sid,
-                    replica: c.replica,
-                    start: c.start,
-                    outcome: c.outcome,
-                    syn_retransmissions: c.syn_retransmissions,
-                    retransmissions: c.retransmissions,
+                    replica: obs.replica,
+                    start: obs.start,
+                    dns: obs.dns,
+                    outcome: obs.outcome,
+                    download_time: obs.download_time,
+                    bytes_received: obs.bytes_received,
+                    connections_attempted: obs.connections.len() as u16,
+                    retransmissions: obs.retransmissions,
+                    dig: obs.dig,
+                    proxy: spec.proxy,
                 });
             }
-            records.push(PerformanceRecord {
-                client: cid,
-                site: sid,
-                replica: obs.replica,
-                start: obs.start,
-                dns: obs.dns,
-                outcome: obs.outcome,
-                download_time: obs.download_time,
-                bytes_received: obs.bytes_received,
-                connections_attempted: obs.connections.len() as u16,
-                retransmissions: obs.retransmissions,
-                dig: obs.dig,
-                proxy: spec.proxy,
-            });
         }
-    }
+        true
+    });
+    // Scheduler drop flushes this client's engine counters (events
+    // dispatched, peak queue depth) into the global recorder.
+    drop(sched);
     (records, connections)
 }
 

@@ -92,6 +92,20 @@ fn apparatus_faults_stay_deterministic_across_threads() {
 }
 
 #[test]
+fn telemetry_recording_does_not_change_results() {
+    // The observability layer is observation-only: switching the recorder
+    // on must leave the simulated month bit-for-bit identical. This also
+    // holds (trivially) under `--no-default-features`, where `enable` is a
+    // stub — the test then proves the stub build produces the same world.
+    telemetry::enable(false);
+    let off = run(31337, 0);
+    telemetry::enable(true);
+    let on = run(31337, 0);
+    telemetry::enable(false);
+    assert_eq!(fingerprint(&off), fingerprint(&on));
+}
+
+#[test]
 fn analysis_is_deterministic_too() {
     use netprofiler::{blame, Analysis, AnalysisConfig};
     let ds = run(55, 0);
