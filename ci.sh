@@ -6,6 +6,9 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> detcheck: two-thread run diffs clean against single-thread"
+cargo run --release -q -p bench-suite --bin detcheck
+
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 

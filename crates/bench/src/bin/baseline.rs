@@ -3,23 +3,59 @@
 //! ```text
 //! cargo run --release -p bench-suite --bin baseline [--scale quick|repro|paper]
 //!                                                   [--seed N] [--out FILE]
+//!                                                   [--sweep [--threads 1,2,4]]
 //! ```
 //!
-//! Runs the experiment once with telemetry on and writes a small JSON
-//! document (default `BENCH_baseline.json`) capturing wall time and the
-//! telemetry layer's engine counters — most importantly the peak event-queue
-//! depth. The committed copy at the repo root is the reference point for
-//! spotting wall-time or queue-growth regressions; regenerate it on the same
-//! class of machine before comparing.
+//! Default mode runs the experiment once with telemetry on and writes a
+//! small JSON document (default `BENCH_baseline.json`) capturing wall time
+//! and the telemetry layer's engine counters — most importantly the peak
+//! event-queue depth. The committed copy at the repo root is the reference
+//! point for spotting wall-time or queue-growth regressions; regenerate it
+//! on the same class of machine before comparing.
+//!
+//! `--sweep` instead runs the simulation *and* the full analysis pipeline
+//! at each thread count (default `1,2,<cores>`), writing per-count wall
+//! times, speedups, and parallel efficiency (default `BENCH_parallel.json`).
+//! Every run's rendered report is fingerprinted; `tables_identical` in the
+//! output confirms the bit-identical-at-any-thread-count guarantee. The
+//! `cores` field records how much hardware parallelism the machine actually
+//! had — speedups are only meaningful when `cores` covers the thread count.
 
 use bench_suite::Scale;
+use netprofiler::AnalysisConfig;
 use std::time::Instant;
 use workload::run_experiment;
+
+/// FNV-1a, enough to fingerprint a rendered report for equality checking.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_thread_list(s: &str) -> Option<Vec<usize>> {
+    let mut list = Vec::new();
+    for part in s.split(',') {
+        let n: usize = part.trim().parse().ok()?;
+        if n == 0 {
+            return None;
+        }
+        list.push(n);
+    }
+    list.sort_unstable();
+    list.dedup();
+    (!list.is_empty()).then_some(list)
+}
 
 fn main() {
     let mut scale = Scale::Reproduction;
     let mut seed = 20050101u64;
-    let mut out_path = std::path::PathBuf::from("BENCH_baseline.json");
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut sweep = false;
+    let mut thread_list: Option<Vec<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,10 +68,21 @@ fn main() {
             }
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--out" => {
-                out_path = args.next().map(std::path::PathBuf::from).unwrap_or(out_path);
+                out_path = args.next().map(std::path::PathBuf::from).or(out_path);
+            }
+            "--sweep" => sweep = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                thread_list = Some(parse_thread_list(&v).unwrap_or_else(|| {
+                    eprintln!("bad thread list {v:?} (want e.g. 1,2,4; counts > 0)");
+                    std::process::exit(2);
+                }));
             }
             "--help" | "-h" => {
-                println!("baseline [--scale quick|repro|paper] [--seed N] [--out FILE]");
+                println!(
+                    "baseline [--scale quick|repro|paper] [--seed N] [--out FILE] \
+                     [--sweep [--threads 1,2,4]]"
+                );
                 return;
             }
             other => {
@@ -45,14 +92,27 @@ fn main() {
         }
     }
 
-    telemetry::enable(true);
-    telemetry::reset();
-    let config = scale.config(seed);
     let scale_name = match scale {
         Scale::Quick => "quick",
         Scale::Reproduction => "repro",
         Scale::Paper => "paper",
     };
+
+    if sweep {
+        run_sweep(
+            scale,
+            scale_name,
+            seed,
+            thread_list,
+            out_path.unwrap_or_else(|| std::path::PathBuf::from("BENCH_parallel.json")),
+        );
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| std::path::PathBuf::from("BENCH_baseline.json"));
+
+    telemetry::enable(true);
+    telemetry::reset();
+    let config = scale.config(seed);
     eprintln!(
         "baseline run: scale {scale_name}, {} hours x {} accesses/hour, seed {seed} ...",
         config.hours, config.iterations_per_hour
@@ -81,4 +141,111 @@ fn main() {
     }
     eprint!("{json}");
     eprintln!("written to {}", out_path.display());
+}
+
+fn run_sweep(
+    scale: Scale,
+    scale_name: &str,
+    seed: u64,
+    thread_list: Option<Vec<usize>>,
+    out_path: std::path::PathBuf,
+) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let list = thread_list.unwrap_or_else(|| {
+        let mut v = vec![1, 2, cores];
+        v.sort_unstable();
+        v.dedup();
+        v
+    });
+
+    struct Row {
+        threads: usize,
+        sim: f64,
+        analysis: f64,
+        transactions: usize,
+        connections: usize,
+        fingerprint: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &t in &list {
+        telemetry::enable(true);
+        telemetry::reset();
+        let mut config = scale.config(seed);
+        config.threads = t;
+        eprintln!(
+            "sweep: scale {scale_name}, {} hours, seed {seed}, threads {t} ...",
+            config.hours
+        );
+        let t0 = Instant::now();
+        let out = run_experiment(&config);
+        let sim = t0.elapsed().as_secs_f64();
+
+        let acfg = AnalysisConfig::default().with_threads(t);
+        let t1 = Instant::now();
+        let full = netprofiler::pipeline::run(&out.dataset, acfg);
+        let analysis = t1.elapsed().as_secs_f64();
+        telemetry::enable(false);
+
+        // Render every table/figure and fingerprint the whole report: the
+        // determinism guarantee is that this hash matches at every count.
+        let rendered = report::render_all(&out.dataset, acfg, seed);
+        let fingerprint = fnv1a(rendered.as_bytes());
+        eprintln!(
+            "  threads {t}: sim {sim:.2}s, analysis {analysis:.2}s \
+             ({} txns, {} blame-attributed conn-hours, report hash {fingerprint:016x})",
+            out.dataset.records.len(),
+            full.table5.total(),
+        );
+        rows.push(Row {
+            threads: t,
+            sim,
+            analysis,
+            transactions: out.dataset.records.len(),
+            connections: out.dataset.connections.len(),
+            fingerprint,
+        });
+    }
+
+    let identical = rows.iter().all(|r| {
+        r.fingerprint == rows[0].fingerprint
+            && r.transactions == rows[0].transactions
+            && r.connections == rows[0].connections
+    });
+    let base_wall = rows[0].sim + rows[0].analysis;
+    let mut sweep_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let wall = r.sim + r.analysis;
+        let speedup = base_wall / wall;
+        let efficiency = speedup / (r.threads as f64 / rows[0].threads as f64);
+        sweep_json.push_str(&format!(
+            "    {{\"threads\": {}, \"sim_seconds\": {:.2}, \"analysis_seconds\": {:.2}, \
+             \"wall_seconds\": {:.2}, \"speedup\": {:.2}, \"efficiency\": {:.2}}}{}\n",
+            r.threads,
+            r.sim,
+            r.analysis,
+            wall,
+            speedup,
+            efficiency,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"scale\": \"{scale_name}\",\n  \"seed\": {seed},\n  \"cores\": {cores},\n  \
+         \"transactions\": {},\n  \"connections\": {},\n  \"sweep\": [\n{sweep_json}  ],\n  \
+         \"tables_identical\": {identical}\n}}\n",
+        rows[0].transactions, rows[0].connections,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    eprint!("{json}");
+    eprintln!("written to {}", out_path.display());
+    if !identical {
+        eprintln!("ERROR: outputs differ across thread counts");
+        std::process::exit(1);
+    }
 }

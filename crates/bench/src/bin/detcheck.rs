@@ -1,0 +1,90 @@
+//! Fast determinism gate: a tiny two-thread run diffed against the
+//! single-thread run.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin detcheck [--seed N]
+//! ```
+//!
+//! Runs a small simulated window (12 hours, wire fidelity off) at
+//! `threads = 1` and `threads = 2`, pushes both datasets through the full
+//! analysis pipeline, and renders every table and figure. Any byte of
+//! difference — dataset sizes, blame attribution, or the rendered report —
+//! exits non-zero. `ci.sh` runs this before the test suite so a scheduling
+//! or shard-merge regression is caught in seconds, not after a full sweep.
+
+use netprofiler::{pipeline, AnalysisConfig};
+use workload::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let mut seed = 20050101u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--help" | "-h" => {
+                println!("detcheck [--seed N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let run = |threads: usize| {
+        let mut cfg = ExperimentConfig::quick(seed);
+        cfg.hours = 12;
+        cfg.wire_fidelity = false;
+        cfg.threads = threads;
+        let ds = run_experiment(&cfg).dataset;
+        let acfg = AnalysisConfig::default().with_threads(threads);
+        let full = pipeline::run(&ds, acfg);
+        let rendered = report::render_all(&ds, acfg, seed);
+        (ds, full, rendered)
+    };
+
+    eprintln!("detcheck: 12 h window, seed {seed}, threads 1 vs 2 ...");
+    let (ds1, full1, report1) = run(1);
+    let (ds2, full2, report2) = run(2);
+
+    let mut failures = 0u32;
+    let mut check = |what: &str, ok: bool| {
+        if ok {
+            eprintln!("  ok: {what}");
+        } else {
+            eprintln!("  MISMATCH: {what}");
+            failures += 1;
+        }
+    };
+    check(
+        "transaction count",
+        ds1.records.len() == ds2.records.len(),
+    );
+    check(
+        "connection count",
+        ds1.connections.len() == ds2.connections.len(),
+    );
+    check("table 5 (blame)", full1.table5 == full2.table5);
+    check(
+        "table 5 conservative",
+        full1.table5_conservative == full2.table5_conservative,
+    );
+    check("overall breakdown", full1.overall == full2.overall);
+    check(
+        "permanent pairs",
+        full1.permanent_pairs == full2.permanent_pairs,
+    );
+    check("rendered report", report1 == report2);
+
+    if failures > 0 {
+        eprintln!("detcheck FAILED: {failures} mismatch(es) between thread counts");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "detcheck passed: {} transactions, {} connections, report {} bytes — identical at 1 and 2 threads",
+        ds1.records.len(),
+        ds1.connections.len(),
+        report1.len()
+    );
+}

@@ -73,21 +73,36 @@ pub fn prefix_grid(analysis: &Analysis<'_>) -> HourlyGrid {
             replica_prefixes.insert((s.id.0, *addr), pfx);
         }
     }
-    let mut grid = HourlyGrid::new(ds.prefixes.len(), ds.hours);
-    for conn in &ds.connections {
-        if analysis.permanent.contains(conn.client, conn.site) {
-            continue;
-        }
-        let hour = conn.hour();
-        let failed = conn.failed();
-        for p in client_prefixes[conn.client.0 as usize] {
-            grid.add(p.0 as usize, hour, failed);
-        }
-        if let Some(pfx) = replica_prefixes.get(&(conn.site.0, conn.replica)) {
-            for p in *pfx {
-                grid.add(p.0 as usize, hour, failed);
+    // Shard by connection range; the prefix lookup tables built above are
+    // shared read-only, and the partial grids merge by addition.
+    let mut partials = crate::par::map_shards(
+        analysis.config.threads,
+        ds.connections.len(),
+        |range| {
+            let mut grid = HourlyGrid::new(ds.prefixes.len(), ds.hours);
+            for conn in &ds.connections[range] {
+                if analysis.permanent.contains(conn.client, conn.site) {
+                    continue;
+                }
+                let hour = conn.hour();
+                let failed = conn.failed();
+                for p in client_prefixes[conn.client.0 as usize] {
+                    grid.add(p.0 as usize, hour, failed);
+                }
+                if let Some(pfx) = replica_prefixes.get(&(conn.site.0, conn.replica)) {
+                    for p in *pfx {
+                        grid.add(p.0 as usize, hour, failed);
+                    }
+                }
             }
-        }
+            grid
+        },
+    );
+    let mut grid = partials
+        .pop()
+        .unwrap_or_else(|| HourlyGrid::new(ds.prefixes.len(), ds.hours));
+    for p in &partials {
+        grid.merge(p);
     }
     grid
 }
@@ -154,7 +169,7 @@ pub fn figure6_rates(analysis: &Analysis<'_>) -> Vec<f64> {
         .into_iter()
         .filter_map(|i| i.tcp_failure_rate)
         .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    rates.sort_by(f64::total_cmp);
     rates
 }
 
@@ -298,6 +313,21 @@ mod tests {
         let (att, fail) = g.cell(site0_prefix, 1);
         assert_eq!(att, 60);
         assert_eq!(fail, 12);
+    }
+
+    #[test]
+    fn sharded_prefix_grid_matches_serial() {
+        let ds = world();
+        let serial = prefix_grid(&Analysis::new(&ds, AnalysisConfig::default().with_threads(1)));
+        for threads in [2usize, 3, 7] {
+            let a = Analysis::new(&ds, AnalysisConfig::default().with_threads(threads));
+            let par = prefix_grid(&a);
+            for row in 0..serial.rows() {
+                for hour in 0..serial.hours() {
+                    assert_eq!(serial.cell(row, hour), par.cell(row, hour));
+                }
+            }
+        }
     }
 
     #[test]

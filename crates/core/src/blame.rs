@@ -78,28 +78,42 @@ pub fn table5(analysis: &Analysis<'_>) -> BlameBreakdown {
     let _span = telemetry::span!("analysis.blame.table5");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
-    let mut out = BlameBreakdown::default();
-    for conn in &analysis.ds.connections {
-        if !conn.failed() || analysis.permanent.contains(conn.client, conn.site) {
-            continue;
+    let conns = &analysis.ds.connections;
+    // Shard by connection range; each shard reads the shared episode grids
+    // and folds a private breakdown, merged by addition.
+    let partials = crate::par::map_shards(analysis.config.threads, conns.len(), |range| {
+        let mut out = BlameBreakdown::default();
+        for conn in &conns[range] {
+            if !conn.failed() || analysis.permanent.contains(conn.client, conn.site) {
+                continue;
+            }
+            let class = classify_hour(
+                &analysis.client_grid,
+                &analysis.server_grid,
+                conn.client.0 as usize,
+                conn.site.0 as usize,
+                conn.hour(),
+                f,
+                min,
+            );
+            match class {
+                BlameClass::ServerSide => out.server_side += 1,
+                BlameClass::ClientSide => out.client_side += 1,
+                BlameClass::Both => out.both += 1,
+                BlameClass::Other => out.other += 1,
+            }
         }
-        let class = classify_hour(
-            &analysis.client_grid,
-            &analysis.server_grid,
-            conn.client.0 as usize,
-            conn.site.0 as usize,
-            conn.hour(),
-            f,
-            min,
-        );
-        match class {
-            BlameClass::ServerSide => out.server_side += 1,
-            BlameClass::ClientSide => out.client_side += 1,
-            BlameClass::Both => out.both += 1,
-            BlameClass::Other => out.other += 1,
-        }
-    }
-    out
+        out
+    });
+    partials
+        .into_iter()
+        .fold(BlameBreakdown::default(), |mut acc, p| {
+            acc.server_side += p.server_side;
+            acc.client_side += p.client_side;
+            acc.both += p.both;
+            acc.other += p.other;
+            acc
+        })
 }
 
 /// Coalesce consecutive episode hours into runs (Section 4.4.5).
@@ -244,6 +258,19 @@ mod tests {
         assert!(high.other > low.other);
         assert_eq!(high.total(), low.total());
         assert!(high.classified_share() < low.classified_share());
+    }
+
+    #[test]
+    fn sharded_table5_matches_serial() {
+        let ds = world();
+        let serial = table5(&Analysis::new(&ds, AnalysisConfig::default().with_threads(1)));
+        for threads in [2usize, 3, 7] {
+            let par = table5(&Analysis::new(
+                &ds,
+                AnalysisConfig::default().with_threads(threads),
+            ));
+            assert_eq!(par, serial);
+        }
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct AnalysisConfig {
     /// withdrawals involving at least `alt_neighbors` neighbors.
     pub alt_withdrawals: u32,
     pub alt_neighbors: u16,
+    /// Worker threads for the dataset scans (0 = all available cores,
+    /// 1 = fully serial). Results are bit-identical at any setting; the
+    /// scans shard into partial aggregates merged in a fixed order.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -38,6 +42,7 @@ impl Default for AnalysisConfig {
             severe_neighbors: 70,
             alt_withdrawals: 75,
             alt_neighbors: 50,
+            threads: 0,
         }
     }
 }
@@ -54,6 +59,12 @@ impl AnalysisConfig {
     /// Override the episode threshold.
     pub fn with_threshold(mut self, f: f64) -> Self {
         self.episode_threshold = f;
+        self
+    }
+
+    /// Override the scan thread count (0 = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -21,7 +21,7 @@ impl RateCdf {
     /// Build from raw rates.
     pub fn from_rates(rates: &[f64]) -> RateCdf {
         let mut sorted = rates.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut points: Vec<(f64, f64)> = Vec::new();
         for (i, r) in sorted.iter().enumerate() {
@@ -82,8 +82,11 @@ pub struct Figure4 {
 pub fn figure4(analysis: &Analysis<'_>) -> Figure4 {
     let _span = telemetry::span!("analysis.episodes.figure4");
     let min = analysis.config.min_hour_samples;
-    let clients = RateCdf::from_rates(&analysis.client_grid.all_rates(min));
-    let servers = RateCdf::from_rates(&analysis.server_grid.all_rates(min));
+    let (clients, servers) = crate::par::join2(
+        analysis.config.threads,
+        || RateCdf::from_rates(&analysis.client_grid.all_rates(min)),
+        || RateCdf::from_rates(&analysis.server_grid.all_rates(min)),
+    );
     let client_knee = clients.knee();
     let server_knee = servers.knee();
     Figure4 {

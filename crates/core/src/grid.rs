@@ -115,6 +115,23 @@ impl HourlyGrid {
         cov
     }
 
+    /// Element-wise add another grid of identical shape into this one.
+    ///
+    /// The merge step of the sharded builders: each shard folds its record
+    /// range into a private partial grid, then partials merge in shard
+    /// order. Addition is commutative, so the sum is identical to a serial
+    /// single-grid build.
+    pub fn merge(&mut self, other: &HourlyGrid) {
+        assert_eq!(self.rows, other.rows, "grid merge shape mismatch");
+        assert_eq!(self.hours, other.hours, "grid merge shape mismatch");
+        for (a, b) in self.attempts.iter_mut().zip(&other.attempts) {
+            *a += b;
+        }
+        for (a, b) in self.failures.iter_mut().zip(&other.failures) {
+            *a += b;
+        }
+    }
+
     /// Monthly totals for one row.
     pub fn row_totals(&self, row: usize) -> (u64, u64) {
         let mut a = 0u64;
@@ -149,53 +166,86 @@ impl GridCoverage {
     }
 }
 
-/// Per-client hourly TCP-connection grid, excluding permanent pairs.
-pub fn client_connection_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
-    let mut g = HourlyGrid::new(ds.clients.len(), ds.hours);
-    for c in &ds.connections {
-        if permanent.contains(c.client, c.site) {
-            continue;
+/// Build a grid by sharding `items` across `threads` workers, folding each
+/// shard into a partial grid, and merging the partials in shard order.
+fn sharded_grid<T: Sync>(
+    threads: usize,
+    rows: usize,
+    hours: u32,
+    items: &[T],
+    add: impl Fn(&mut HourlyGrid, &T) + Sync,
+) -> HourlyGrid {
+    let mut partials = crate::par::map_shards(threads, items.len(), |range| {
+        let mut g = HourlyGrid::new(rows, hours);
+        for item in &items[range] {
+            add(&mut g, item);
         }
-        g.add(c.client.0 as usize, c.hour(), c.failed());
+        g
+    });
+    let mut grid = partials
+        .pop()
+        .unwrap_or_else(|| HourlyGrid::new(rows, hours));
+    for p in &partials {
+        grid.merge(p);
     }
-    g
+    grid
+}
+
+/// Per-client hourly TCP-connection grid, excluding permanent pairs.
+pub fn client_connection_grid(
+    ds: &Dataset,
+    permanent: &PermanentPairs,
+    threads: usize,
+) -> HourlyGrid {
+    let _span = telemetry::span!("analysis.grid.client_conn");
+    sharded_grid(threads, ds.clients.len(), ds.hours, &ds.connections, |g, c| {
+        if !permanent.contains(c.client, c.site) {
+            g.add(c.client.0 as usize, c.hour(), c.failed());
+        }
+    })
 }
 
 /// Per-server hourly TCP-connection grid, excluding permanent pairs.
-pub fn server_connection_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
-    let mut g = HourlyGrid::new(ds.sites.len(), ds.hours);
-    for c in &ds.connections {
-        if permanent.contains(c.client, c.site) {
-            continue;
+pub fn server_connection_grid(
+    ds: &Dataset,
+    permanent: &PermanentPairs,
+    threads: usize,
+) -> HourlyGrid {
+    let _span = telemetry::span!("analysis.grid.server_conn");
+    sharded_grid(threads, ds.sites.len(), ds.hours, &ds.connections, |g, c| {
+        if !permanent.contains(c.client, c.site) {
+            g.add(c.site.0 as usize, c.hour(), c.failed());
         }
-        g.add(c.site.0 as usize, c.hour(), c.failed());
-    }
-    g
+    })
 }
 
 /// Per-client hourly *transaction* grid (used where connections are masked,
 /// e.g. proxied clients).
-pub fn client_transaction_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
-    let mut g = HourlyGrid::new(ds.clients.len(), ds.hours);
-    for r in &ds.records {
-        if permanent.contains(r.client, r.site) {
-            continue;
+pub fn client_transaction_grid(
+    ds: &Dataset,
+    permanent: &PermanentPairs,
+    threads: usize,
+) -> HourlyGrid {
+    let _span = telemetry::span!("analysis.grid.client_txn");
+    sharded_grid(threads, ds.clients.len(), ds.hours, &ds.records, |g, r| {
+        if !permanent.contains(r.client, r.site) {
+            g.add(r.client.0 as usize, r.hour(), r.failed());
         }
-        g.add(r.client.0 as usize, r.hour(), r.failed());
-    }
-    g
+    })
 }
 
 /// Per-server hourly transaction grid.
-pub fn server_transaction_grid(ds: &Dataset, permanent: &PermanentPairs) -> HourlyGrid {
-    let mut g = HourlyGrid::new(ds.sites.len(), ds.hours);
-    for r in &ds.records {
-        if permanent.contains(r.client, r.site) {
-            continue;
+pub fn server_transaction_grid(
+    ds: &Dataset,
+    permanent: &PermanentPairs,
+    threads: usize,
+) -> HourlyGrid {
+    let _span = telemetry::span!("analysis.grid.server_txn");
+    sharded_grid(threads, ds.sites.len(), ds.hours, &ds.records, |g, r| {
+        if !permanent.contains(r.client, r.site) {
+            g.add(r.site.0 as usize, r.hour(), r.failed());
         }
-        g.add(r.site.0 as usize, r.hour(), r.failed());
-    }
-    g
+    })
 }
 
 #[cfg(test)]
@@ -274,9 +324,54 @@ mod tests {
         let cfg = crate::AnalysisConfig::default();
         let perm = crate::permanent::detect(&ds, &cfg);
         assert!(perm.contains(ClientId(0), SiteId(0)));
-        let g = client_connection_grid(&ds, &perm);
+        let g = client_connection_grid(&ds, &perm, 1);
         assert_eq!(g.cell(0, 0), (0, 0), "permanent pair excluded");
         assert_eq!(g.cell(1, 0), (30, 0));
+    }
+
+    #[test]
+    fn sharded_build_matches_serial() {
+        let mut w = SynthWorld::new(3, 2, 6);
+        for h in 0..6 {
+            for i in 0..40 {
+                w.add_txn(ClientId(i % 3), SiteId(0), h, i % 7 != 0);
+                if i % 2 == 0 {
+                    w.add_ok_conn(ClientId(i % 3), SiteId(1), h);
+                } else {
+                    w.add_failed_conn(ClientId((i + 1) % 3), SiteId(0), h);
+                }
+            }
+        }
+        let ds = w.finish();
+        let perm = crate::permanent::detect(&ds, &crate::AnalysisConfig::default());
+        let serial = client_connection_grid(&ds, &perm, 1);
+        for threads in [2usize, 3, 7] {
+            let par = client_connection_grid(&ds, &perm, threads);
+            for row in 0..serial.rows() {
+                for hour in 0..serial.hours() {
+                    assert_eq!(serial.cell(row, hour), par.cell(row, hour));
+                }
+            }
+        }
+        let serial_t = server_transaction_grid(&ds, &perm, 1);
+        let par_t = server_transaction_grid(&ds, &perm, 5);
+        for row in 0..serial_t.rows() {
+            for hour in 0..serial_t.hours() {
+                assert_eq!(serial_t.cell(row, hour), par_t.cell(row, hour));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = HourlyGrid::new(1, 2);
+        a.add(0, 0, true);
+        let mut b = HourlyGrid::new(1, 2);
+        b.add(0, 0, false);
+        b.add(0, 1, true);
+        a.merge(&b);
+        assert_eq!(a.cell(0, 0), (2, 1));
+        assert_eq!(a.cell(0, 1), (1, 1));
     }
 
     #[test]

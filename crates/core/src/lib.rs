@@ -35,7 +35,9 @@ pub mod grid;
 pub mod integrity;
 pub mod loss_corr;
 pub mod pair_episodes;
+pub mod par;
 pub mod permanent;
+pub mod pipeline;
 pub mod proxy_analysis;
 pub mod replicas;
 pub mod similarity;
@@ -71,8 +73,11 @@ impl<'d> Analysis<'d> {
     pub fn new(ds: &'d Dataset, config: AnalysisConfig) -> Analysis<'d> {
         let _span = telemetry::span!("analysis.index");
         let permanent = permanent::detect(ds, &config);
-        let client_grid = grid::client_connection_grid(ds, &permanent);
-        let server_grid = grid::server_connection_grid(ds, &permanent);
+        let (client_grid, server_grid) = par::join2(
+            config.threads,
+            || grid::client_connection_grid(ds, &permanent, config.threads),
+            || grid::server_connection_grid(ds, &permanent, config.threads),
+        );
         Analysis {
             ds,
             config,

@@ -73,31 +73,51 @@ pub fn detect(analysis: &Analysis<'_>, cfg: PairEpisodeConfig) -> PairEpisodeRep
     let min = analysis.config.min_hour_samples;
     let windows = ds.hours.div_ceil(cfg.window_hours.max(1));
 
-    // (client, site, window) → (attempts, failures, any endpoint episode)
-    let mut bins: HashMap<(u16, u16, u32), (u32, u32, bool)> = HashMap::new();
-    for conn in &ds.connections {
-        if analysis.permanent.contains(conn.client, conn.site) {
-            continue;
-        }
-        let hour = conn.hour();
-        if hour >= ds.hours {
-            continue;
-        }
-        let window = hour / cfg.window_hours.max(1);
-        let entry = bins
-            .entry((conn.client.0, conn.site.0, window))
-            .or_insert((0, 0, false));
-        entry.0 += 1;
-        entry.1 += u32::from(conn.failed());
-        if conn.failed() {
-            // Did either endpoint have an episode this hour?
-            let c_ep = analysis
-                .client_grid
-                .is_episode(conn.client.0 as usize, hour, f, min);
-            let s_ep = analysis
-                .server_grid
-                .is_episode(conn.site.0 as usize, hour, f, min);
-            entry.2 |= c_ep || s_ep;
+    // (client, site, window) → (attempts, failures, any endpoint episode),
+    // built as per-shard maps merged by adding the counters and OR-ing the
+    // shadowed flag — both commutative, so any shard split gives the same
+    // bins (the emission loop below sorts its output).
+    let partials = crate::par::map_shards(
+        analysis.config.threads,
+        ds.connections.len(),
+        |range| {
+            let mut bins: HashMap<(u16, u16, u32), (u32, u32, bool)> = HashMap::new();
+            for conn in &ds.connections[range] {
+                if analysis.permanent.contains(conn.client, conn.site) {
+                    continue;
+                }
+                let hour = conn.hour();
+                if hour >= ds.hours {
+                    continue;
+                }
+                let window = hour / cfg.window_hours.max(1);
+                let entry = bins
+                    .entry((conn.client.0, conn.site.0, window))
+                    .or_insert((0, 0, false));
+                entry.0 += 1;
+                entry.1 += u32::from(conn.failed());
+                if conn.failed() {
+                    // Did either endpoint have an episode this hour?
+                    let c_ep = analysis
+                        .client_grid
+                        .is_episode(conn.client.0 as usize, hour, f, min);
+                    let s_ep = analysis
+                        .server_grid
+                        .is_episode(conn.site.0 as usize, hour, f, min);
+                    entry.2 |= c_ep || s_ep;
+                }
+            }
+            bins
+        },
+    );
+    let mut partials = partials.into_iter();
+    let mut bins = partials.next().unwrap_or_default();
+    for shard in partials {
+        for (key, (attempts, failures, shadowed)) in shard {
+            let entry = bins.entry(key).or_insert((0, 0, false));
+            entry.0 += attempts;
+            entry.1 += failures;
+            entry.2 |= shadowed;
         }
     }
 
@@ -214,6 +234,28 @@ mod tests {
         assert_eq!(ep.site, SiteId(0));
         assert!((ep.rate() - 0.25).abs() < 1e-9);
         assert_eq!(report.shadowed_by_endpoint, 0);
+    }
+
+    #[test]
+    fn sharded_detection_matches_serial() {
+        let ds = world();
+        let serial = detect(
+            &Analysis::new(&ds, AnalysisConfig::default().with_threads(1)),
+            PairEpisodeConfig::default(),
+        );
+        for threads in [2usize, 3, 7] {
+            let a = Analysis::new(&ds, AnalysisConfig::default().with_threads(threads));
+            let par = detect(&a, PairEpisodeConfig::default());
+            assert_eq!(par.shadowed_by_endpoint, serial.shadowed_by_endpoint);
+            assert_eq!(par.distinct_pairs, serial.distinct_pairs);
+            assert_eq!(par.episodes.len(), serial.episodes.len());
+            for (x, y) in par.episodes.iter().zip(&serial.episodes) {
+                assert_eq!(
+                    (x.client, x.site, x.window, x.attempts, x.failures),
+                    (y.client, y.site, y.window, y.attempts, y.failures)
+                );
+            }
+        }
     }
 
     #[test]

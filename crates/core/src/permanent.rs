@@ -57,11 +57,25 @@ impl PermanentPairs {
 /// Detect near-permanent pairs in `ds`.
 pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
     let _span = telemetry::span!("analysis.permanent_pairs");
-    let mut per_pair: HashMap<(u16, u16), (u32, u32)> = HashMap::new();
-    for r in &ds.records {
-        let e = per_pair.entry((r.client.0, r.site.0)).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += u32::from(r.failed());
+    // Per-shard pair counters merged by addition; the detection filter and
+    // the sorted detail list below make the output order-independent.
+    let partials = crate::par::map_shards(config.threads, ds.records.len(), |range| {
+        let mut per_pair: HashMap<(u16, u16), (u32, u32)> = HashMap::new();
+        for r in &ds.records[range] {
+            let e = per_pair.entry((r.client.0, r.site.0)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u32::from(r.failed());
+        }
+        per_pair
+    });
+    let mut partials = partials.into_iter();
+    let mut per_pair = partials.next().unwrap_or_default();
+    for shard in partials {
+        for (pair, (txns, failed)) in shard {
+            let e = per_pair.entry(pair).or_insert((0, 0));
+            e.0 += txns;
+            e.1 += failed;
+        }
     }
     let mut pairs = HashSet::new();
     let mut detail = Vec::new();
@@ -80,19 +94,35 @@ pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
     }
     detail.sort_by_key(|a| (a.client.0, a.site.0));
 
-    // Impact shares.
-    let total_txn_failures = ds.records.iter().filter(|r| r.failed()).count();
-    let perm_txn_failures = ds
-        .records
-        .iter()
-        .filter(|r| r.failed() && pairs.contains(&(r.client.0, r.site.0)))
-        .count();
-    let total_conn_failures = ds.connections.iter().filter(|c| c.failed()).count();
-    let perm_conn_failures = ds
-        .connections
-        .iter()
-        .filter(|c| c.failed() && pairs.contains(&(c.client.0, c.site.0)))
-        .count();
+    // Impact shares: one sharded pass per record family.
+    let (total_txn_failures, perm_txn_failures) =
+        crate::par::map_shards(config.threads, ds.records.len(), |range| {
+            let mut total = 0usize;
+            let mut perm = 0usize;
+            for r in &ds.records[range] {
+                if r.failed() {
+                    total += 1;
+                    perm += usize::from(pairs.contains(&(r.client.0, r.site.0)));
+                }
+            }
+            (total, perm)
+        })
+        .into_iter()
+        .fold((0, 0), |(t, p), (st, sp)| (t + st, p + sp));
+    let (total_conn_failures, perm_conn_failures) =
+        crate::par::map_shards(config.threads, ds.connections.len(), |range| {
+            let mut total = 0usize;
+            let mut perm = 0usize;
+            for c in &ds.connections[range] {
+                if c.failed() {
+                    total += 1;
+                    perm += usize::from(pairs.contains(&(c.client.0, c.site.0)));
+                }
+            }
+            (total, perm)
+        })
+        .into_iter()
+        .fold((0, 0), |(t, p), (st, sp)| (t + st, p + sp));
 
     PermanentPairs {
         pairs,
@@ -168,6 +198,39 @@ mod tests {
             p.share_of_connection_failures > p.share_of_transaction_failures,
             "retries inflate the connection share (the paper's 50.7% vs 13%)"
         );
+    }
+
+    #[test]
+    fn sharded_detection_matches_serial() {
+        let mut w = SynthWorld::new(4, 3, 6);
+        for h in 0..6 {
+            w.add_txn_batch(ClientId(0), SiteId(0), h, 10, 10);
+            for _ in 0..20 {
+                w.add_failed_conn(ClientId(0), SiteId(0), h);
+            }
+            w.add_txn_batch(ClientId(1), SiteId(1), h, 10, 2);
+            w.add_conn_batch(ClientId(2), SiteId(2), h, 10, 1);
+            w.add_txn_batch(ClientId(3), SiteId(0), h, 10, 0);
+        }
+        let ds = w.finish();
+        let serial = detect(&ds, &AnalysisConfig::default().with_threads(1));
+        for threads in [2usize, 3, 7] {
+            let par = detect(&ds, &AnalysisConfig::default().with_threads(threads));
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(par.detail.len(), serial.detail.len());
+            for (a, b) in par.detail.iter().zip(&serial.detail) {
+                assert_eq!((a.client, a.site, a.transactions, a.failed),
+                           (b.client, b.site, b.transactions, b.failed));
+            }
+            assert_eq!(
+                par.share_of_transaction_failures.to_bits(),
+                serial.share_of_transaction_failures.to_bits()
+            );
+            assert_eq!(
+                par.share_of_connection_failures.to_bits(),
+                serial.share_of_connection_failures.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub struct Table9Row {
 /// transaction grid — proxied clients have no connection records, so their
 /// own bad hours must be visible through transactions.
 pub fn residual_rates(analysis: &Analysis<'_>, site: SiteId) -> Table9Row {
-    let txn_grid = client_transaction_grid(analysis.ds, &analysis.permanent);
+    let txn_grid =
+        client_transaction_grid(analysis.ds, &analysis.permanent, analysis.config.threads);
     residual_rates_with_grid(analysis, site, &txn_grid)
 }
 
@@ -149,7 +150,7 @@ pub fn shared_proxy_sites(
     dominance: f64,
 ) -> Vec<SharedProxySite> {
     let ds = analysis.ds;
-    let txn_grid = client_transaction_grid(ds, &analysis.permanent);
+    let txn_grid = client_transaction_grid(ds, &analysis.permanent, analysis.config.threads);
     let mut out = Vec::new();
     for site in &ds.sites {
         let row = residual_rates_with_grid(analysis, site.id, &txn_grid);
@@ -180,11 +181,7 @@ pub fn shared_proxy_sites(
             });
         }
     }
-    out.sort_by(|a, b| {
-        b.min_proxied_rate
-            .partial_cmp(&a.min_proxied_rate)
-            .expect("no NaN")
-    });
+    out.sort_by(|a, b| b.min_proxied_rate.total_cmp(&a.min_proxied_rate));
     out
 }
 

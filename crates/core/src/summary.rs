@@ -57,38 +57,98 @@ fn rate(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Per-category counters gathered in one sharded pass over each record
+/// family (instead of the former `categories × records` rescans).
+#[derive(Clone, Debug, Default)]
+struct CategoryCounts {
+    transactions: u64,
+    failed_transactions: u64,
+    connections: u64,
+    failed_connections: u64,
+    breakdown: FailureBreakdown,
+}
+
+fn category_index(ds: &Dataset) -> Vec<usize> {
+    ds.clients
+        .iter()
+        .map(|c| {
+            ClientCategory::ALL
+                .iter()
+                .position(|&cat| cat == c.category)
+                .expect("client category listed in ClientCategory::ALL")
+        })
+        .collect()
+}
+
+fn merge_counts(mut acc: Vec<CategoryCounts>, shard: Vec<CategoryCounts>) -> Vec<CategoryCounts> {
+    for (a, s) in acc.iter_mut().zip(shard) {
+        a.transactions += s.transactions;
+        a.failed_transactions += s.failed_transactions;
+        a.connections += s.connections;
+        a.failed_connections += s.failed_connections;
+        a.breakdown.dns += s.breakdown.dns;
+        a.breakdown.tcp += s.breakdown.tcp;
+        a.breakdown.http += s.breakdown.http;
+    }
+    acc
+}
+
+fn category_counts(ds: &Dataset, threads: usize) -> Vec<CategoryCounts> {
+    let cat = category_index(ds);
+    let n = ClientCategory::ALL.len();
+    let empty = || vec![CategoryCounts::default(); n];
+    let from_records = crate::par::map_shards(threads, ds.records.len(), |range| {
+        let mut counts = empty();
+        for r in &ds.records[range] {
+            let e = &mut counts[cat[r.client.0 as usize]];
+            e.transactions += 1;
+            e.failed_transactions += u64::from(r.failed());
+            match r.failure() {
+                Some(FailureClass::Dns(_)) => e.breakdown.dns += 1,
+                Some(FailureClass::Tcp(_)) => e.breakdown.tcp += 1,
+                Some(FailureClass::Http(_)) => e.breakdown.http += 1,
+                None => {}
+            }
+        }
+        counts
+    })
+    .into_iter()
+    .fold(empty(), merge_counts);
+    crate::par::map_shards(threads, ds.connections.len(), |range| {
+        let mut counts = empty();
+        for c in &ds.connections[range] {
+            let e = &mut counts[cat[c.client.0 as usize]];
+            e.connections += 1;
+            e.failed_connections += u64::from(c.failed());
+        }
+        counts
+    })
+    .into_iter()
+    .fold(from_records, merge_counts)
+}
+
 /// Compute Table 3: per-category transaction and connection counts.
 pub fn table3(ds: &Dataset) -> Vec<CategorySummary> {
+    table3_with_threads(ds, 0)
+}
+
+/// [`table3`] with an explicit scan thread count (0 = all cores).
+pub fn table3_with_threads(ds: &Dataset, threads: usize) -> Vec<CategorySummary> {
     let _span = telemetry::span!("analysis.summary.table3");
     ClientCategory::ALL
         .iter()
-        .map(|&category| {
-            let mut transactions = 0;
-            let mut failed_transactions = 0;
-            for r in &ds.records {
-                if ds.client(r.client).category == category {
-                    transactions += 1;
-                    failed_transactions += u64::from(r.failed());
-                }
-            }
-            let mut connections = 0u64;
-            let mut failed_connections = 0u64;
-            for c in &ds.connections {
-                if ds.client(c.client).category == category {
-                    connections += 1;
-                    failed_connections += u64::from(c.failed());
-                }
-            }
+        .zip(category_counts(ds, threads))
+        .map(|(&category, counts)| {
             // CN connections are masked by the proxies (Table 3: N/A). We
             // detect that structurally: a category whose transactions exist
             // but whose connection records are absent for proxied clients.
             let masked = category == ClientCategory::CorpNet;
             CategorySummary {
                 category,
-                transactions,
-                failed_transactions,
-                connections: (!masked).then_some(connections),
-                failed_connections: (!masked).then_some(failed_connections),
+                transactions: counts.transactions,
+                failed_transactions: counts.failed_transactions,
+                connections: (!masked).then_some(counts.connections),
+                failed_connections: (!masked).then_some(counts.failed_connections),
             }
         })
         .collect()
@@ -98,44 +158,41 @@ pub fn table3(ds: &Dataset) -> Vec<CategorySummary> {
 /// are excluded from the breakdown, as in the paper — their failure classes
 /// are distorted by the proxy's masking.
 pub fn figure1(ds: &Dataset) -> Vec<(ClientCategory, f64, Option<FailureBreakdown>)> {
-    table3(ds)
-        .into_iter()
-        .map(|row| {
-            let breakdown = if row.category == ClientCategory::CorpNet {
-                None
-            } else {
-                let mut b = FailureBreakdown::default();
-                for r in &ds.records {
-                    if ds.client(r.client).category != row.category {
-                        continue;
-                    }
-                    match r.failure() {
-                        Some(FailureClass::Dns(_)) => b.dns += 1,
-                        Some(FailureClass::Tcp(_)) => b.tcp += 1,
-                        Some(FailureClass::Http(_)) => b.http += 1,
-                        None => {}
-                    }
-                }
-                Some(b)
-            };
-            (row.category, row.transaction_failure_rate(), breakdown)
+    figure1_with_threads(ds, 0)
+}
+
+/// [`figure1`] with an explicit scan thread count (0 = all cores).
+pub fn figure1_with_threads(
+    ds: &Dataset,
+    threads: usize,
+) -> Vec<(ClientCategory, f64, Option<FailureBreakdown>)> {
+    let _span = telemetry::span!("analysis.summary.figure1");
+    ClientCategory::ALL
+        .iter()
+        .zip(category_counts(ds, threads))
+        .map(|(&category, counts)| {
+            let rate = rate(counts.failed_transactions, counts.transactions);
+            let breakdown = (category != ClientCategory::CorpNet).then_some(counts.breakdown);
+            (category, rate, breakdown)
         })
         .collect()
 }
 
 /// Whole-dataset failure breakdown over the non-proxied categories.
 pub fn overall_breakdown(ds: &Dataset) -> FailureBreakdown {
+    overall_breakdown_with_threads(ds, 0)
+}
+
+/// [`overall_breakdown`] with an explicit scan thread count (0 = all cores).
+pub fn overall_breakdown_with_threads(ds: &Dataset, threads: usize) -> FailureBreakdown {
     let mut b = FailureBreakdown::default();
-    for r in &ds.records {
-        if ds.client(r.client).category == ClientCategory::CorpNet {
+    for (&category, counts) in ClientCategory::ALL.iter().zip(category_counts(ds, threads)) {
+        if category == ClientCategory::CorpNet {
             continue;
         }
-        match r.failure() {
-            Some(FailureClass::Dns(_)) => b.dns += 1,
-            Some(FailureClass::Tcp(_)) => b.tcp += 1,
-            Some(FailureClass::Http(_)) => b.http += 1,
-            None => {}
-        }
+        b.dns += counts.breakdown.dns;
+        b.tcp += counts.breakdown.tcp;
+        b.http += counts.breakdown.http;
     }
     b
 }
@@ -177,7 +234,7 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -285,6 +342,32 @@ mod tests {
         assert_eq!(quantile(&[0.4], 0.95), Some(0.4));
         let s = server_failure_rates(&ds);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sharded_summary_matches_serial() {
+        let ds = world();
+        let serial = table3_with_threads(&ds, 1);
+        for threads in [2usize, 5] {
+            let par = table3_with_threads(&ds, threads);
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.transactions, b.transactions);
+                assert_eq!(a.failed_transactions, b.failed_transactions);
+                assert_eq!(a.connections, b.connections);
+                assert_eq!(a.failed_connections, b.failed_connections);
+            }
+            assert_eq!(
+                overall_breakdown_with_threads(&ds, threads),
+                overall_breakdown_with_threads(&ds, 1)
+            );
+            let f_par = figure1_with_threads(&ds, threads);
+            let f_ser = figure1_with_threads(&ds, 1);
+            for ((c1, r1, b1), (c2, r2, b2)) in f_par.iter().zip(&f_ser) {
+                assert_eq!(c1, c2);
+                assert_eq!(r1.to_bits(), r2.to_bits());
+                assert_eq!(b1, b2);
+            }
+        }
     }
 
     #[test]

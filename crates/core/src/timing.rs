@@ -25,7 +25,7 @@ impl QuantilesMs {
         if values.is_empty() {
             return QuantilesMs::default();
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        values.sort_by(f64::total_cmp);
         let at = |q: f64| {
             let pos = q * (values.len() - 1) as f64;
             let lo = pos.floor() as usize;

@@ -96,6 +96,21 @@ impl Resolution {
     }
 }
 
+/// The outcome of one resolution when the addresses go into a caller-owned
+/// buffer ([`StubResolver::resolve_into`]): same fields as [`Resolution`]
+/// minus the address allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolutionStatus {
+    /// `Ok` iff addresses were written to the caller's buffer.
+    pub result: Result<(), DnsFailureKind>,
+    /// Time the lookup took (including timeout time on failure).
+    pub elapsed: SimDuration,
+    /// Wire messages exchanged (0 with `wire_fidelity` off).
+    pub messages: u32,
+    /// Whether the answer came from the LDNS cache.
+    pub from_cache: bool,
+}
+
 /// The LDNS's answer cache (the client's own cache is flushed before every
 /// access, per the measurement procedure, so only the LDNS cache matters).
 #[derive(Clone, Debug, Default)]
@@ -176,7 +191,31 @@ impl<'t> StubResolver<'t> {
         rng: &mut SimRng,
         cache: &mut LdnsCache,
     ) -> Resolution {
-        let res = self.resolve_inner(qname, faults, t, rng, cache);
+        let mut addrs = Vec::new();
+        let status = self.resolve_into(qname, faults, t, rng, cache, &mut addrs);
+        Resolution {
+            result: status.result.map(|()| addrs),
+            elapsed: status.elapsed,
+            messages: status.messages,
+            from_cache: status.from_cache,
+        }
+    }
+
+    /// [`Self::resolve`] with a caller-owned address buffer, so the hot path
+    /// can reuse one allocation across lookups. `out` is cleared and, on
+    /// success, left holding the (rotated) RRset. The RNG draw sequence is
+    /// identical to [`Self::resolve`].
+    pub fn resolve_into<F: DnsFaults + ?Sized>(
+        &self,
+        qname: &DomainName,
+        faults: &F,
+        t: SimTime,
+        rng: &mut SimRng,
+        cache: &mut LdnsCache,
+        out: &mut Vec<Ipv4Addr>,
+    ) -> ResolutionStatus {
+        out.clear();
+        let res = self.resolve_inner(qname, faults, t, rng, cache, out);
         if telemetry::enabled() {
             telemetry::counter!("dns.lookups", 1);
             telemetry::histogram!("dns.elapsed_us", res.elapsed.as_micros());
@@ -208,7 +247,8 @@ impl<'t> StubResolver<'t> {
         t: SimTime,
         rng: &mut SimRng,
         cache: &mut LdnsCache,
-    ) -> Resolution {
+        out: &mut Vec<Ipv4Addr>,
+    ) -> ResolutionStatus {
         let cfg = &self.config;
         let mut elapsed = SimDuration::ZERO;
         let mut messages = 0u32;
@@ -225,7 +265,7 @@ impl<'t> StubResolver<'t> {
             elapsed += cfg.stub_timeout;
         }
         if !contacted {
-            return Resolution {
+            return ResolutionStatus {
                 result: Err(DnsFailureKind::LdnsTimeout),
                 elapsed,
                 messages,
@@ -242,10 +282,10 @@ impl<'t> StubResolver<'t> {
 
         // --- LDNS cache --------------------------------------------------
         if let Some(addrs) = cache.get(qname, t) {
-            let mut addrs = addrs.to_vec();
-            rotate_rr(&mut addrs, rng);
-            return Resolution {
-                result: Ok(addrs),
+            out.extend_from_slice(addrs);
+            rotate_rr(out, rng);
+            return ResolutionStatus {
+                result: Ok(()),
                 elapsed,
                 messages,
                 from_cache: true,
@@ -255,27 +295,28 @@ impl<'t> StubResolver<'t> {
         // --- Iterative walk (by the LDNS); in-zone CNAME chains are
         // resolved by the authoritative server itself ----------------------
         match self.walk(qname, faults, t, rng, &mut elapsed, &mut messages) {
-            WalkOutcome::Answered(mut addrs, ttl) => {
+            WalkOutcome::Answered(addrs, ttl) => {
+                out.extend_from_slice(&addrs);
                 cache.put(
                     qname.clone(),
-                    addrs.clone(),
+                    addrs,
                     t + SimDuration::from_secs(u64::from(ttl)),
                 );
-                rotate_rr(&mut addrs, rng);
-                Resolution {
-                    result: Ok(addrs),
+                rotate_rr(out, rng);
+                ResolutionStatus {
+                    result: Ok(()),
                     elapsed,
                     messages,
                     from_cache: false,
                 }
             }
-            WalkOutcome::AuthTimeout => Resolution {
+            WalkOutcome::AuthTimeout => ResolutionStatus {
                 result: Err(DnsFailureKind::NonLdnsTimeout),
                 elapsed,
                 messages,
                 from_cache: false,
             },
-            WalkOutcome::Error(code) => Resolution {
+            WalkOutcome::Error(code) => ResolutionStatus {
                 result: Err(DnsFailureKind::ErrorResponse(code)),
                 elapsed,
                 messages,
@@ -595,6 +636,40 @@ mod tests {
                 other => panic!("fidelity mismatch for {host}: {other:?}"),
             }
             assert_eq!(b.messages, 0);
+        }
+    }
+
+    #[test]
+    fn resolve_into_matches_resolve() {
+        let t = tree();
+        let r = StubResolver::new(&t, ResolverConfig::default());
+        let t0 = SimTime::from_hours(1);
+        let mut buf = vec![Ipv4Addr::new(9, 9, 9, 9)]; // stale content must clear
+        for host in ["www.iitb.ac.in", "nosuch.example.com"] {
+            // Separate RNG/cache streams, identical seeds: the second
+            // iteration exercises the cache-hit rotation path.
+            let mut rng_a = SimRng::new(77);
+            let mut rng_b = SimRng::new(77);
+            let mut cache_a = LdnsCache::new();
+            let mut cache_b = LdnsCache::new();
+            for pass in 0..2 {
+                let owned = r.resolve(&name(host), &NoFaults, t0, &mut rng_a, &mut cache_a);
+                let status =
+                    r.resolve_into(&name(host), &NoFaults, t0, &mut rng_b, &mut cache_b, &mut buf);
+                assert_eq!(status.elapsed, owned.elapsed, "{host} pass {pass}");
+                assert_eq!(status.messages, owned.messages);
+                assert_eq!(status.from_cache, owned.from_cache);
+                match owned.result {
+                    Ok(addrs) => {
+                        assert!(status.result.is_ok());
+                        assert_eq!(buf, addrs, "{host} pass {pass}");
+                    }
+                    Err(kind) => {
+                        assert_eq!(status.result.unwrap_err(), kind);
+                        assert!(buf.is_empty(), "failed lookup leaves buffer empty");
+                    }
+                }
+            }
         }
     }
 

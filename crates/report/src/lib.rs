@@ -17,5 +17,6 @@ pub mod render;
 pub mod table;
 
 pub use paper::PaperTargets;
+pub use render::render_all;
 pub use quarantine::{QuarantineSummary, SalvageLine};
 pub use table::TextTable;

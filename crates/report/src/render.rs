@@ -8,8 +8,64 @@ use netprofiler::bgp_corr::{self, SeverityRule};
 use netprofiler::episodes::figure4;
 use netprofiler::{
     blame, dns_analysis, loss_corr, proxy_analysis, replicas, similarity, spread, summary,
-    tcp_analysis, Analysis,
+    tcp_analysis, Analysis, AnalysisConfig,
 };
+
+/// Render every table and figure into one string, in the `reproduce` binary's
+/// emission order, with `==== id ====` section headers.
+///
+/// This is the bit-for-bit comparison surface for the determinism checks:
+/// two runs (any thread counts, profiling on or off) must produce identical
+/// output here. The conservative (f = 10%) analysis is derived from the same
+/// `config` so its scan thread count carries over.
+pub fn render_all(ds: &Dataset, config: AnalysisConfig, seed: u64) -> String {
+    let _span = telemetry::span!("report.render_all");
+    let a5 = Analysis::new(ds, config);
+    let a10 = Analysis::new(ds, config.with_threshold(0.10));
+    let mut out = String::new();
+    let mut emit = |id: &str, body: String| {
+        out.push_str("==== ");
+        out.push_str(id);
+        out.push_str(" ====\n");
+        out.push_str(&body);
+        out.push('\n');
+    };
+    emit("table1", render_table1(ds));
+    emit("table2", render_table2(ds));
+    emit("table3", render_table3(ds));
+    emit("fig1", render_figure1(ds));
+    emit("table4", render_table4(ds));
+    emit("fig2", render_figure2(ds));
+    emit("fig3", render_figure3(ds));
+    emit("permanent", render_permanent(&a5));
+    emit("fig4", render_figure4(&a5));
+    emit("table5", render_table5(&a5, &a10));
+    emit("episodes", render_episode_stats(&a5));
+    emit("table6", render_table6(&a5, 12));
+    emit("table7", render_table7(&a5, seed));
+    emit("table8", render_table8(&a5, 8));
+    emit("replicas", render_replicas(&a5));
+    emit("bgp", render_bgp(&a5));
+    if let Some(csv) = render_client_timeseries_csv(ds, "howard") {
+        emit("fig5", csv);
+    }
+    emit("fig6", render_figure6_csv(&a5));
+    if let Some(csv) = render_client_timeseries_csv(ds, "kscy") {
+        emit("fig7", csv);
+    }
+    emit("table9", render_table9(&a5, &["iitb", "royal"]));
+    emit("pairs", render_pair_episodes(&a5));
+    emit("medians", render_medians(ds));
+    emit("timing", render_timing(ds));
+    emit("loss", render_loss(ds));
+    emit("digcheck", render_digcheck(ds));
+    let comps = comparisons(ds, &a5, &a10);
+    emit(
+        "compare",
+        comps.iter().map(|c| c.line() + "\n").collect::<String>(),
+    );
+    out
+}
 
 /// Table 1: the client fleet.
 pub fn render_table1(ds: &Dataset) -> String {
@@ -491,7 +547,8 @@ pub fn render_figure6_csv(analysis: &Analysis<'_>) -> String {
 /// Table 9: proxy residual failures on the named sites.
 pub fn render_table9(analysis: &Analysis<'_>, hostnames: &[&str]) -> String {
     let ds = analysis.ds;
-    let txn_grid = netprofiler::grid::client_transaction_grid(ds, &analysis.permanent);
+    let txn_grid =
+        netprofiler::grid::client_transaction_grid(ds, &analysis.permanent, analysis.config.threads);
     let mut t = TextTable::new(["site", "client", "residual failure rate"])
         .with_title("Table 9: residual failure rates after excluding client/server episodes")
         .right_align(&[2]);

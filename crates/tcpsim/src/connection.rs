@@ -102,19 +102,23 @@ pub struct ConnectionResult {
     /// Request/data transmissions beyond each segment's first (sender-side
     /// ground truth; the trace-visible count can be lower).
     pub retransmissions_sent: u32,
-    /// Client-side packet capture, when requested.
+    /// Client-side packet capture, when requested. Always `None` from
+    /// [`simulate_connection_into`], where the caller's buffer holds the
+    /// packets instead.
     pub trace: Option<Trace>,
 }
 
-struct Capture {
-    trace: Option<Trace>,
+struct Capture<'a> {
+    trace: Option<&'a mut Trace>,
 }
 
-impl Capture {
-    fn new(enabled: bool) -> Self {
-        Capture {
-            trace: enabled.then(Vec::new),
+impl<'a> Capture<'a> {
+    fn new(buffer: Option<&'a mut Trace>) -> Self {
+        let mut cap = Capture { trace: buffer };
+        if let Some(t) = cap.trace.as_mut() {
+            t.clear();
         }
+        cap
     }
 
     fn push(&mut self, time: SimTime, direction: Direction, kind: PacketKind) {
@@ -142,7 +146,28 @@ pub fn simulate_connection(
     rng: &mut SimRng,
     record_trace: bool,
 ) -> ConnectionResult {
-    let res = simulate_connection_inner(cfg, behavior, path, response_bytes, start, rng, record_trace);
+    let mut buf = record_trace.then(Vec::new);
+    let mut res =
+        simulate_connection_into(cfg, behavior, path, response_bytes, start, rng, buf.as_mut());
+    res.trace = buf;
+    res
+}
+
+/// [`simulate_connection`] with a caller-owned capture buffer, so the hot
+/// path can reuse one allocation across connections. When `capture` is
+/// `Some`, the buffer is cleared and filled with the client-side trace; the
+/// returned `trace` field is always `None`. The RNG draw sequence is
+/// identical to [`simulate_connection`].
+pub fn simulate_connection_into(
+    cfg: &TcpConfig,
+    behavior: ServerBehavior,
+    path: &PathQuality,
+    response_bytes: u64,
+    start: SimTime,
+    rng: &mut SimRng,
+    capture: Option<&mut Trace>,
+) -> ConnectionResult {
+    let res = simulate_connection_inner(cfg, behavior, path, response_bytes, start, rng, capture);
     if telemetry::enabled() {
         telemetry::counter!("tcp.connections", 1);
         telemetry::counter!("tcp.syn_retransmissions", u64::from(res.syn_retransmissions));
@@ -174,9 +199,9 @@ fn simulate_connection_inner(
     response_bytes: u64,
     start: SimTime,
     rng: &mut SimRng,
-    record_trace: bool,
+    capture: Option<&mut Trace>,
 ) -> ConnectionResult {
-    let mut cap = Capture::new(record_trace);
+    let mut cap = Capture::new(capture);
     let mut now = start;
     let rtt = |rng: &mut SimRng| path.rtt * rng.normal(0.0, cfg.jitter_sigma).exp();
 
@@ -229,7 +254,7 @@ fn simulate_connection_inner(
             duration: now - start,
             syn_retransmissions: syn_retx,
             retransmissions_sent: 0,
-            trace: cap.trace,
+            trace: None,
         };
     }
     if refused {
@@ -241,7 +266,7 @@ fn simulate_connection_inner(
             duration: now - start,
             syn_retransmissions: syn_retx,
             retransmissions_sent: 0,
-            trace: cap.trace,
+            trace: None,
         };
     }
 
@@ -281,7 +306,7 @@ fn simulate_connection_inner(
             duration: now - start,
             syn_retransmissions: syn_retx,
             retransmissions_sent: retx_sent,
-            trace: cap.trace,
+            trace: None,
         };
     }
 
@@ -303,7 +328,7 @@ fn simulate_connection_inner(
             duration: now - start,
             syn_retransmissions: syn_retx,
             retransmissions_sent: retx_sent,
-            trace: cap.trace,
+            trace: None,
         };
     }
 
@@ -376,7 +401,7 @@ fn simulate_connection_inner(
             duration: now - start,
             syn_retransmissions: syn_retx,
             retransmissions_sent: retx_sent,
-            trace: cap.trace,
+            trace: None,
         };
     }
 
@@ -390,7 +415,7 @@ fn simulate_connection_inner(
         duration: now - start,
         syn_retransmissions: syn_retx,
         retransmissions_sent: retx_sent,
-        trace: cap.trace,
+        trace: None,
     }
 }
 
@@ -525,6 +550,32 @@ mod tests {
         assert_eq!(a.duration, b.duration);
         assert_eq!(a.retransmissions_sent, b.retransmissions_sent);
         assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn into_reuses_buffer_and_matches_owned() {
+        let path = PathQuality {
+            loss: 0.03,
+            rtt: SimDuration::from_millis(80),
+        };
+        let mut buf = Vec::new();
+        for seed in 0..5 {
+            let owned = run(ServerBehavior::Healthy, path, 45_000, 900 + seed);
+            let r = simulate_connection_into(
+                &TcpConfig::default(),
+                ServerBehavior::Healthy,
+                &path,
+                45_000,
+                SimTime::from_hours(1),
+                &mut SimRng::new(900 + seed),
+                Some(&mut buf),
+            );
+            assert!(r.trace.is_none(), "borrowed capture leaves trace unset");
+            assert_eq!(r.outcome, owned.outcome);
+            assert_eq!(r.duration, owned.duration);
+            assert_eq!(r.retransmissions_sent, owned.retransmissions_sent);
+            assert_eq!(Some(&buf), owned.trace.as_ref(), "stale packets cleared");
+        }
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod packet;
 pub mod pcap;
 pub mod trace;
 
-pub use connection::{simulate_connection, ConnectionResult, PathQuality, ServerBehavior, TcpConfig};
+pub use connection::{
+    simulate_connection, simulate_connection_into, ConnectionResult, PathQuality, ServerBehavior,
+    TcpConfig,
+};
 pub use packet::{Direction, PacketKind, Trace, TracePacket};
 pub use pcap::{decode_pcap, decode_pcap_salvage, encode_pcap, PcapEndpoints, PcapError, PcapIssue};
 pub use trace::{classify_trace, count_retransmissions, TraceVerdict};

@@ -19,6 +19,7 @@ use dnswire::DomainName;
 use httpsim::{HttpRequest, HttpResponse, StatusClass};
 use model::{DnsFailureKind, SimDuration, SimTime};
 use netsim::SimRng;
+use std::net::Ipv4Addr;
 use tcpsim::{simulate_connection, TcpConfig};
 
 /// Outcome of a proxy-mediated fetch, with the time it took (the client's
@@ -43,6 +44,9 @@ pub struct ProxySession {
     rng: SimRng,
     max_redirects: u8,
     header_overhead: u64,
+    /// Reused A-record buffer (one live allocation per proxy, not one per
+    /// fetch).
+    addr_scratch: Vec<Ipv4Addr>,
 }
 
 impl ProxySession {
@@ -53,6 +57,7 @@ impl ProxySession {
             rng,
             max_redirects: 4,
             header_overhead: 500,
+            addr_scratch: Vec::new(),
         }
     }
 
@@ -72,19 +77,36 @@ impl ProxySession {
         t: SimTime,
         no_cache: bool,
     ) -> ProxyFetch {
+        let mut addrs = std::mem::take(&mut self.addr_scratch);
+        let out = self.fetch_inner(env, tree, host, t, no_cache, &mut addrs);
+        addrs.clear();
+        self.addr_scratch = addrs;
+        out
+    }
+
+    fn fetch_inner<P: AccessEnvironment>(
+        &mut self,
+        env: &P,
+        tree: &ZoneTree,
+        host: &DomainName,
+        t: SimTime,
+        no_cache: bool,
+        addrs: &mut Vec<Ipv4Addr>,
+    ) -> ProxyFetch {
         let resolver_cfg = dnssim::ResolverConfig::default();
         let resolver = StubResolver::new(tree, resolver_cfg);
         let mut now = t;
-        let mut current = host.clone();
+        let mut redirect_host: Option<DomainName> = None;
         let mut bytes_total = 0u64;
 
         for _hop in 0..=self.max_redirects {
-            let resolution = resolver.resolve(&current, env, now, &mut self.rng, &mut self.cache);
+            let current = redirect_host.as_ref().unwrap_or(host);
+            let resolution =
+                resolver.resolve_into(current, env, now, &mut self.rng, &mut self.cache, addrs);
             now += resolution.elapsed;
-            let addrs = match resolution.result {
-                Ok(a) => a,
-                Err(kind) => return ProxyFetch::DnsFailed(kind, now - t),
-            };
+            if let Err(kind) = resolution.result {
+                return ProxyFetch::DnsFailed(kind, now - t);
+            }
             // THE defining defect: first address only, no fail-over.
             let addr = addrs[0];
 
@@ -130,7 +152,7 @@ impl ProxySession {
                 StatusClass::Redirect => {
                     let next = answer.next_host.expect("redirect carries next host");
                     match next.parse::<DomainName>() {
-                        Ok(n) => current = n,
+                        Ok(n) => redirect_host = Some(n),
                         Err(_) => return ProxyFetch::HttpError(502, now - t),
                     }
                 }

@@ -10,7 +10,7 @@ use model::{
     TransactionOutcome,
 };
 use netsim::SimRng;
-use tcpsim::{classify_trace, count_retransmissions, simulate_connection, TcpConfig};
+use tcpsim::{classify_trace, count_retransmissions, simulate_connection_into, TcpConfig, Trace};
 use std::net::Ipv4Addr;
 
 /// wget-level policy knobs.
@@ -137,6 +137,13 @@ pub struct ClientSession<'t> {
     config: WgetConfig,
     cache: LdnsCache,
     rng: SimRng,
+    /// Reused A-record buffer (one live allocation per session, not one per
+    /// lookup).
+    addr_scratch: Vec<Ipv4Addr>,
+    /// Reused connection-observation buffer, reclaimed via [`Self::recycle`].
+    conn_scratch: Vec<ConnObservation>,
+    /// Reused packet-capture buffer for [`simulate_connection_into`].
+    trace_buf: Trace,
 }
 
 impl<'t> ClientSession<'t> {
@@ -148,6 +155,19 @@ impl<'t> ClientSession<'t> {
             config,
             cache: LdnsCache::new(),
             rng,
+            addr_scratch: Vec::new(),
+            conn_scratch: Vec::new(),
+            trace_buf: Trace::new(),
+        }
+    }
+
+    /// Reclaim the per-transaction buffers of a consumed observation so the
+    /// next transaction reuses them instead of allocating. Callers that keep
+    /// the observation (or its connection list) simply skip this.
+    pub fn recycle(&mut self, mut obs: TransactionObservation) {
+        obs.connections.clear();
+        if obs.connections.capacity() > self.conn_scratch.capacity() {
+            self.conn_scratch = obs.connections;
         }
     }
 
@@ -190,32 +210,42 @@ impl<'t> ClientSession<'t> {
         host: &DomainName,
         t: SimTime,
     ) -> TransactionObservation {
+        let mut addrs = std::mem::take(&mut self.addr_scratch);
+        let obs = self.run_transaction_core(env, host, t, &mut addrs);
+        addrs.clear();
+        self.addr_scratch = addrs;
+        obs
+    }
+
+    fn run_transaction_core<E: AccessEnvironment>(
+        &mut self,
+        env: &E,
+        host: &DomainName,
+        t: SimTime,
+        addrs: &mut Vec<Ipv4Addr>,
+    ) -> TransactionObservation {
         // Step 1: the client OS cache is flushed before each access; only
         // the LDNS cache (self.cache) persists.
-        let resolution = self
-            .resolver
-            .resolve(host, env, t, &mut self.rng, &mut self.cache);
+        let resolution =
+            self.resolver
+                .resolve_into(host, env, t, &mut self.rng, &mut self.cache, addrs);
         let dns_elapsed = resolution.elapsed;
-        let addrs = match resolution.result {
-            Ok(addrs) => addrs,
-            Err(kind) => {
-                let dig = self.run_dig(env, host, t + dns_elapsed);
-                return TransactionObservation::dns_failure(t, kind, dig);
-            }
-        };
+        if let Err(kind) = resolution.result {
+            let dig = self.run_dig(env, host, t + dns_elapsed);
+            return TransactionObservation::dns_failure(t, kind, dig);
+        }
 
         let mut now = t + dns_elapsed;
-        let mut connections: Vec<ConnObservation> = Vec::new();
+        let mut connections: Vec<ConnObservation> = std::mem::take(&mut self.conn_scratch);
         let mut total_visible_retx: u32 = 0;
         let mut bytes_received: u64 = 0;
-        let mut current_host = host.clone();
-        let mut last_addrs = addrs;
+        let mut redirect_host: Option<DomainName> = None;
         let mut final_replica: Option<Ipv4Addr> = None;
 
         for _hop in 0..=self.config.max_redirects {
             // What will this host's origin say? (Determines the transfer
             // size the connection must carry.)
-            let host_str = current_host.to_string();
+            let host_str = redirect_host.as_ref().unwrap_or(host).to_string();
             let request = HttpRequest::get(&host_str, "/", self.config.no_cache);
             if self.config.http_wire_fidelity {
                 let text = request.encode();
@@ -239,29 +269,31 @@ impl<'t> ClientSession<'t> {
             // address list is always attempted.
             let mut connected_result = None;
             let conn_phase_start = now;
+            let captured = self.config.record_traces;
             'retry: loop {
-                for addr in &last_addrs {
+                for addr in addrs.iter() {
                     if connections.len() as u16 >= self.config.max_connections {
                         break 'retry;
                     }
                     let behavior = env.server_behavior(*addr, now);
                     let path = env.path_quality(*addr, now);
-                    let result = simulate_connection(
+                    let result = simulate_connection_into(
                         &self.config.tcp,
                         behavior,
                         &path,
                         wire_bytes,
                         now,
                         &mut self.rng,
-                        self.config.record_traces,
+                        captured.then_some(&mut self.trace_buf),
                     );
-                    let visible_retx = result.trace.as_ref().map(|tr| count_retransmissions(tr).1);
+                    let trace = captured.then_some(&self.trace_buf);
+                    let visible_retx = trace.map(|tr| count_retransmissions(tr).1);
                     if let Some(v) = visible_retx {
                         total_visible_retx += v;
                     }
                     // Classify the way the measurement does: from the trace
                     // when available, else coarsely from wget's own view.
-                    let observed_outcome = match (&result.trace, &result.outcome) {
+                    let observed_outcome = match (trace, &result.outcome) {
                         (_, Ok(())) => Ok(()),
                         (Some(trace), Err(_)) => Err(classify_trace(trace)
                             .failure_kind()
@@ -347,14 +379,18 @@ impl<'t> ClientSession<'t> {
                         }
                     };
                     // Resolve the next hop (LDNS cache applies).
-                    let r = self
-                        .resolver
-                        .resolve(&next_name, env, now, &mut self.rng, &mut self.cache);
+                    let r = self.resolver.resolve_into(
+                        &next_name,
+                        env,
+                        now,
+                        &mut self.rng,
+                        &mut self.cache,
+                        addrs,
+                    );
                     now += r.elapsed;
                     match r.result {
-                        Ok(addrs) => {
-                            last_addrs = addrs;
-                            current_host = next_name;
+                        Ok(()) => {
+                            redirect_host = Some(next_name);
                         }
                         Err(kind) => {
                             let dig = self.run_dig(env, &next_name, now);

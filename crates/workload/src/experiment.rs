@@ -3,7 +3,11 @@
 //! Determinism contract: every client draws from its own forked RNG stream
 //! and reads only immutable shared state (zone tree, ground-truth
 //! timelines), so the dataset is bit-identical regardless of thread count or
-//! scheduling. Clients run in parallel with `std::thread::scope`.
+//! scheduling. Clients run in parallel with `std::thread::scope` under a
+//! work-stealing scheduler: workers claim client indices from a shared
+//! atomic counter, so per-client cost variance (dialup PoP cycling vs.
+//! broadband) balances across workers instead of idling behind static
+//! chunk boundaries.
 //!
 //! Fault tolerance contract: a client worker that panics (a node death from
 //! the [`crate::apparatus`] model, or a genuine bug) loses that client's
@@ -28,6 +32,8 @@ use model::{
 use netsim::{Scheduler, SimRng};
 use webclient::{ClientSession, ProxySession, WgetConfig};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Scale and fidelity knobs for one experiment run.
@@ -290,7 +296,6 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
     // plus the worker's wall time.
     type ClientData = (Vec<PerformanceRecord>, Vec<ConnectionRecord>);
     type ClientSlot = (Result<ClientData, String>, Duration);
-    let mut per_client: Vec<Option<ClientSlot>> = (0..n_clients).map(|_| None).collect();
 
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
@@ -300,48 +305,58 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         config.threads
     };
 
-    {
+    // Work-stealing scheduler: workers claim client indices from a shared
+    // atomic counter instead of walking static chunks, so a straggler client
+    // (dialup PoP cycling, heavy fault hours) never idles the other workers
+    // behind a pre-assigned boundary. Determinism is unaffected — each
+    // client's simulation runs on its own RNG stream forked by client index,
+    // and the collection loop below reads the slots in client order — so
+    // only the claim order varies between runs, never the data.
+    let per_client: Vec<Option<ClientSlot>> = {
         let truth = &truth;
         let tree = &tree;
         let fleet = &fleet;
         let host_names = &host_names;
         let root = &root;
-        let chunks: Vec<&mut [Option<ClientSlot>]> = {
-            // Split the output buffer into per-thread chunks of client slots.
-            let mut rest: &mut [Option<_>] = &mut per_client;
-            let mut out = Vec::new();
-            let per = n_clients.div_ceil(threads);
-            while !rest.is_empty() {
-                let take = per.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                out.push(head);
-                rest = tail;
-            }
-            out
-        };
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ClientSlot>>> =
+            (0..n_clients).map(|_| Mutex::new(None)).collect();
+        let workers = threads.min(n_clients).max(1);
         std::thread::scope(|scope| {
-            let mut base = 0usize;
-            for chunk in chunks {
-                let start = base;
-                base += chunk.len();
+            for _ in 0..workers {
+                let next = &next;
+                let slots = &slots;
                 scope.spawn(move || {
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        let client = start + off;
+                    let mut claimed = 0u64;
+                    loop {
+                        let client = next.fetch_add(1, Ordering::Relaxed);
+                        if client >= n_clients {
+                            break;
+                        }
+                        claimed += 1;
                         let started = Instant::now();
                         // A panicking client (apparatus node death, or a
                         // real bug) must cost exactly one client, never the
                         // run: catch it here, inside the worker loop, so
-                        // the rest of this chunk still executes.
+                        // this worker keeps claiming further clients. The
+                        // slot lock cannot be poisoned — the panic is
+                        // already caught before the lock is taken.
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || run_client(config, truth, tree, fleet, host_names, root, client),
                         ))
                         .map_err(panic_message);
-                        *slot = Some((result, started.elapsed()));
+                        *slots[client].lock().expect("client slot lock") =
+                            Some((result, started.elapsed()));
                     }
+                    telemetry::histogram!("workload.clients_per_worker", claimed);
                 });
             }
         });
-    }
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("client slot lock"))
+            .collect()
+    };
 
     drop(clients_span);
 
@@ -771,6 +786,9 @@ fn run_client(
                     dig: obs.dig,
                     proxy: spec.proxy,
                 });
+                // The observation is fully copied out; hand its buffers back
+                // for the next access.
+                session.recycle(obs);
             }
         }
         true
