@@ -9,6 +9,9 @@ cargo build --release
 echo "==> detcheck: two-thread run diffs clean against single-thread"
 cargo run --release -q -p bench-suite --bin detcheck
 
+echo "==> oracle_diff: optimized pipeline matches the naive oracle"
+cargo run --release -q -p bench-suite --bin oracle_diff
+
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 
@@ -17,6 +20,9 @@ cargo test -q --workspace
 
 echo "==> telemetry-disabled build stays deterministic"
 cargo test -q --no-default-features --test determinism
+
+echo "==> telemetry-disabled build matches the oracle"
+cargo test -q --no-default-features --test differential
 
 echo "==> examples build and run"
 cargo build --release --examples

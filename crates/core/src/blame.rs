@@ -274,6 +274,25 @@ mod tests {
     }
 
     #[test]
+    fn month_boundary_failures_never_alias_other_entities() {
+        // A connection stamped at hour == ds.hours (the instant the
+        // measurement window closes) has no grid cell. With an unchecked
+        // row-major read, client 0's hour-3 lookup in a 3-hour grid aliases
+        // client 1's hour 0 — here a genuine episode — and the failure is
+        // misattributed instead of falling into Other.
+        let mut w = SynthWorld::new(2, 2, 3);
+        w.add_conn_batch(ClientId(1), SiteId(1), 0, 20, 20);
+        w.add_failed_conn(ClientId(0), SiteId(0), 3);
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let b = table5(&a);
+        assert_eq!(b.both, 20, "client 1's episode coincides with site 1's");
+        assert_eq!(b.other, 1, "the month-boundary failure is unclassifiable");
+        assert_eq!(b.client_side, 0);
+        assert_eq!(b.server_side, 0);
+    }
+
+    #[test]
     fn coalescing_runs() {
         assert_eq!(coalesce(&[]), vec![]);
         assert_eq!(coalesce(&[3]), vec![(3, 1)]);

@@ -26,8 +26,11 @@ impl RateCdf {
         let mut points: Vec<(f64, f64)> = Vec::new();
         for (i, r) in sorted.iter().enumerate() {
             let cum = (i + 1) as f64 / n as f64;
+            // Merge only *exactly* equal rates: a tolerance-based dedup
+            // folds distinct nearby rates into one point and makes `at()`
+            // overcount the lower one.
             match points.last_mut() {
-                Some(last) if (last.0 - r).abs() < 1e-12 => last.1 = cum,
+                Some(last) if last.0 == *r => last.1 = cum,
                 _ => points.push((*r, cum)),
             }
         }
@@ -43,22 +46,27 @@ impl RateCdf {
     }
 
     /// The knee: the point of maximum vertical distance between the CDF and
-    /// the chord joining its first and last points. Returns `None` for
+    /// the chord joining the curve's start and end. Returns `None` for
     /// degenerate curves (fewer than 3 distinct rates).
+    ///
+    /// The empirical CDF rises from 0, so the curve starts at `(x0, 0)` —
+    /// the first point's own jump is part of the curve. Anchoring the chord
+    /// there keeps the knee defined when the first point already carries
+    /// most of the mass (a chord between the first and last *points* is
+    /// then degenerate in y and every point sits on or below it).
     pub fn knee(&self) -> Option<f64> {
         if self.points.len() < 3 {
             return None;
         }
-        let (x0, y0) = self.points[0];
+        let (x0, _) = self.points[0];
         let (x1, y1) = *self.points.last().expect("non-empty");
         if (x1 - x0).abs() < 1e-12 {
             return None;
         }
-        let slope = (y1 - y0) / (x1 - x0);
+        let slope = y1 / (x1 - x0);
         let mut best = (0.0f64, x0);
         for &(x, y) in &self.points {
-            let chord_y = y0 + slope * (x - x0);
-            let d = y - chord_y;
+            let d = y - slope * (x - x0);
             if d > best.0 {
                 best = (d, x);
             }
@@ -137,6 +145,45 @@ mod tests {
         assert_eq!(RateCdf::from_rates(&[]).knee(), None);
         assert_eq!(RateCdf::from_rates(&[0.1, 0.1, 0.1]).knee(), None);
         assert_eq!(RateCdf::from_rates(&[0.0, 1.0]).knee(), None);
+    }
+
+    #[test]
+    fn knee_with_mass_heavy_first_point() {
+        // 950 of 1000 entity-hours fail at exactly 0%, the rest spread over
+        // a wide abnormal range — the realistic "most hours are clean"
+        // shape. The knee is the zero point itself: the curve jumps from
+        // (0, 0) to (0, 0.95). A chord anchored at the first *point*
+        // (already at y = 0.95) is degenerate in y and leaves every point
+        // on or below it, reporting no knee at all.
+        let mut rates = vec![0.0; 950];
+        for r in [0.5, 0.6, 0.7, 0.8, 0.9] {
+            rates.extend(std::iter::repeat(r).take(10));
+        }
+        let cdf = RateCdf::from_rates(&rates);
+        assert_eq!(cdf.knee(), Some(0.0));
+    }
+
+    #[test]
+    fn near_duplicate_rates_stay_distinct() {
+        // Distinct rates 5e-13 apart (real cells can sit that close, e.g.
+        // f/a for large a differing in the last few samples) were folded
+        // into one point by the old `< 1e-12` dedup, so `at()` overcounted
+        // the lower rate.
+        let lo = 0.1;
+        let hi = 0.1 + 5e-13;
+        assert!(lo < hi, "the two rates are representable and distinct");
+        let cdf = RateCdf::from_rates(&[lo, hi]);
+        assert_eq!(cdf.points.len(), 2);
+        assert!((cdf.at(lo) - 0.5).abs() < 1e-15);
+        assert!((cdf.at(hi) - 1.0).abs() < 1e-15);
+        // Exactly equal rates still merge into one point.
+        let cdf = RateCdf::from_rates(&[0.2, 0.2, 0.3]);
+        assert_eq!(cdf.points.len(), 2);
+        // Empty input stays well-defined.
+        let empty = RateCdf::from_rates(&[]);
+        assert_eq!(empty.samples, 0);
+        assert!(empty.points.is_empty());
+        assert_eq!(empty.at(0.5), 0.0);
     }
 
     #[test]

@@ -49,8 +49,14 @@ impl HourlyGrid {
         self.hours
     }
 
-    /// Raw counters for one cell.
+    /// Raw counters for one cell. Out-of-range coordinates — e.g. the hour
+    /// of a record stamped at the instant the measurement window closes —
+    /// hold no data and read as `(0, 0)`; an unchecked row-major index
+    /// would alias the next row's early hours instead.
     pub fn cell(&self, row: usize, hour: u32) -> (u32, u32) {
+        if row >= self.rows || hour >= self.hours {
+            return (0, 0);
+        }
         let i = self.idx(row, hour);
         (self.attempts[i], self.failures[i])
     }
@@ -279,6 +285,20 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_cell_reads_are_empty() {
+        let mut g = HourlyGrid::new(2, 3);
+        g.add(1, 0, true);
+        // Row-major layout: an unchecked cell(0, 3) lands on index 3 —
+        // row 1's hour 0 — silently returning another entity's data.
+        assert_eq!(g.cell(0, 3), (0, 0));
+        assert_eq!(g.cell(1, 3), (0, 0));
+        assert_eq!(g.cell(2, 0), (0, 0));
+        assert_eq!(g.rate(0, 3, 1), None);
+        assert!(!g.is_episode(0, 3, 0.05, 1));
+        assert!(!g.is_thin(0, 3, 12));
+    }
+
+    #[test]
     fn episode_detection() {
         let mut g = HourlyGrid::new(1, 4);
         // hour 0: 20% failure; hour 1: 2%; hour 2: thin data.
@@ -372,6 +392,47 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cell(0, 0), (2, 1));
         assert_eq!(a.cell(0, 1), (1, 1));
+    }
+
+    #[test]
+    fn merge_is_associative_and_identity_preserving() {
+        // The sharded builders rely on merge being a commutative monoid
+        // over grids: any shard split (including empty shards from a
+        // degraded run) must fold to the same totals.
+        let mk = |samples: &[(usize, u32, bool)]| {
+            let mut g = HourlyGrid::new(2, 3);
+            for &(row, hour, failed) in samples {
+                g.add(row, hour, failed);
+            }
+            g
+        };
+        let a = mk(&[(0, 0, true), (1, 2, false)]);
+        let b = mk(&[(0, 0, false), (0, 1, true)]);
+        let c = mk(&[(1, 2, true), (1, 2, true)]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        for row in 0..2 {
+            for hour in 0..3 {
+                assert_eq!(ab_c.cell(row, hour), a_bc.cell(row, hour));
+            }
+        }
+
+        // Merging an empty grid (an empty shard's partial) changes nothing.
+        let mut with_empty = a.clone();
+        with_empty.merge(&HourlyGrid::new(2, 3));
+        for row in 0..2 {
+            for hour in 0..3 {
+                assert_eq!(with_empty.cell(row, hour), a.cell(row, hour));
+            }
+        }
     }
 
     #[test]

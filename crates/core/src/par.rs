@@ -113,6 +113,26 @@ mod tests {
     }
 
     #[test]
+    fn fewer_items_than_shards_degenerates_cleanly() {
+        // items < shards: every item gets its own singleton range, no
+        // range is empty, and nothing indexes past `len`.
+        for len in 1usize..6 {
+            for shards in [len + 1, len * 3, 64] {
+                let ranges = shard_ranges(len, shards);
+                assert_eq!(ranges.len(), len, "one singleton shard per item");
+                assert!(ranges.iter().all(|r| r.len() == 1));
+                assert!(ranges.iter().all(|r| r.end <= len));
+            }
+        }
+        // items == 0: no shards at all (workers are never handed an empty
+        // range, so partial-aggregate folds start from the identity).
+        assert!(shard_ranges(0, 1).is_empty());
+        assert!(shard_ranges(0, 64).is_empty());
+        // shards == 0 is treated as 1, not a division by zero.
+        assert_eq!(shard_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
     fn map_shards_matches_serial_fold() {
         let data: Vec<u64> = (0..10_000).collect();
         let serial: u64 = data.iter().sum();

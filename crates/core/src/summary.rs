@@ -228,18 +228,32 @@ pub fn server_failure_rates(ds: &Dataset) -> Vec<f64> {
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear rank (the paper
-/// reports medians and a 95th percentile).
+/// reports medians and a 95th percentile). Returns `None` for an empty
+/// sample or a NaN `q`.
 pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
-    if samples.is_empty() {
+    if samples.is_empty() || q.is_nan() {
         return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// [`quantile`] over an already-sorted (by [`f64::total_cmp`]) non-empty
+/// sample; `q` is clamped to `[0, 1]` and must not be NaN.
+///
+/// Exact rank hits return the sample itself: the two-sided interpolation
+/// `lo*(1-frac) + hi*frac` is not an identity at `frac == 0` when a sample
+/// is ±inf (`inf * 0.0` is NaN), so `q = 1.0` must short-circuit to the max.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let hi = (pos.ceil() as usize).min(sorted.len() - 1);
     let frac = pos - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    if lo == hi || frac == 0.0 {
+        return sorted[lo];
+    }
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 #[cfg(test)]
@@ -376,5 +390,41 @@ mod tests {
         assert_eq!(quantile(&v, 0.5), Some(0.5));
         assert_eq!(quantile(&v, 0.0), Some(0.0));
         assert_eq!(quantile(&v, 1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_boundaries() {
+        // q = 1.0 must return the max sample even when it is +inf; the
+        // two-sided interpolation evaluated inf * 0.0 = NaN there.
+        let v = [1.0, f64::INFINITY];
+        assert_eq!(quantile(&v, 1.0), Some(f64::INFINITY));
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        // A NaN q must not silently clamp to sample 0.
+        assert_eq!(quantile(&[1.0, 2.0], f64::NAN), None);
+        // Exact rank hits return the sample itself, bit for bit.
+        let v = [-0.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.5), Some(1.0));
+        assert_eq!(quantile(&v, 0.0).unwrap().to_bits(), (-0.0f64).to_bits());
+        // q just below a rank step stays in bounds on a large sample.
+        let big: Vec<f64> = (0..1000).map(f64::from).collect();
+        let just_below_max = quantile(&big, 1.0 - f64::EPSILON).unwrap();
+        assert!(just_below_max <= 999.0 && just_below_max > 998.0);
+        // Out-of-range q clamps.
+        assert_eq!(quantile(&big, 2.0), Some(999.0));
+        assert_eq!(quantile(&big, -1.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_call_site_inputs_are_nan_free() {
+        // The report's five quantile call sites feed client/server monthly
+        // failure rates: f/a with a > 0, so never NaN. Hold that invariant
+        // here so a future rate source can't silently push NaN through the
+        // total_cmp sort (NaN sorts last and would poison the top
+        // quantiles).
+        let ds = world();
+        for rates in [client_failure_rates(&ds), server_failure_rates(&ds)] {
+            assert!(rates.iter().all(|r| r.is_finite()), "rates are finite");
+            assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+        }
     }
 }

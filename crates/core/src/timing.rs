@@ -26,13 +26,7 @@ impl QuantilesMs {
             return QuantilesMs::default();
         }
         values.sort_by(f64::total_cmp);
-        let at = |q: f64| {
-            let pos = q * (values.len() - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
-            let frac = pos - lo as f64;
-            values[lo] * (1.0 - frac) + values[hi] * frac
-        };
+        let at = |q: f64| crate::summary::quantile_sorted(&values, q);
         QuantilesMs {
             samples: values.len(),
             mean: values.iter().sum::<f64>() / values.len() as f64,
