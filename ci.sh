@@ -12,6 +12,12 @@ cargo run --release -q -p bench-suite --bin detcheck
 echo "==> oracle_diff: optimized pipeline matches the naive oracle"
 cargo run --release -q -p bench-suite --bin oracle_diff
 
+echo "==> audit --check: flight recorder on/off is bit-identical"
+cargo run --release -q -p bench-suite --bin audit -- --check
+
+echo "==> audit: blame agreement and pair detection clear the floor"
+cargo run --release -q -p bench-suite --bin audit -- --out /tmp/BENCH_audit.json > /dev/null
+
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 

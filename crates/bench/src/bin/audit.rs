@@ -1,0 +1,236 @@
+//! Ground-truth attribution audit: score the inference pipeline against
+//! the flight recorder and gate on the agreement floor.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin audit [--scale quick|repro|paper]
+//!     [--seed N] [--threads N] [--out FILE] [--min-agreement F] [--csv FILE]
+//! cargo run --release -p bench-suite --bin audit -- --check [--seed N]
+//! ```
+//!
+//! Default mode runs the experiment with provenance recording on, runs the
+//! analysis, audits it against the recorded ground truth, prints the
+//! rendered audit, and writes `BENCH_audit.json` (the committed copy at the
+//! repo root is the regression reference). Exits non-zero if the Table 5
+//! blame agreement falls below `--min-agreement` (default 0.5) or if any
+//! injected blocked pair went undetected with precision below the same
+//! floor.
+//!
+//! `--check` instead verifies the flight recorder's zero-cost contract:
+//! the same seed with provenance on and off must produce bit-identical
+//! datasets (checked via a streaming hash of the full debug serialization)
+//! and byte-identical rendered reports. `ci.sh` runs this alongside
+//! `detcheck`.
+
+use bench_suite::Scale;
+use netprofiler::{audit::audit, Analysis, AnalysisConfig};
+use std::time::Instant;
+use workload::{run_experiment, ExperimentConfig};
+
+/// FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Hash the complete dataset contents without materializing the string.
+fn dataset_fingerprint(ds: &model::Dataset) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = Fnv::new();
+    write!(h, "{ds:?}").expect("hashing cannot fail");
+    h.finish()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = Fnv::new();
+    h.write_str(std::str::from_utf8(bytes).unwrap_or(""))
+        .expect("hashing cannot fail");
+    h.finish()
+}
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut seed = 20050101u64;
+    let mut threads: Option<usize> = None;
+    let mut out_path = std::path::PathBuf::from("BENCH_audit.json");
+    let mut csv_path: Option<std::path::PathBuf> = None;
+    let mut min_agreement = 0.5f64;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (quick|repro|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = std::path::PathBuf::from(p);
+                }
+            }
+            "--csv" => csv_path = args.next().map(std::path::PathBuf::from),
+            "--min-agreement" => {
+                min_agreement = args.next().and_then(|v| v.parse().ok()).unwrap_or(min_agreement);
+            }
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "audit [--scale quick|repro|paper] [--seed N] [--threads N] [--out FILE] \
+                     [--csv FILE] [--min-agreement F] | audit --check [--seed N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if check {
+        run_check(seed);
+        return;
+    }
+
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Reproduction => "repro",
+        Scale::Paper => "paper",
+    };
+    let mut config = scale.config(seed);
+    config.record_provenance = true;
+    if let Some(t) = threads {
+        config.threads = t;
+    }
+    eprintln!(
+        "audit run: scale {scale_name}, {} hours x {} accesses/hour, seed {seed}, \
+         flight recorder ON ...",
+        config.hours, config.iterations_per_hour
+    );
+    let t0 = Instant::now();
+    let out = run_experiment(&config);
+    let wall = t0.elapsed().as_secs_f64();
+    let log = out
+        .provenance
+        .expect("record_provenance was set; the runner must emit a sidecar");
+
+    let acfg = AnalysisConfig::default().with_threads(config.threads);
+    let analysis = Analysis::new(&out.dataset, acfg);
+    let t1 = Instant::now();
+    let audit_report = audit(&analysis, &log);
+    let audit_wall = t1.elapsed().as_secs_f64();
+
+    print!("{}", report::audit::render_audit(&audit_report));
+    eprintln!(
+        "audit: {} stamped records scored in {audit_wall:.2}s (simulation {wall:.2}s)",
+        audit_report.stamped_records
+    );
+
+    let json = report::audit::audit_json(&audit_report, scale_name, seed, config.threads);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("written to {}", out_path.display());
+    if let Some(csv_path) = csv_path {
+        if let Err(e) = std::fs::write(&csv_path, report::audit::audit_csv(&audit_report)) {
+            eprintln!("cannot write {}: {e}", csv_path.display());
+            std::process::exit(1);
+        }
+        eprintln!("written to {}", csv_path.display());
+    }
+
+    let agreement = audit_report.blame.agreement();
+    let pair_precision = audit_report.pairs.overlap.precision();
+    let pair_recall = audit_report.pairs.overlap.recall();
+    let mut failed = false;
+    if agreement < min_agreement {
+        eprintln!("AUDIT FAILED: blame agreement {agreement:.3} < floor {min_agreement}");
+        failed = true;
+    }
+    if pair_precision < min_agreement || pair_recall < min_agreement {
+        eprintln!(
+            "AUDIT FAILED: permanent-pair precision {pair_precision:.3} / recall \
+             {pair_recall:.3} below floor {min_agreement}"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "audit passed: agreement {agreement:.3}, pair precision {pair_precision:.3} / \
+         recall {pair_recall:.3} (floor {min_agreement})"
+    );
+}
+
+/// Zero-cost contract: provenance on/off must not perturb the world.
+fn run_check(seed: u64) {
+    let run = |record: bool| {
+        let mut cfg = ExperimentConfig::quick(seed);
+        cfg.hours = 12;
+        cfg.wire_fidelity = false;
+        cfg.record_provenance = record;
+        let out = run_experiment(&cfg);
+        let acfg = AnalysisConfig::default();
+        let rendered = report::render_all(&out.dataset, acfg, seed);
+        (
+            dataset_fingerprint(&out.dataset),
+            fnv1a(rendered.as_bytes()),
+            out.dataset.records.len(),
+            out.dataset.connections.len(),
+            out.provenance.is_some(),
+        )
+    };
+
+    eprintln!("audit --check: 12 h window, seed {seed}, provenance off vs on ...");
+    let off = run(false);
+    let on = run(true);
+
+    let mut failures = 0u32;
+    let mut check = |what: &str, ok: bool| {
+        if ok {
+            eprintln!("  ok: {what}");
+        } else {
+            eprintln!("  MISMATCH: {what}");
+            failures += 1;
+        }
+    };
+    check("sidecar absent when off", !off.4);
+    check("sidecar present when on", on.4);
+    check("transaction count", off.2 == on.2);
+    check("connection count", off.3 == on.3);
+    check("dataset fingerprint", off.0 == on.0);
+    check("rendered report fingerprint", off.1 == on.1);
+
+    if failures > 0 {
+        eprintln!("audit --check FAILED: {failures} mismatch(es) — the flight recorder perturbed the world");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "audit --check passed: {} transactions, dataset hash {:016x}, report hash {:016x} — \
+         identical with the flight recorder on and off",
+        off.2, off.0, off.1
+    );
+}

@@ -26,6 +26,7 @@
 //! (hourly per-entity grids, permanent-pair detection) and hands out the
 //! individual analyses.
 
+pub mod audit;
 pub mod bgp_corr;
 pub mod blame;
 pub mod config;

@@ -16,6 +16,7 @@ pub mod dataset;
 pub mod failure;
 pub mod ids;
 pub mod net;
+pub mod provenance;
 pub mod records;
 pub mod time;
 
@@ -24,5 +25,6 @@ pub use dataset::{ClientMeta, Dataset, IntegrityReport, SiteMeta};
 pub use failure::{DnsErrorCode, DnsFailureKind, FailureClass, TcpFailureKind};
 pub use ids::{ClientCategory, ClientId, PrefixId, ProxyId, SiteCategory, SiteId};
 pub use net::Ipv4Prefix;
+pub use provenance::{FaultSet, ProvenanceLog, ProvenanceRecord, TrueBlame, TruthSidecar};
 pub use records::{ConnectionRecord, DigOutcome, PerformanceRecord, TransactionOutcome};
 pub use time::{SimDuration, SimTime};

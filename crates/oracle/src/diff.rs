@@ -120,6 +120,66 @@ pub fn check_dataset_with_oracle(
     d
 }
 
+/// Diff the optimized attribution audit's confusion matrix against a
+/// fresh naive recount over the same provenance log. Only the matrix and
+/// its skip counters are compared — the overlap metrics are set algebra
+/// over already-diffed artifacts (episode hours, permanent pairs, severe
+/// instances), so a divergence there would already be reported above.
+pub fn check_audit(
+    ds: &Dataset,
+    cfg: AnalysisConfig,
+    log: &model::ProvenanceLog,
+) -> DiffReport {
+    let analysis = Analysis::new(ds, cfg);
+    let optimized = netprofiler::audit::audit(&analysis, log);
+
+    let permanent = naive::permanent_pairs(ds, &cfg);
+    let mut client_grid = naive::NaiveGrid::new(ds.clients.len(), ds.hours);
+    let mut server_grid = naive::NaiveGrid::new(ds.sites.len(), ds.hours);
+    for c in &ds.connections {
+        if permanent.contains(c.client, c.site) {
+            continue;
+        }
+        client_grid.add(c.client.0 as usize, c.hour(), c.failed());
+        server_grid.add(c.site.0 as usize, c.hour(), c.failed());
+    }
+    let oracle = naive::blame_confusion(
+        ds,
+        log,
+        &permanent,
+        &client_grid,
+        &server_grid,
+        cfg.episode_threshold,
+        cfg.min_hour_samples,
+    );
+
+    let mut d = DiffReport::default();
+    for i in 0..netprofiler::audit::CLASSES {
+        for j in 0..netprofiler::audit::CLASSES {
+            d.eq(
+                &format!(
+                    "audit.confusion[{}][{}]",
+                    netprofiler::audit::CLASS_LABELS[i],
+                    netprofiler::audit::CLASS_LABELS[j]
+                ),
+                optimized.blame.matrix[i][j],
+                oracle.matrix[i][j],
+            );
+        }
+    }
+    d.eq(
+        "audit.skipped_proxied",
+        optimized.blame.skipped_proxied,
+        oracle.skipped_proxied,
+    );
+    d.eq(
+        "audit.skipped_permanent",
+        optimized.blame.skipped_permanent,
+        oracle.skipped_permanent,
+    );
+    d
+}
+
 fn diff_pipeline(d: &mut DiffReport, full: &FullAnalysis, oracle: &OracleArtifacts) {
     // Table 3.
     d.eq("table3.len", full.table3.len(), oracle.table3.len());

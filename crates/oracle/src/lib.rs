@@ -27,5 +27,5 @@ pub mod diff;
 pub mod gen;
 pub mod naive;
 
-pub use diff::{check_dataset, check_dataset_with_oracle, DiffReport};
+pub use diff::{check_audit, check_dataset, check_dataset_with_oracle, DiffReport};
 pub use naive::{analyze, OracleArtifacts};

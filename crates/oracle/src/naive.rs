@@ -285,6 +285,58 @@ pub fn table5(
     out
 }
 
+/// The attribution-audit confusion matrix, reference computation: one pass
+/// over the records, sparse grid lookups, the same Section 4.2 reading of
+/// DNS failures the optimized audit uses (LDNS timeout → the client's own
+/// infrastructure, everything else → the authoritative side).
+pub fn blame_confusion(
+    ds: &Dataset,
+    log: &model::ProvenanceLog,
+    permanent: &NaivePermanent,
+    client_grid: &NaiveGrid,
+    server_grid: &NaiveGrid,
+    f: f64,
+    min_samples: u32,
+) -> netprofiler::audit::BlameConfusion {
+    use model::{DnsFailureKind, TrueBlame};
+    let mut out = netprofiler::audit::BlameConfusion::default();
+    for (r, stamp) in ds.records.iter().zip(&log.records) {
+        if !r.failed() {
+            continue;
+        }
+        if r.proxy.is_some() {
+            out.skipped_proxied += 1;
+            continue;
+        }
+        if permanent.contains(r.client, r.site) {
+            out.skipped_permanent += 1;
+            continue;
+        }
+        let inferred = match r.failure().expect("failed record has a class") {
+            FailureClass::Dns(DnsFailureKind::LdnsTimeout) => 0,
+            FailureClass::Dns(_) => 1,
+            FailureClass::Tcp(_) | FailureClass::Http(_) => {
+                let c = client_grid.is_episode(r.client.0 as usize, r.hour(), f, min_samples);
+                let s = server_grid.is_episode(r.site.0 as usize, r.hour(), f, min_samples);
+                match (c, s) {
+                    (true, false) => 0,
+                    (false, true) => 1,
+                    (true, true) => 2,
+                    (false, false) => 3,
+                }
+            }
+        };
+        let truth = match stamp.all().true_blame() {
+            TrueBlame::ClientSide => 0,
+            TrueBlame::ServerSide => 1,
+            TrueBlame::Both => 2,
+            TrueBlame::PairSpecific | TrueBlame::Noise => 3,
+        };
+        out.matrix[truth][inferred] += 1;
+    }
+    out
+}
+
 /// Section 4.4.5 server-side episode statistics.
 pub fn server_episode_stats(
     ds: &Dataset,

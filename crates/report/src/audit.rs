@@ -1,0 +1,251 @@
+//! Rendering of the attribution audit: inference scored against ground truth.
+//!
+//! The audit is the one report section that does *not* exist in the paper —
+//! the paper had no ground truth to compare against. It is therefore
+//! rendered standalone (never part of [`crate::render_all`], whose byte
+//! stream is the determinism fingerprint surface) and exported in three
+//! forms: an aligned text block for the terminal, a CSV of the confusion
+//! matrix for plotting, and a JSON document for the committed
+//! `BENCH_audit.json` regression reference.
+//!
+//! Long pair lists are truncated with the same caps the quarantine summary
+//! uses, so a pathological run cannot flood the report.
+
+use crate::table::{pct, TextTable};
+use netprofiler::audit::{AuditReport, CLASSES, CLASS_LABELS};
+
+/// Most missed/spurious pairs named in the rendered audit before
+/// truncation (same cap as the quarantine summary's named clients).
+pub const MAX_NAMED_PAIRS: usize = 8;
+
+fn pair_list(pairs: &[(u16, u16)]) -> String {
+    if pairs.is_empty() {
+        return "none".to_string();
+    }
+    let named: Vec<String> = pairs
+        .iter()
+        .take(MAX_NAMED_PAIRS)
+        .map(|(c, s)| format!("c{c}-s{s}"))
+        .collect();
+    let overflow = pairs.len().saturating_sub(MAX_NAMED_PAIRS);
+    if overflow > 0 {
+        format!("{} (+{overflow} more)", named.join(", "))
+    } else {
+        named.join(", ")
+    }
+}
+
+/// Render the audit as the text block the harness prints.
+pub fn render_audit(a: &AuditReport) -> String {
+    let mut out = String::new();
+
+    // Confusion matrix: rows = truth, columns = inference.
+    let mut t = TextTable::new(["true \\ inferred", "client", "server", "both", "other", "recall"])
+        .with_title("Attribution audit: Table 5 blame confusion (rows = ground truth)")
+        .right_align(&[1, 2, 3, 4, 5]);
+    for (i, label) in CLASS_LABELS.iter().enumerate() {
+        let recall = a
+            .blame
+            .class_recall(i)
+            .map(pct)
+            .unwrap_or_else(|| "-".to_string());
+        let mut cells = vec![label.to_string()];
+        cells.extend((0..CLASSES).map(|j| a.blame.matrix[i][j].to_string()));
+        cells.push(recall);
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "  agreement {} over {} scored failures ({} of {} records failed; \
+         skipped: {} proxied, {} near-permanent)\n",
+        pct(a.blame.agreement()),
+        a.blame.total(),
+        a.stamped_failures,
+        a.stamped_records,
+        a.blame.skipped_proxied,
+        a.blame.skipped_permanent,
+    ));
+
+    let mut t = TextTable::new(["metric", "truth", "inferred", "overlap", "precision", "recall"])
+        .with_title("Attribution audit: detection vs. injected faults")
+        .right_align(&[1, 2, 3, 4, 5]);
+    for (name, o) in [
+        ("permanent pairs", &a.pairs.overlap),
+        ("client episode hours", &a.client_episodes),
+        ("server episode hours", &a.server_episodes),
+        ("severe-BGP instances", &a.severe_bgp),
+    ] {
+        t.row([
+            name.to_string(),
+            o.truth.to_string(),
+            o.inferred.to_string(),
+            o.overlap.to_string(),
+            pct(o.precision()),
+            pct(o.recall()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!("  pairs missed:   {}\n", pair_list(&a.pairs.missed)));
+    out.push_str(&format!("  pairs spurious: {}\n", pair_list(&a.pairs.spurious)));
+    out
+}
+
+/// The confusion matrix and overlap metrics as CSV, plot-ready.
+pub fn audit_csv(a: &AuditReport) -> String {
+    let mut csv = crate::csv::Csv::new(["section", "name", "truth_or_row", "values"]);
+    for (i, label) in CLASS_LABELS.iter().enumerate() {
+        let row: Vec<String> = (0..CLASSES).map(|j| a.blame.matrix[i][j].to_string()).collect();
+        csv.row(["confusion".to_string(), label.to_string(), i.to_string(), row.join(";")]);
+    }
+    for (name, o) in [
+        ("permanent_pairs", &a.pairs.overlap),
+        ("client_episode_hours", &a.client_episodes),
+        ("server_episode_hours", &a.server_episodes),
+        ("severe_bgp", &a.severe_bgp),
+    ] {
+        csv.row([
+            "overlap".to_string(),
+            name.to_string(),
+            o.truth.to_string(),
+            format!("{};{};{:.4};{:.4}", o.inferred, o.overlap, o.precision(), o.recall()),
+        ]);
+    }
+    csv.finish()
+}
+
+fn json_overlap(o: &netprofiler::audit::SetOverlap) -> String {
+    format!(
+        "{{\"truth\": {}, \"inferred\": {}, \"overlap\": {}, \
+         \"precision\": {:.4}, \"recall\": {:.4}}}",
+        o.truth,
+        o.inferred,
+        o.overlap,
+        o.precision(),
+        o.recall()
+    )
+}
+
+/// The audit as a JSON document (the body of `BENCH_audit.json`).
+///
+/// `scale`, `seed` and `threads` identify the run the numbers came from;
+/// the document is hand-rolled like the other bench artifacts (no JSON
+/// dependency in the workspace).
+pub fn audit_json(a: &AuditReport, scale: &str, seed: u64, threads: usize) -> String {
+    let matrix_rows: Vec<String> = (0..CLASSES)
+        .map(|i| {
+            let cells: Vec<String> =
+                (0..CLASSES).map(|j| a.blame.matrix[i][j].to_string()).collect();
+            format!("    [{}]", cells.join(", "))
+        })
+        .collect();
+    let labels: Vec<String> = CLASS_LABELS.iter().map(|l| format!("\"{l}\"")).collect();
+    format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
+         \"stamped_records\": {},\n  \"stamped_failures\": {},\n  \
+         \"scored_failures\": {},\n  \"skipped_proxied\": {},\n  \
+         \"skipped_permanent\": {},\n  \"class_labels\": [{}],\n  \
+         \"confusion_matrix\": [\n{}\n  ],\n  \"agreement\": {:.4},\n  \
+         \"permanent_pairs\": {},\n  \"pairs_missed\": {},\n  \
+         \"pairs_spurious\": {},\n  \"client_episode_hours\": {},\n  \
+         \"server_episode_hours\": {},\n  \"severe_bgp\": {}\n}}\n",
+        a.stamped_records,
+        a.stamped_failures,
+        a.blame.total(),
+        a.blame.skipped_proxied,
+        a.blame.skipped_permanent,
+        labels.join(", "),
+        matrix_rows.join(",\n"),
+        a.blame.agreement(),
+        json_overlap(&a.pairs.overlap),
+        a.pairs.missed.len(),
+        a.pairs.spurious.len(),
+        json_overlap(&a.client_episodes),
+        json_overlap(&a.server_episodes),
+        json_overlap(&a.severe_bgp),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netprofiler::audit::{BlameConfusion, PairDetectionScore, SetOverlap};
+
+    fn sample() -> AuditReport {
+        let mut blame = BlameConfusion::default();
+        blame.matrix[0][0] = 40;
+        blame.matrix[0][3] = 10;
+        blame.matrix[1][1] = 30;
+        blame.matrix[3][3] = 20;
+        blame.skipped_proxied = 7;
+        blame.skipped_permanent = 3;
+        AuditReport {
+            stamped_records: 1_000,
+            stamped_failures: 110,
+            blame,
+            pairs: PairDetectionScore {
+                overlap: SetOverlap { truth: 38, inferred: 37, overlap: 36 },
+                missed: vec![(3, 5), (9, 1)],
+                spurious: vec![(4, 4)],
+            },
+            client_episodes: SetOverlap { truth: 50, inferred: 40, overlap: 35 },
+            server_episodes: SetOverlap { truth: 20, inferred: 25, overlap: 18 },
+            severe_bgp: SetOverlap { truth: 10, inferred: 8, overlap: 8 },
+        }
+    }
+
+    #[test]
+    fn rendered_audit_names_every_section() {
+        let text = render_audit(&sample());
+        assert!(text.contains("blame confusion"));
+        assert!(text.contains("agreement 90.0%"), "{text}");
+        assert!(text.contains("skipped: 7 proxied, 3 near-permanent"));
+        assert!(text.contains("permanent pairs"));
+        assert!(text.contains("severe-BGP instances"));
+        assert!(text.contains("pairs missed:   c3-s5, c9-s1"));
+        assert!(text.contains("pairs spurious: c4-s4"));
+    }
+
+    #[test]
+    fn recall_column_dashes_out_absent_classes() {
+        let text = render_audit(&sample());
+        // The "both" row never truly occurred in the sample.
+        let both_line = text.lines().find(|l| l.trim_start().starts_with("both")).unwrap();
+        assert!(both_line.trim_end().ends_with('-'), "{both_line}");
+    }
+
+    #[test]
+    fn long_pair_lists_truncate_with_overflow_marker() {
+        let mut a = sample();
+        a.pairs.missed = (0..20).map(|i| (i, i)).collect();
+        let text = render_audit(&a);
+        assert!(text.contains("c7-s7"));
+        assert!(!text.contains("c8-s8"), "names past the cap must be elided:\n{text}");
+        assert!(text.contains("(+12 more)"));
+    }
+
+    #[test]
+    fn empty_pair_lists_say_none() {
+        let mut a = sample();
+        a.pairs.missed.clear();
+        a.pairs.spurious.clear();
+        let text = render_audit(&a);
+        assert!(text.contains("pairs missed:   none"));
+    }
+
+    #[test]
+    fn csv_has_confusion_and_overlap_sections() {
+        let csv = audit_csv(&sample());
+        assert!(csv.starts_with("section,name,truth_or_row,values"));
+        assert!(csv.contains("confusion,client,0,40;0;0;10"));
+        assert!(csv.contains("overlap,permanent_pairs,38,"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_grep() {
+        let json = audit_json(&sample(), "quick", 42, 2);
+        assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"agreement\": 0.9000"));
+        assert!(json.contains("\"pairs_missed\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -7,8 +7,12 @@
 //! * [`render`] — one renderer per table/figure, turning `netprofiler`
 //!   results into the text the `reproduce` harness prints;
 //! * [`quarantine`] — the degraded-run loss summary (lost clients, dropped
-//!   records, salvaged bytes).
+//!   records, salvaged bytes);
+//! * [`audit`] — the attribution audit (inference vs. recorded ground
+//!   truth), rendered standalone so `render_all` stays the determinism
+//!   fingerprint surface.
 
+pub mod audit;
 pub mod csv;
 pub mod export;
 pub mod paper;

@@ -1,8 +1,9 @@
 //! The per-vantage fault/topology view a session runs against.
 
 use dnssim::DnsFaults;
+use dnswire::DomainName;
 use httpsim::Origin;
-use model::SimTime;
+use model::{FaultSet, SimTime};
 use tcpsim::{PathQuality, ServerBehavior};
 use std::net::Ipv4Addr;
 
@@ -24,6 +25,26 @@ pub trait AccessEnvironment: DnsFaults {
 
     /// HTTP behaviour of the origin serving `host`, if the host is known.
     fn origin(&self, host: &str) -> Option<&Origin>;
+
+    /// Ground-truth faults affecting *name resolution* of `host` from this
+    /// vantage at `t` — the flight recorder's DNS-phase probe.
+    ///
+    /// This is simulation-only observability: implementations must answer
+    /// from materialized fault timelines without drawing randomness or
+    /// mutating state, so stamping leaves the RNG draw order bit-identical.
+    /// The default (no faults known) keeps simple test environments working.
+    fn true_dns_faults(&self, _host: &DomainName, _t: SimTime) -> FaultSet {
+        FaultSet::EMPTY
+    }
+
+    /// Ground-truth faults affecting a *connection* toward `replica` from
+    /// this vantage at `t` — the flight recorder's connect-phase probe.
+    ///
+    /// Same contract as [`Self::true_dns_faults`]: pure timeline lookups,
+    /// no randomness.
+    fn true_faults(&self, _replica: Ipv4Addr, _t: SimTime) -> FaultSet {
+        FaultSet::EMPTY
+    }
 }
 
 /// A fully healthy, single-origin environment for tests and examples.

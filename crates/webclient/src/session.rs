@@ -6,8 +6,8 @@ use dnssim::{dig_iterative, DigResult, LdnsCache, ResolverConfig, StubResolver, 
 use dnswire::DomainName;
 use httpsim::{HttpRequest, HttpResponse, StatusClass};
 use model::{
-    DigOutcome, DnsFailureKind, FailureClass, SimDuration, SimTime, TcpFailureKind,
-    TransactionOutcome,
+    DigOutcome, DnsFailureKind, FailureClass, FaultSet, ProvenanceRecord, SimDuration, SimTime,
+    TcpFailureKind, TransactionOutcome,
 };
 use netsim::SimRng;
 use tcpsim::{classify_trace, count_retransmissions, simulate_connection_into, TcpConfig, Trace};
@@ -44,6 +44,11 @@ pub struct WgetConfig {
     pub header_overhead: u64,
     /// Round-trip HTTP heads through the text codec.
     pub http_wire_fidelity: bool,
+    /// Stamp each observation with the ground-truth faults active during it
+    /// (the fault-provenance flight recorder). Probing reads materialized
+    /// timelines only, so the RNG draw order — and therefore the dataset —
+    /// is bit-identical whether this is on or off.
+    pub record_provenance: bool,
 }
 
 impl Default for WgetConfig {
@@ -59,6 +64,7 @@ impl Default for WgetConfig {
             dig_on_failure_only: true,
             header_overhead: 500,
             http_wire_fidelity: true,
+            record_provenance: false,
         }
     }
 }
@@ -87,6 +93,9 @@ pub struct TransactionObservation {
     pub connections: Vec<ConnObservation>,
     pub retransmissions: Option<u32>,
     pub dig: DigOutcome,
+    /// Ground-truth fault stamp; `Some` only when
+    /// [`WgetConfig::record_provenance`] is set.
+    pub provenance: Option<ProvenanceRecord>,
 }
 
 impl TransactionObservation {
@@ -101,6 +110,7 @@ impl TransactionObservation {
             connections: Vec::new(),
             retransmissions: None,
             dig,
+            provenance: None,
         }
     }
 }
@@ -224,6 +234,17 @@ impl<'t> ClientSession<'t> {
         t: SimTime,
         addrs: &mut Vec<Ipv4Addr>,
     ) -> TransactionObservation {
+        // Flight recorder: probe the ground-truth fault timelines as each
+        // phase runs. Probes are pure lookups (no RNG), so they cannot
+        // perturb the simulation; when recording is off they are skipped
+        // entirely and every stamp below stays `None`.
+        let recording = self.config.record_provenance;
+        let mut dns_truth = FaultSet::EMPTY;
+        let mut connect_truth = FaultSet::EMPTY;
+        if recording {
+            dns_truth = env.true_dns_faults(host, t);
+        }
+
         // Step 1: the client OS cache is flushed before each access; only
         // the LDNS cache (self.cache) persists.
         let resolution =
@@ -232,7 +253,12 @@ impl<'t> ClientSession<'t> {
         let dns_elapsed = resolution.elapsed;
         if let Err(kind) = resolution.result {
             let dig = self.run_dig(env, host, t + dns_elapsed);
-            return TransactionObservation::dns_failure(t, kind, dig);
+            let mut obs = TransactionObservation::dns_failure(t, kind, dig);
+            obs.provenance = recording.then_some(ProvenanceRecord {
+                dns: dns_truth,
+                connect: FaultSet::EMPTY,
+            });
+            return obs;
         }
 
         let mut now = t + dns_elapsed;
@@ -276,6 +302,9 @@ impl<'t> ClientSession<'t> {
                         break 'retry;
                     }
                     let behavior = env.server_behavior(*addr, now);
+                    if recording {
+                        connect_truth |= env.true_faults(*addr, now);
+                    }
                     let path = env.path_quality(*addr, now);
                     let result = simulate_connection_into(
                         &self.config.tcp,
@@ -348,6 +377,10 @@ impl<'t> ClientSession<'t> {
                     connections,
                     retransmissions: self.config.record_traces.then_some(total_visible_retx),
                     dig: DigOutcome::NotRun,
+                    provenance: recording.then_some(ProvenanceRecord {
+                        dns: dns_truth,
+                        connect: connect_truth,
+                    }),
                 };
             };
             final_replica = Some(addr);
@@ -368,6 +401,10 @@ impl<'t> ClientSession<'t> {
                         } else {
                             self.run_dig(env, host, now)
                         },
+                        provenance: recording.then_some(ProvenanceRecord {
+                            dns: dns_truth,
+                            connect: connect_truth,
+                        }),
                     };
                 }
                 StatusClass::Redirect => {
@@ -375,9 +412,16 @@ impl<'t> ClientSession<'t> {
                     let next_name: DomainName = match next.parse() {
                         Ok(n) => n,
                         Err(_) => {
-                            return self.http_failure(t, dns_elapsed, 502, final_replica, now, bytes_received, connections, total_visible_retx)
+                            let prov = recording.then_some(ProvenanceRecord {
+                                dns: dns_truth,
+                                connect: connect_truth,
+                            });
+                            return self.http_failure(t, dns_elapsed, 502, final_replica, now, bytes_received, connections, total_visible_retx, prov)
                         }
                     };
+                    if recording {
+                        dns_truth |= env.true_dns_faults(&next_name, now);
+                    }
                     // Resolve the next hop (LDNS cache applies).
                     let r = self.resolver.resolve_into(
                         &next_name,
@@ -406,11 +450,19 @@ impl<'t> ClientSession<'t> {
                             obs.bytes_received = bytes_received;
                             obs.retransmissions =
                                 self.config.record_traces.then_some(total_visible_retx);
+                            obs.provenance = recording.then_some(ProvenanceRecord {
+                                dns: dns_truth,
+                                connect: connect_truth,
+                            });
                             return obs;
                         }
                     }
                 }
                 _ => {
+                    let prov = recording.then_some(ProvenanceRecord {
+                        dns: dns_truth,
+                        connect: connect_truth,
+                    });
                     return self.http_failure(
                         t,
                         dns_elapsed,
@@ -420,12 +472,17 @@ impl<'t> ClientSession<'t> {
                         bytes_received,
                         connections,
                         total_visible_retx,
+                        prov,
                     );
                 }
             }
         }
         // Redirect limit exceeded: wget reports an error; classify as HTTP.
-        self.http_failure(t, dns_elapsed, 310, final_replica, now, bytes_received, connections, total_visible_retx)
+        let prov = recording.then_some(ProvenanceRecord {
+            dns: dns_truth,
+            connect: connect_truth,
+        });
+        self.http_failure(t, dns_elapsed, 310, final_replica, now, bytes_received, connections, total_visible_retx, prov)
     }
 
     /// Run one transaction through a corporate caching proxy.
@@ -444,6 +501,7 @@ impl<'t> ClientSession<'t> {
         E: AccessEnvironment,
         P: AccessEnvironment,
     {
+        let recording = self.config.record_provenance;
         // The client must reach its proxy over the corporate LAN/WAN.
         if !env.client_link_up(t) {
             let obs = TransactionObservation {
@@ -458,6 +516,10 @@ impl<'t> ClientSession<'t> {
                 connections: Vec::new(),
                 retransmissions: None,
                 dig: DigOutcome::NotRun,
+                provenance: recording.then_some(ProvenanceRecord {
+                    dns: env.true_dns_faults(host, t),
+                    connect: FaultSet::EMPTY,
+                }),
             };
             record_transaction_outcome(&obs);
             return obs;
@@ -504,6 +566,16 @@ impl<'t> ClientSession<'t> {
             connections: Vec::new(),
             retransmissions: None,
             dig: DigOutcome::NotRun,
+            // Vantage-level stamp only: the proxy hides which replica it
+            // tried, so the connect phase cannot be attributed to a specific
+            // address — clients behind one proxy share the proxy-vantage
+            // cause, which is exactly the Section 4.7 shared-fate effect the
+            // audit measures.
+            provenance: recording.then_some(ProvenanceRecord {
+                dns: env.true_dns_faults(host, t)
+                    | proxy_env.true_dns_faults(host, t + local_rtt),
+                connect: FaultSet::EMPTY,
+            }),
         };
         record_transaction_outcome(&obs);
         obs
@@ -520,6 +592,7 @@ impl<'t> ClientSession<'t> {
         bytes_received: u64,
         connections: Vec<ConnObservation>,
         total_visible_retx: u32,
+        provenance: Option<ProvenanceRecord>,
     ) -> TransactionObservation {
         TransactionObservation {
             start: t,
@@ -531,6 +604,7 @@ impl<'t> ClientSession<'t> {
             connections,
             retransmissions: self.config.record_traces.then_some(total_visible_retx),
             dig: DigOutcome::NotRun,
+            provenance,
         }
     }
 

@@ -27,7 +27,7 @@ use dnssim::ZoneTree;
 use dnswire::DomainName;
 use model::{
     ClientId, ClientMeta, Dataset, ConnectionRecord, Ipv4Prefix, PerformanceRecord, PrefixId,
-    SimDuration, SimTime, SiteId, SiteMeta,
+    ProvenanceLog, ProvenanceRecord, SimDuration, SimTime, SiteId, SiteMeta,
 };
 use netsim::{Scheduler, SimRng};
 use webclient::{ClientSession, ProxySession, WgetConfig};
@@ -59,6 +59,11 @@ pub struct ExperimentConfig {
     /// loss, feed corruption). [`ApparatusFaults::none`] leaves the run
     /// bit-for-bit identical to the healthy configuration.
     pub apparatus: ApparatusFaults,
+    /// Run the fault-provenance flight recorder: stamp every transaction
+    /// with the ground-truth faults active during it and export the
+    /// [`ProvenanceLog`] sidecar. The dataset itself is bit-identical on or
+    /// off — stamping reads materialized timelines only, never the RNG.
+    pub record_provenance: bool,
 }
 
 impl ExperimentConfig {
@@ -74,6 +79,7 @@ impl ExperimentConfig {
             threads: 0,
             fault_scale: 1.0,
             apparatus: ApparatusFaults::none(),
+            record_provenance: false,
         }
     }
 
@@ -99,6 +105,7 @@ impl ExperimentConfig {
             threads: 0,
             fault_scale: 1.0,
             apparatus: ApparatusFaults::none(),
+            record_provenance: false,
         }
     }
 
@@ -117,6 +124,10 @@ pub struct ExperimentOutput {
     pub fleet: FleetSpec,
     pub sites: Vec<SiteSpec>,
     pub report: RunReport,
+    /// The flight recorder's sidecar (`Some` only when
+    /// [`ExperimentConfig::record_provenance`] was set): one stamp per
+    /// dataset record, parallel by index, plus the run's answer key.
+    pub provenance: Option<ProvenanceLog>,
 }
 
 /// What happened to one client's worker.
@@ -294,7 +305,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
     // One slot per client: `None` if the worker never reported (it died
     // before writing), otherwise the client's output or its panic message,
     // plus the worker's wall time.
-    type ClientData = (Vec<PerformanceRecord>, Vec<ConnectionRecord>);
+    type ClientData = (
+        Vec<PerformanceRecord>,
+        Vec<ConnectionRecord>,
+        Vec<ProvenanceRecord>,
+    );
     type ClientSlot = (Result<ClientData, String>, Duration);
 
     let threads = if config.threads == 0 {
@@ -364,6 +379,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
     let _collect_span = telemetry::span!("workload.collect");
     let mut records = Vec::new();
     let mut connections = Vec::new();
+    let mut provenance_records = Vec::new();
     let mut report = RunReport {
         mrt_records_kept,
         mrt_issues,
@@ -389,18 +405,29 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                 telemetry::counter!("workload.clients_lost", 1);
                 (ClientOutcome::Lost { error }, wall)
             }
-            Some((Ok((mut r, mut c)), wall)) => {
+            Some((Ok((mut r, mut c, mut p)), wall)) => {
                 let mut dropped = 0usize;
                 if drop_prob > 0.0 {
                     // Collection loss draws from a per-client fork of the
                     // root stream, so the surviving set is identical across
-                    // thread counts.
+                    // thread counts. The keep mask is materialized first —
+                    // one draw per record, in record order, whether or not
+                    // the provenance sidecar rides along — and then applied
+                    // to records and stamps alike, keeping the sidecar
+                    // parallel-by-index to the surviving records.
                     let mut rng = config.apparatus.drop_stream(&root, i);
+                    let keep_mask: Vec<bool> =
+                        r.iter().map(|_| rng.f64() >= drop_prob).collect();
+                    let mut k = keep_mask.iter().copied();
                     r.retain(|_| {
-                        let keep = rng.f64() >= drop_prob;
+                        let keep = k.next().expect("mask covers records");
                         dropped += usize::from(!keep);
                         keep
                     });
+                    if !p.is_empty() {
+                        let mut k = keep_mask.iter().copied();
+                        p.retain(|_| k.next().expect("mask covers stamps"));
+                    }
                 }
                 report.records_dropped += dropped as u64;
                 telemetry::counter!("workload.records_dropped", dropped as u64);
@@ -411,6 +438,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                 };
                 records.append(&mut r);
                 connections.append(&mut c);
+                provenance_records.append(&mut p);
                 (outcome, wall)
             }
         };
@@ -471,6 +499,22 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         prefixes,
         bgp,
     };
+    let provenance = config.record_provenance.then(|| {
+        let _span = telemetry::span!("workload.provenance_sidecar");
+        debug_assert_eq!(
+            provenance_records.len(),
+            dataset.records.len(),
+            "sidecar must stay parallel to the dataset"
+        );
+        telemetry::counter!(
+            "workload.provenance_stamps",
+            provenance_records.len() as u64
+        );
+        ProvenanceLog {
+            records: provenance_records,
+            truth: truth.truth_sidecar(&sites),
+        }
+    });
     if telemetry::enabled() {
         telemetry::counter!("workload.mrt_records_kept", report.mrt_records_kept);
         telemetry::counter!("workload.mrt_records_quarantined", report.mrt_issues);
@@ -483,6 +527,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         fleet,
         sites,
         report,
+        provenance,
     }
 }
 
@@ -662,7 +707,11 @@ fn run_client(
     host_names: &[DomainName],
     root: &SimRng,
     client: usize,
-) -> (Vec<PerformanceRecord>, Vec<ConnectionRecord>) {
+) -> (
+    Vec<PerformanceRecord>,
+    Vec<ConnectionRecord>,
+    Vec<ProvenanceRecord>,
+) {
     let spec = &fleet.clients[client];
     let mut rng = root.fork(0x90_0000 + client as u64);
     // Apparatus node death: the worker genuinely panics at the drawn
@@ -677,6 +726,7 @@ fn run_client(
     let mut wget = WgetConfig {
         record_traces,
         no_cache: spec.proxy.is_some(),
+        record_provenance: config.record_provenance,
         ..WgetConfig::default()
     };
     wget.resolver.wire_fidelity = config.wire_fidelity;
@@ -703,6 +753,7 @@ fn run_client(
 
     let mut records = Vec::new();
     let mut connections = Vec::new();
+    let mut provenance = Vec::new();
     let mut order: Vec<usize> = (0..n_sites).collect();
 
     let mut month_span = telemetry::span!("workload.client_month")
@@ -786,6 +837,11 @@ fn run_client(
                     dig: obs.dig,
                     proxy: spec.proxy,
                 });
+                if config.record_provenance {
+                    // One stamp per record, same order — the sidecar stays
+                    // parallel-by-index through in-order collection.
+                    provenance.push(obs.provenance.unwrap_or_default());
+                }
                 // The observation is fully copied out; hand its buffers back
                 // for the next access.
                 session.recycle(obs);
@@ -796,7 +852,7 @@ fn run_client(
     // Scheduler drop flushes this client's engine counters (events
     // dispatched, peak queue depth) into the global recorder.
     drop(sched);
-    (records, connections)
+    (records, connections, provenance)
 }
 
 #[cfg(test)]
@@ -814,6 +870,7 @@ mod tests {
             threads: 0,
             fault_scale: 1.0,
             apparatus: ApparatusFaults::none(),
+            record_provenance: false,
         }
     }
 

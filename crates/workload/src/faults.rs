@@ -562,6 +562,80 @@ impl GroundTruth {
     pub fn machine_down(&self, client: usize, t: SimTime) -> bool {
         *self.down[client].at(t)
     }
+
+    /// Export the attribution audit's answer key: the injected blocked
+    /// pairs, per-entity *fault hours* (hours mostly covered by a structural
+    /// fault, the hour-granularity view the episode inferences work at), and
+    /// the severe-BGP event list.
+    ///
+    /// Derived entirely from the materialized timelines — no randomness, so
+    /// the sidecar is identical across runs of the same seed.
+    pub fn truth_sidecar(&self, sites: &[SiteSpec]) -> model::TruthSidecar {
+        let clients = self.link.len();
+        let mut client_fault_hours = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let mut hours = covered_hours(&self.link[c], self.hours, 0.5);
+            hours.extend(covered_hours(&self.ldns[c], self.hours, 0.5));
+            hours.extend(covered_hours(&self.wan[c], self.hours, 0.5));
+            hours.sort_unstable();
+            hours.dedup();
+            client_fault_hours.push(hours);
+        }
+
+        // Per site: degradation episodes of its replica groups, hard replica
+        // outages, and authoritative-DNS faults of its zone.
+        let mut site_groups: Vec<HashSet<u32>> = vec![HashSet::new(); sites.len()];
+        let mut site_addrs: Vec<Vec<Ipv4Addr>> = vec![Vec::new(); sites.len()];
+        for (addr, &si) in &self.site_of_addr {
+            if let Some(&gid) = self.replica_group_of.get(addr) {
+                site_groups[si as usize].insert(gid);
+            }
+            site_addrs[si as usize].push(*addr);
+        }
+        let mut site_fault_hours = Vec::with_capacity(sites.len());
+        for (si, spec) in sites.iter().enumerate() {
+            let mut hours: Vec<u32> = Vec::new();
+            for &gid in &site_groups[si] {
+                hours.extend(covered_hours(
+                    &self.replica_group_fault[gid as usize],
+                    self.hours,
+                    0.5,
+                ));
+            }
+            for addr in &site_addrs[si] {
+                if let Some(tl) = self.replica_hard_down.get(addr) {
+                    hours.extend(covered_hours(tl, self.hours, 0.5));
+                }
+            }
+            if let Ok(host) = spec.hostname.parse::<DomainName>() {
+                let apex = dnssim::zones::registrable_domain(&host);
+                if let Some(tl) = self.zone_auth_down.get(&apex) {
+                    hours.extend(covered_hours(tl, self.hours, 0.5));
+                }
+                if let Some((tl, _)) = self.zone_error.get(&apex) {
+                    hours.extend(covered_hours(tl, self.hours, 0.5));
+                }
+            }
+            hours.sort_unstable();
+            hours.dedup();
+            site_fault_hours.push(hours);
+        }
+
+        let mut blocked_pairs: Vec<(u16, u16)> = self.blocked.iter().copied().collect();
+        blocked_pairs.sort_unstable();
+
+        model::TruthSidecar {
+            hours: self.hours,
+            blocked_pairs,
+            client_fault_hours,
+            site_fault_hours,
+            severe_bgp: self
+                .severe_bgp
+                .iter()
+                .map(|e| (e.prefix_index, e.hour))
+                .collect(),
+        }
+    }
 }
 
 /// The canonical content host behind a redirecting listed hostname.

@@ -11,7 +11,7 @@ use crate::faults::GroundTruth;
 use dnssim::DnsFaults;
 use dnswire::DomainName;
 use httpsim::Origin;
-use model::{DnsErrorCode, SimDuration, SimTime};
+use model::{DnsErrorCode, FaultSet, SimDuration, SimTime};
 use netsim::rng::splitmix64;
 use tcpsim::{PathQuality, ServerBehavior};
 use webclient::AccessEnvironment;
@@ -69,6 +69,43 @@ fn episode_behavior(u: f64, index_bytes: u64, stall_u: f64) -> ServerBehavior {
         }
     }
     ServerBehavior::Unreachable
+}
+
+/// Ground-truth zone-level DNS fault bits for `host` at `t` (flight
+/// recorder). Pure timeline lookups — shared by both vantage kinds.
+fn zone_truth(gt: &GroundTruth, host: &DomainName, t: SimTime) -> FaultSet {
+    let apex = dnssim::zones::registrable_domain(host);
+    let mut s = FaultSet::EMPTY;
+    if let Some(tl) = gt.zone_auth_down.get(&apex) {
+        if *tl.at(t) {
+            s |= FaultSet::AUTH_DNS_DOWN;
+        }
+    }
+    if let Some((tl, _)) = gt.zone_error.get(&apex) {
+        if *tl.at(t) {
+            s |= FaultSet::ZONE_ERROR;
+        }
+    }
+    s
+}
+
+/// Ground-truth server-side fault bits toward `replica` at `t` (flight
+/// recorder): hard replica outages and degradation episodes. The episode
+/// bit means the fault *condition* was active — whether a particular access
+/// failed under it is still the coherent-bucket draw's business.
+fn server_truth(gt: &GroundTruth, replica: Ipv4Addr, t: SimTime) -> FaultSet {
+    let mut s = FaultSet::EMPTY;
+    if let Some(tl) = gt.replica_hard_down.get(&replica) {
+        if *tl.at(t) {
+            s |= FaultSet::REPLICA_DOWN;
+        }
+    }
+    if let Some(&gid) = gt.replica_group_of.get(&replica) {
+        if *gt.replica_group_fault[gid as usize].at(t) {
+            s |= FaultSet::SERVER_DEGRADED;
+        }
+    }
+    s
 }
 
 /// One measurement client's view of the world.
@@ -232,6 +269,41 @@ impl AccessEnvironment for ClientView<'_> {
     fn origin(&self, host: &str) -> Option<&Origin> {
         self.gt.origins.get(host)
     }
+
+    fn true_dns_faults(&self, host: &DomainName, t: SimTime) -> FaultSet {
+        let c = self.client as usize;
+        let mut s = zone_truth(self.gt, host, t);
+        if *self.gt.link[c].at(t) {
+            s |= FaultSet::LAST_MILE;
+        }
+        if *self.gt.ldns[c].at(t) {
+            s |= FaultSet::LDNS_DOWN;
+        }
+        if *self.gt.wan[c].at(t) {
+            s |= FaultSet::WAN;
+        }
+        s
+    }
+
+    fn true_faults(&self, replica: Ipv4Addr, t: SimTime) -> FaultSet {
+        let c = self.client as usize;
+        let mut s = server_truth(self.gt, replica, t);
+        if *self.gt.link[c].at(t) {
+            s |= FaultSet::LAST_MILE;
+        }
+        if *self.gt.wan[c].at(t) {
+            s |= FaultSet::WAN;
+        }
+        if let Some(&site) = self.gt.site_of_addr.get(&replica) {
+            if self.gt.blocked.contains(&(self.client, site)) {
+                s |= FaultSet::BLOCKED_PAIR;
+            }
+            if self.gt.degraded_pairs.contains_key(&(self.client, site)) {
+                s |= FaultSet::DEGRADED_PAIR;
+            }
+        }
+        s
+    }
 }
 
 /// A corporate proxy's wide-area vantage.
@@ -308,6 +380,22 @@ impl AccessEnvironment for ProxyView<'_> {
 
     fn origin(&self, host: &str) -> Option<&Origin> {
         self.gt.origins.get(host)
+    }
+
+    fn true_dns_faults(&self, host: &DomainName, t: SimTime) -> FaultSet {
+        let p = self.proxy as usize;
+        let mut s = zone_truth(self.gt, host, t);
+        if *self.gt.proxy_link[p].at(t) {
+            s |= FaultSet::PROXY_LINK;
+        }
+        if *self.gt.proxy_ldns[p].at(t) {
+            s |= FaultSet::PROXY_LDNS;
+        }
+        s
+    }
+
+    fn true_faults(&self, replica: Ipv4Addr, t: SimTime) -> FaultSet {
+        server_truth(self.gt, replica, t)
     }
 }
 

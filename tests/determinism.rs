@@ -106,6 +106,33 @@ fn telemetry_recording_does_not_change_results() {
 }
 
 #[test]
+fn provenance_recording_does_not_change_results() {
+    // The flight recorder is pure observation: stamping every transaction
+    // with its ground-truth fault set must not consume a single RNG draw or
+    // reorder a single event. Same seed, recorder on vs off → bit-identical
+    // dataset. (ci.sh additionally holds this via `audit --check`, which
+    // hashes the full dataset debug serialization.)
+    let run_prov = |record: bool, threads: usize| {
+        let mut cfg = ExperimentConfig::quick(31337);
+        cfg.hours = 8;
+        cfg.threads = threads;
+        cfg.record_provenance = record;
+        run_experiment(&cfg)
+    };
+    let off = run_prov(false, 0);
+    let on = run_prov(true, 0);
+    assert_eq!(fingerprint(&off.dataset), fingerprint(&on.dataset));
+    assert!(off.provenance.is_none(), "no sidecar unless asked");
+    let log = on.provenance.expect("sidecar when asked");
+    assert_eq!(log.records.len(), on.dataset.records.len());
+
+    // The sidecar itself is thread-invariant, like everything else.
+    let on2 = run_prov(true, 5);
+    assert_eq!(fingerprint(&on.dataset), fingerprint(&on2.dataset));
+    assert_eq!(Some(&log), on2.provenance.as_ref());
+}
+
+#[test]
 fn full_pipeline_and_report_are_thread_invariant() {
     use netprofiler::{pipeline, AnalysisConfig};
     let base_ds = run(9090, 1);

@@ -91,6 +91,28 @@ fn all_failure_world_matches_oracle() {
 }
 
 #[test]
+fn audit_confusion_matches_oracle() {
+    // The optimized (sharded) audit confusion matrix must match the naive
+    // one-pass recount at every thread count.
+    let mut cfg = ExperimentConfig::quick(20050101);
+    cfg.hours = 8;
+    cfg.wire_fidelity = false;
+    cfg.record_provenance = true;
+    let out = run_experiment(&cfg);
+    let log = out.provenance.expect("provenance requested");
+    assert!(!out.dataset.records.is_empty());
+    for threads in THREADS {
+        let acfg = AnalysisConfig::default().with_threads(threads);
+        let report = oracle::check_audit(&out.dataset, acfg, &log);
+        assert!(
+            report.is_clean(),
+            "audit @ {threads} thread(s):\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
 fn differ_detects_divergence() {
     // The harness itself must be falsifiable: against a corrupted oracle
     // the checker has to report, not rubber-stamp.

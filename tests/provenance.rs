@@ -1,0 +1,200 @@
+//! Flight-recorder guarantees: the provenance sidecar is parallel to the
+//! dataset, stamps track fault boundaries exactly (including faults that
+//! start or end mid-hour), overlapping faults union their flags, proxied
+//! clients share one true cause, and the audit scored against the sidecar
+//! clears the agreement floor.
+
+use model::{FaultSet, SimTime, TrueBlame};
+use netsim::Timeline;
+use webclient::AccessEnvironment;
+use workload::{build_fleet, build_sites, run_experiment, ExperimentConfig, GroundTruth};
+use workload::{ClientView, ProxyView};
+
+fn t(hours: f64) -> SimTime {
+    SimTime::from_micros((hours * 3_600.0 * 1_000_000.0) as u64)
+}
+
+fn small_world(hours: u32) -> (workload::FleetSpec, Vec<workload::SiteSpec>, GroundTruth) {
+    let fleet = build_fleet();
+    let sites = build_sites();
+    let gt = GroundTruth::materialize(&fleet, &sites, hours, 7);
+    (fleet, sites, gt)
+}
+
+#[test]
+fn stamps_follow_a_fault_that_starts_and_ends_mid_hour() {
+    let (_, sites, mut gt) = small_world(6);
+    // Last-mile outage for client 0 from 1h24m to 2h12m: covers 0.6 of
+    // hour 1 (stamped as a fault hour at the 0.5-coverage rule) and 0.2 of
+    // hour 2 (not a fault hour) — but the *stamp* tracks the instant, not
+    // the hour.
+    gt.link[0] = Timeline::from_changes(false, [(t(1.4), true), (t(2.2), false)]);
+    let view = ClientView::new(&gt, 0);
+    let host: dnswire::DomainName = sites[0].hostname.parse().expect("valid hostname");
+
+    assert!(
+        !view.true_dns_faults(&host, t(1.39)).contains(FaultSet::LAST_MILE),
+        "before onset the stamp must be clean"
+    );
+    for probe in [1.4, 1.5, 1.99, 2.0, 2.19] {
+        assert!(
+            view.true_dns_faults(&host, t(probe)).contains(FaultSet::LAST_MILE),
+            "at {probe}h the outage is active"
+        );
+        let replica = workload::sites::site_addresses(0, sites[0].layout)[0];
+        assert!(
+            view.true_faults(replica, t(probe)).contains(FaultSet::LAST_MILE),
+            "the connect-phase stamp sees the same outage at {probe}h"
+        );
+    }
+    assert!(
+        !view.true_dns_faults(&host, t(2.21)).contains(FaultSet::LAST_MILE),
+        "after recovery the stamp must be clean again"
+    );
+
+    // The answer key applies the half-hour coverage rule.
+    let sidecar = gt.truth_sidecar(&sites);
+    assert!(sidecar.client_fault_hours[0].contains(&1), "hour 1 is 60% covered");
+    assert!(!sidecar.client_fault_hours[0].contains(&2), "hour 2 is only 20% covered");
+}
+
+#[test]
+fn overlapping_faults_union_their_flags() {
+    let (_, sites, mut gt) = small_world(6);
+    // Last-mile outage 1h–3h overlapping an LDNS outage 2h–4h, with a WAN
+    // outage inside the overlap.
+    gt.link[0] = Timeline::from_changes(false, [(t(1.0), true), (t(3.0), false)]);
+    gt.ldns[0] = Timeline::from_changes(false, [(t(2.0), true), (t(4.0), false)]);
+    gt.wan[0] = Timeline::from_changes(false, [(t(2.25), true), (t(2.75), false)]);
+    let view = ClientView::new(&gt, 0);
+    let host: dnswire::DomainName = sites[0].hostname.parse().expect("valid hostname");
+
+    let only_link = view.true_dns_faults(&host, t(1.5));
+    assert!(only_link.contains(FaultSet::LAST_MILE) && !only_link.contains(FaultSet::LDNS_DOWN));
+
+    let both = view.true_dns_faults(&host, t(2.1));
+    assert!(both.contains(FaultSet::LAST_MILE) && both.contains(FaultSet::LDNS_DOWN));
+
+    let all_three = view.true_dns_faults(&host, t(2.5));
+    assert!(all_three.contains(FaultSet::LAST_MILE | FaultSet::LDNS_DOWN | FaultSet::WAN));
+    assert_eq!(all_three.true_blame(), TrueBlame::ClientSide);
+
+    let only_ldns = view.true_dns_faults(&host, t(3.5));
+    assert!(!only_ldns.contains(FaultSet::LAST_MILE) && only_ldns.contains(FaultSet::LDNS_DOWN));
+
+    // The answer key records hours 1–3 as fault hours (each is majority-
+    // covered by at least one of the overlapping outages).
+    let sidecar = gt.truth_sidecar(&sites);
+    for h in 1..=3u32 {
+        assert!(sidecar.client_fault_hours[0].contains(&h), "hour {h}");
+    }
+    assert!(!sidecar.client_fault_hours[0].contains(&4));
+}
+
+#[test]
+fn proxied_clients_share_one_true_cause() {
+    let (fleet, sites, mut gt) = small_world(6);
+    // Proxy 0's upstream link goes down 1h–2h. Every client behind that
+    // proxy must see the same PROXY_LINK stamp — one true cause, shared.
+    gt.proxy_link[0] = Timeline::from_changes(false, [(t(1.0), true), (t(2.0), false)]);
+    let host: dnswire::DomainName = sites[0].hostname.parse().expect("valid hostname");
+    let proxy_view = ProxyView::new(&gt, 0);
+
+    let during = proxy_view.true_dns_faults(&host, t(1.5));
+    assert!(during.contains(FaultSet::PROXY_LINK));
+    assert_eq!(during.true_blame(), TrueBlame::ClientSide);
+    assert!(!proxy_view.true_dns_faults(&host, t(0.5)).contains(FaultSet::PROXY_LINK));
+
+    // The proxy-level stamp is identical regardless of which client sits
+    // behind it, and the clients' own last-mile stamps stay independent.
+    let behind: Vec<u16> = fleet
+        .clients
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.proxy.map(|p| p.0) == Some(0))
+        .map(|(i, _)| i as u16)
+        .collect();
+    assert!(behind.len() >= 1, "fleet has clients behind proxy 0");
+    for &c in &behind {
+        let own = ClientView::new(&gt, c).true_dns_faults(&host, t(1.5));
+        assert!(
+            !own.contains(FaultSet::PROXY_LINK),
+            "client-vantage stamps never carry proxy flags"
+        );
+    }
+}
+
+#[test]
+fn sidecar_is_parallel_and_vantage_consistent() {
+    let mut cfg = ExperimentConfig::quick(20050101);
+    cfg.hours = 8;
+    cfg.wire_fidelity = false;
+    cfg.record_provenance = true;
+    let out = run_experiment(&cfg);
+    let log = out.provenance.expect("provenance requested");
+    assert_eq!(log.records.len(), out.dataset.records.len());
+    assert_eq!(log.truth.hours, out.dataset.hours);
+    assert_eq!(log.truth.client_fault_hours.len(), out.dataset.clients.len());
+    assert_eq!(log.truth.site_fault_hours.len(), out.dataset.sites.len());
+    assert_eq!(log.truth.blocked_pairs.len(), 38, "the injected blocked pairs");
+
+    let mut stamped_faults = 0u64;
+    for (r, stamp) in out.dataset.records.iter().zip(&log.records) {
+        let all = stamp.all();
+        if r.proxy.is_some() {
+            // The proxy hides the replica: connect-phase stamping is
+            // impossible from this vantage, and pair-level conditions
+            // between the *client* and the site cannot reach the stamp.
+            assert!(stamp.connect.is_empty(), "proxied records stamp DNS-phase only");
+            assert!(!all.contains(FaultSet::BLOCKED_PAIR) && !all.contains(FaultSet::DEGRADED_PAIR));
+        } else {
+            // Direct records never carry proxy-infrastructure flags.
+            assert!(!all.contains(FaultSet::PROXY_LINK) && !all.contains(FaultSet::PROXY_LDNS));
+        }
+        stamped_faults += u64::from(!all.is_empty());
+    }
+    assert!(stamped_faults > 0, "an 8-hour window must hit some injected fault");
+
+    // Failed records on an injected blocked pair whose failure reached the
+    // connect phase must carry the pair-specific stamp.
+    let blocked: std::collections::HashSet<(u16, u16)> =
+        log.truth.blocked_pairs.iter().copied().collect();
+    let mut blocked_failures = 0u64;
+    for (r, stamp) in out.dataset.records.iter().zip(&log.records) {
+        if r.proxy.is_none()
+            && r.failed()
+            && !r.failure().expect("failed").is_dns()
+            && blocked.contains(&(r.client.0, r.site.0))
+        {
+            assert!(stamp.connect.contains(FaultSet::BLOCKED_PAIR));
+            assert_eq!(stamp.all().true_blame(), TrueBlame::PairSpecific);
+            blocked_failures += 1;
+        }
+    }
+    assert!(blocked_failures > 0, "blocked pairs fail constantly by design");
+}
+
+#[test]
+fn audit_clears_the_agreement_floor_end_to_end() {
+    use netprofiler::{audit, Analysis, AnalysisConfig};
+    let mut cfg = ExperimentConfig::quick(20050101);
+    cfg.hours = 24;
+    cfg.wire_fidelity = false;
+    cfg.record_provenance = true;
+    let out = run_experiment(&cfg);
+    let log = out.provenance.expect("provenance requested");
+    let analysis = Analysis::new(&out.dataset, AnalysisConfig::default());
+    let report = audit::audit(&analysis, &log);
+
+    assert_eq!(report.stamped_records, out.dataset.records.len() as u64);
+    assert!(report.blame.total() > 0, "a day of accesses produces scorable failures");
+    assert!(
+        report.blame.agreement() >= 0.5,
+        "blame agreement {:.3} below the 0.5 floor\nmatrix: {:?}",
+        report.blame.agreement(),
+        report.blame.matrix
+    );
+    // Detection never invents blocked pairs that were not injected.
+    assert_eq!(report.pairs.spurious, Vec::<(u16, u16)>::new());
+    assert!(report.pairs.overlap.precision() >= 0.5);
+}
