@@ -6,17 +6,23 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> detcheck: two-thread run diffs clean against single-thread"
-cargo run --release -q -p bench-suite --bin detcheck
+echo "==> detcheck --scenario: standard + adversarial worlds diff clean across threads"
+cargo run --release -q -p bench-suite --bin detcheck -- --scenario
 
-echo "==> oracle_diff: optimized pipeline matches the naive oracle"
+echo "==> oracle_diff: optimized pipeline matches the naive oracle (audit diff included)"
 cargo run --release -q -p bench-suite --bin oracle_diff
 
 echo "==> audit --check: flight recorder on/off is bit-identical"
 cargo run --release -q -p bench-suite --bin audit -- --check
 
+echo "==> audit --check --scenario: recorder purity holds on the adversarial month"
+cargo run --release -q -p bench-suite --bin audit -- --check --scenario
+
 echo "==> audit: blame agreement and pair detection clear the floor"
 cargo run --release -q -p bench-suite --bin audit -- --out /tmp/BENCH_audit.json > /dev/null
+
+echo "==> audit --scenario: per-archetype detection clears the recall floors"
+cargo run --release -q -p bench-suite --bin audit -- --scenario --out /tmp/BENCH_scenarios.json > /dev/null
 
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q

@@ -20,11 +20,20 @@
 //! datasets (checked via a streaming hash of the full debug serialization)
 //! and byte-identical rendered reports. `ci.sh` runs this alongside
 //! `detcheck`.
+//!
+//! `--scenario` runs the adversarial fault-archetype sweep: one world per
+//! archetype preset plus the combined "adversarial month", each audited
+//! against its own flight-recorder log. The per-archetype detection scores
+//! are written to `BENCH_scenarios.json` (committed at the repo root) and
+//! gated on per-archetype recall floors — the floors encode what the 2006
+//! pipeline *can* detect, so a refactor that silently loses detection
+//! power fails CI. `--check --scenario` instead reruns the recorder
+//! on/off bit-identity check on the adversarial-month world.
 
 use bench_suite::Scale;
 use netprofiler::{audit::audit, Analysis, AnalysisConfig};
 use std::time::Instant;
-use workload::{run_experiment, ExperimentConfig};
+use workload::{run_experiment, AdversarialProfile, ExperimentConfig, ARCHETYPE_NAMES};
 
 /// FNV-1a over a byte stream.
 struct Fnv(u64);
@@ -72,9 +81,11 @@ fn main() {
     let mut csv_path: Option<std::path::PathBuf> = None;
     let mut min_agreement = 0.5f64;
     let mut check = false;
+    let mut scenario = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--scenario" => scenario = true,
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
@@ -97,7 +108,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "audit [--scale quick|repro|paper] [--seed N] [--threads N] [--out FILE] \
-                     [--csv FILE] [--min-agreement F] | audit --check [--seed N]"
+                     [--csv FILE] [--min-agreement F] | audit --check [--seed N] [--scenario] \
+                     | audit --scenario [--seed N] [--threads N] [--out FILE]"
                 );
                 return;
             }
@@ -109,7 +121,16 @@ fn main() {
     }
 
     if check {
-        run_check(seed);
+        run_check(seed, scenario);
+        return;
+    }
+    if scenario {
+        let out = if out_path == std::path::Path::new("BENCH_audit.json") {
+            std::path::PathBuf::from("BENCH_scenarios.json")
+        } else {
+            out_path
+        };
+        run_scenarios(seed, threads.unwrap_or(0), &out);
         return;
     }
 
@@ -185,13 +206,141 @@ fn main() {
     );
 }
 
+/// Per-archetype recall floors for the `--scenario` gate, each enforced on
+/// the single-archetype world that injects only that fault. The floors
+/// encode what the paper's hourly-grid method actually sees at the pinned
+/// seed (measured, then set with headroom below the observed recall) —
+/// they are deliberately far apart:
+///
+/// * BGP reconfiguration transients are *caught* (measured ≈0.85): a route
+///   flap breaks many concurrent fetches from the same client, so the
+///   client's hourly failure rate spikes and the client grid fires;
+/// * vantage splits and wrong-answer DNS read as server faults most of the
+///   time — proxied successes keep the client grid quiet;
+/// * correlated faults that hit a client×site *block* — censorship and CDN
+///   brownouts — are the known blind spots (measured ≈0.00): the censored
+///   client fails to its whole blocked set while the blocked site fails
+///   for the whole censored region, so *both* grids fire and the verdict
+///   is "both", never the expected class. A zero floor keeps the blind
+///   spot measured (the `truth > 0` gate still proves the fault fired);
+/// * colo blasts mostly read as "both" for the same reason — the blast
+///   inflates the failing client's own hourly rate too;
+/// * MTU blackholes are few (6 pairs) and noisy, so the floor is loose.
+const SCENARIO_FLOORS: [(&str, f64); 7] = [
+    ("bgp-transient", 0.60),
+    ("censored", 0.00),
+    ("colo-blast", 0.08),
+    ("vantage-split", 0.50),
+    ("cdn-brownout", 0.00),
+    ("mtu-blackhole", 0.25),
+    ("wrong-dns", 0.40),
+];
+
+/// The `--scenario` sweep: eight worlds, one audit each, one JSON out.
+fn run_scenarios(seed: u64, threads: usize, out_path: &std::path::Path) {
+    let mut names: Vec<&str> = ARCHETYPE_NAMES.to_vec();
+    names.push("adversarial-month");
+    let mut reports = Vec::new();
+    for name in &names {
+        let mut cfg = ExperimentConfig::quick(seed);
+        cfg.hours = 48;
+        cfg.wire_fidelity = false;
+        cfg.threads = threads;
+        cfg.record_provenance = true;
+        cfg.adversarial = if *name == "adversarial-month" {
+            AdversarialProfile::adversarial_month()
+        } else {
+            AdversarialProfile::only(name)
+        };
+        eprintln!("scenario {name}: 48 h window, seed {seed} ...");
+        let t0 = Instant::now();
+        let out = run_experiment(&cfg);
+        let log = out
+            .provenance
+            .expect("record_provenance was set; the runner must emit a sidecar");
+        let acfg = AnalysisConfig::default().with_threads(threads);
+        let analysis = Analysis::new(&out.dataset, acfg);
+        let audit_report = audit(&analysis, &log);
+        eprintln!(
+            "scenario {name}: {} scored failures in {:.1}s",
+            audit_report.blame.total(),
+            t0.elapsed().as_secs_f64()
+        );
+        reports.push((name.to_string(), audit_report));
+    }
+
+    let entries: Vec<(String, &netprofiler::audit::AuditReport)> =
+        reports.iter().map(|(n, a)| (n.clone(), a)).collect();
+    let json = report::audit::scenarios_json(&entries, seed, threads);
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("written to {}", out_path.display());
+
+    // Gates. Each archetype's floor is checked on its own world; the
+    // combined world must at least have fired every archetype.
+    let mut failed = false;
+    for (world, a) in &reports {
+        if world == "adversarial-month" {
+            for s in &a.archetypes {
+                if s.truth == 0 {
+                    eprintln!("SCENARIO FAILED: {} never fired in the adversarial month", s.name);
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        let (_, floor) = SCENARIO_FLOORS
+            .iter()
+            .find(|(n, _)| n == world)
+            .expect("every archetype world has a floor");
+        let score = a
+            .archetypes
+            .iter()
+            .find(|s| s.name == world)
+            .expect("every archetype is scored");
+        if score.truth == 0 {
+            eprintln!("SCENARIO FAILED: {world} injected but never stamped a scored failure");
+            failed = true;
+        } else if score.recall() < *floor {
+            eprintln!(
+                "SCENARIO FAILED: {world} recall {:.3} < floor {floor} \
+                 ({} of {} detected)",
+                score.recall(),
+                score.detected,
+                score.truth
+            );
+            for s in &score.missed_samples {
+                eprintln!("    missed: {s}");
+            }
+            failed = true;
+        } else {
+            eprintln!(
+                "  ok: {world} recall {:.3} (floor {floor}), precision {:.3}",
+                score.recall(),
+                score.precision()
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("scenario sweep passed: {} worlds audited", reports.len());
+}
+
 /// Zero-cost contract: provenance on/off must not perturb the world.
-fn run_check(seed: u64) {
+/// With `adversarial`, the same contract is checked on the world with
+/// every fault archetype enabled.
+fn run_check(seed: u64, adversarial: bool) {
     let run = |record: bool| {
         let mut cfg = ExperimentConfig::quick(seed);
         cfg.hours = 12;
         cfg.wire_fidelity = false;
         cfg.record_provenance = record;
+        if adversarial {
+            cfg.adversarial = AdversarialProfile::adversarial_month();
+        }
         let out = run_experiment(&cfg);
         let acfg = AnalysisConfig::default();
         let rendered = report::render_all(&out.dataset, acfg, seed);

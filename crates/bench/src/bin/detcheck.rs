@@ -2,27 +2,32 @@
 //! single-thread run.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin detcheck [--seed N]
+//! cargo run --release -p bench-suite --bin detcheck [--seed N] [--scenario]
 //! ```
 //!
 //! Runs a small simulated window (12 hours, wire fidelity off) at
 //! `threads = 1` and `threads = 2`, pushes both datasets through the full
 //! analysis pipeline, and renders every table and figure. Any byte of
 //! difference — dataset sizes, blame attribution, or the rendered report —
-//! exits non-zero. `ci.sh` runs this before the test suite so a scheduling
-//! or shard-merge regression is caught in seconds, not after a full sweep.
+//! exits non-zero. With `--scenario` the same comparison also runs on the
+//! adversarial world (every fault archetype enabled), so the archetype
+//! timelines and their stamps get the same thread-invariance guarantee.
+//! `ci.sh` runs this before the test suite so a scheduling or shard-merge
+//! regression is caught in seconds, not after a full sweep.
 
 use netprofiler::{pipeline, AnalysisConfig};
-use workload::{run_experiment, ExperimentConfig};
+use workload::{run_experiment, AdversarialProfile, ExperimentConfig};
 
 fn main() {
     let mut seed = 20050101u64;
+    let mut scenario = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--scenario" => scenario = true,
             "--help" | "-h" => {
-                println!("detcheck [--seed N]");
+                println!("detcheck [--seed N] [--scenario]");
                 return;
             }
             other => {
@@ -32,11 +37,25 @@ fn main() {
         }
     }
 
+    let mut failures = 0u32;
+    failures += compare_world("standard", seed, &AdversarialProfile::none());
+    if scenario {
+        failures += compare_world("adversarial", seed, &AdversarialProfile::adversarial_month());
+    }
+    if failures > 0 {
+        eprintln!("detcheck FAILED: {failures} mismatch(es) between thread counts");
+        std::process::exit(1);
+    }
+}
+
+/// Compare one world at 1 vs 2 threads; returns the mismatch count.
+fn compare_world(world: &str, seed: u64, adversarial: &AdversarialProfile) -> u32 {
     let run = |threads: usize| {
         let mut cfg = ExperimentConfig::quick(seed);
         cfg.hours = 12;
         cfg.wire_fidelity = false;
         cfg.threads = threads;
+        cfg.adversarial = *adversarial;
         let ds = run_experiment(&cfg).dataset;
         let acfg = AnalysisConfig::default().with_threads(threads);
         let full = pipeline::run(&ds, acfg);
@@ -44,7 +63,7 @@ fn main() {
         (ds, full, rendered)
     };
 
-    eprintln!("detcheck: 12 h window, seed {seed}, threads 1 vs 2 ...");
+    eprintln!("detcheck: {world} 12 h window, seed {seed}, threads 1 vs 2 ...");
     let (ds1, full1, report1) = run(1);
     let (ds2, full2, report2) = run(2);
 
@@ -77,14 +96,14 @@ fn main() {
     );
     check("rendered report", report1 == report2);
 
-    if failures > 0 {
-        eprintln!("detcheck FAILED: {failures} mismatch(es) between thread counts");
-        std::process::exit(1);
+    if failures == 0 {
+        eprintln!(
+            "detcheck passed: {world} — {} transactions, {} connections, report {} bytes — \
+             identical at 1 and 2 threads",
+            ds1.records.len(),
+            ds1.connections.len(),
+            report1.len()
+        );
     }
-    eprintln!(
-        "detcheck passed: {} transactions, {} connections, report {} bytes — identical at 1 and 2 threads",
-        ds1.records.len(),
-        ds1.connections.len(),
-        report1.len()
-    );
+    failures
 }

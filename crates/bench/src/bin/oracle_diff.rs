@@ -4,12 +4,16 @@
 //! cargo run --release -p bench-suite --bin oracle_diff [--seed N]
 //! ```
 //!
-//! Three dataset families, each checked at threads 1, 2, and 7:
+//! Four dataset families, each checked at threads 1, 2, and 7:
 //!
 //! 1. **standard** — a healthy simulated reproduction window;
 //! 2. **degraded** — the same window under the PR 1 apparatus fault model
 //!    (node deaths, record loss, corrupted BGP feed);
-//! 3. **property** — small generated datasets biased toward edge cases
+//! 3. **adversarial** — the same window with every fault archetype enabled
+//!    and the flight recorder on; besides the pipeline artifacts, the
+//!    attribution audit (confusion matrix and per-archetype detection
+//!    tallies) is diffed against the naive recount at every thread count;
+//! 4. **property** — small generated datasets biased toward edge cases
 //!    (empty hours, single-sample cells, all-failure entities, duplicate
 //!    rates, month-boundary timestamps).
 //!
@@ -22,7 +26,7 @@
 //! with each other, this proves they agree with the paper's definitions.
 
 use netprofiler::AnalysisConfig;
-use workload::{run_experiment, ApparatusFaults, ExperimentConfig};
+use workload::{run_experiment, AdversarialProfile, ApparatusFaults, ExperimentConfig};
 
 const THREADS: [usize; 3] = [1, 2, 7];
 const PROPERTY_DATASETS: u64 = 24;
@@ -75,10 +79,37 @@ fn main() {
     let degraded = run_experiment(&cfg).dataset;
     check("degraded", &degraded);
 
+    eprintln!("oracle_diff: adversarial family (archetype suite, seed {seed}) ...");
+    let mut cfg = ExperimentConfig::quick(seed);
+    cfg.hours = 24;
+    cfg.wire_fidelity = false;
+    cfg.record_provenance = true;
+    cfg.adversarial = AdversarialProfile::adversarial_month();
+    let adversarial = run_experiment(&cfg);
+    check("adversarial", &adversarial.dataset);
+
     eprintln!("oracle_diff: property family ({PROPERTY_DATASETS} generated datasets) ...");
     for i in 0..PROPERTY_DATASETS {
         let ds = oracle::gen::property_dataset(seed.wrapping_add(i));
         check(&format!("property[{i}]"), &ds);
+    }
+
+    // The audit diff needs the provenance sidecar, which only the
+    // adversarial family records: confusion matrix and archetype tallies
+    // against the naive recount, at every thread count.
+    let log = adversarial
+        .provenance
+        .expect("record_provenance was set; the runner must emit a sidecar");
+    for threads in THREADS {
+        let cfg = AnalysisConfig::default().with_threads(threads);
+        let report = oracle::check_audit(&adversarial.dataset, cfg, &log);
+        if report.is_clean() {
+            eprintln!("  ok: adversarial audit @ {threads} thread(s)");
+        } else {
+            eprintln!("  MISMATCH: adversarial audit @ {threads} thread(s)");
+            eprint!("{}", report.render());
+            failures += 1;
+        }
     }
 
     if failures > 0 {
@@ -87,7 +118,7 @@ fn main() {
     }
     eprintln!(
         "oracle_diff passed: {} dataset(s) × {:?} threads match the oracle field-for-field",
-        2 + PROPERTY_DATASETS,
+        3 + PROPERTY_DATASETS,
         THREADS
     );
 }

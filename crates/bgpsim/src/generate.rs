@@ -32,6 +32,22 @@ pub struct SevereEvent {
     pub announcements_per_neighbor: u16,
 }
 
+/// A scheduled reconfiguration window for a prefix: operator maintenance
+/// that briefly violates the advertised path without taking the origin
+/// down. A *moderate* set of peers flutters (withdraw + re-announce pairs),
+/// deliberately below the severe-event visibility threshold so the cleaner
+/// cannot lean on the >70-peer rule to spot it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconfigWindow {
+    pub prefix: PrefixId,
+    /// Hour bin the maintenance window opens in.
+    pub hour: u32,
+    /// Peers that observe the transient (kept well below severe scale).
+    pub peers: u16,
+    /// Withdraw/re-announce pairs each participating peer emits.
+    pub bursts: u16,
+}
+
 /// Scenario configuration for stream generation.
 #[derive(Clone, Debug)]
 pub struct BgpScenario {
@@ -45,6 +61,8 @@ pub struct BgpScenario {
     pub background_gap: SimDuration,
     /// Ground-truth severe events.
     pub severe_events: Vec<SevereEvent>,
+    /// Scheduled reconfiguration transients (adversarial archetype).
+    pub reconfig_windows: Vec<ReconfigWindow>,
     /// Hours at which a collector reset occurs (collector chosen rotationally).
     pub reset_hours: Vec<u32>,
 }
@@ -58,6 +76,7 @@ impl BgpScenario {
             collectors: CollectorSet::routeviews_2005(),
             background_gap: SimDuration::from_hours(36),
             severe_events: Vec::new(),
+            reconfig_windows: Vec::new(),
             reset_hours: Vec::new(),
         }
     }
@@ -144,6 +163,37 @@ pub fn generate(scenario: &BgpScenario, rng: &mut SimRng) -> RawBgpData {
                     time: base + offset,
                     peer: peer as u16,
                     prefix: ev.prefix,
+                    kind: UpdateKind::Announce,
+                });
+            }
+        }
+    }
+
+    // 2b. Reconfiguration transients. Each window draws only from its own
+    // fork, so an empty list leaves the stream bit-identical.
+    for w in &scenario.reconfig_windows {
+        if w.hour >= scenario.hours {
+            continue;
+        }
+        let base = SimTime::from_hours(u64::from(w.hour));
+        let mut wrng =
+            rng.fork(0x3000_0000 + u64::from(w.prefix.0) * 1_000 + u64::from(w.hour));
+        let chosen = wrng.sample_indices(peers_total as usize, w.peers.min(peers_total) as usize);
+        for peer in chosen {
+            for k in 0..w.bursts {
+                // Withdraw then re-announce within a couple of minutes: a
+                // path violation too brief for heavy exploration.
+                let offset = SimDuration::from_secs(wrng.below(3_000) + u64::from(k) * 60);
+                updates.push(BgpUpdate {
+                    time: base + offset,
+                    peer: peer as u16,
+                    prefix: w.prefix,
+                    kind: UpdateKind::Withdraw,
+                });
+                updates.push(BgpUpdate {
+                    time: base + offset + SimDuration::from_secs(30 + wrng.below(90)),
+                    peer: peer as u16,
+                    prefix: w.prefix,
                     kind: UpdateKind::Announce,
                 });
             }
@@ -257,6 +307,63 @@ mod tests {
             .count();
         // 8 prefixes × first collector's 31 peers
         assert_eq!(in_reset_hour, 8 * 31);
+    }
+
+    #[test]
+    fn reconfig_window_flutters_below_severe_scale() {
+        let mut sc = BgpScenario::quiet(6, 24);
+        sc.background_gap = SimDuration::from_hours(100_000); // silence background
+        sc.reconfig_windows = vec![ReconfigWindow {
+            prefix: PrefixId(2),
+            hour: 5,
+            peers: 24,
+            bursts: 2,
+        }];
+        let raw = generate(&sc, &mut SimRng::new(6));
+        use std::collections::HashSet;
+        let withdrawing: HashSet<u16> = raw
+            .updates
+            .iter()
+            .filter(|u| u.prefix == PrefixId(2) && u.kind == UpdateKind::Withdraw)
+            .map(|u| u.peer)
+            .collect();
+        assert_eq!(withdrawing.len(), 24);
+        let withdraws = raw
+            .updates
+            .iter()
+            .filter(|u| u.kind == UpdateKind::Withdraw)
+            .count();
+        let announces = raw
+            .updates
+            .iter()
+            .filter(|u| u.kind == UpdateKind::Announce)
+            .count();
+        assert_eq!(withdraws, 24 * 2);
+        assert_eq!(announces, 24 * 2, "every withdraw is paired with a re-announce");
+    }
+
+    #[test]
+    fn reconfig_windows_do_not_perturb_rest_of_stream() {
+        let mut quiet = BgpScenario::quiet(8, 24);
+        quiet.background_gap = SimDuration::from_hours(100_000);
+        quiet.reset_hours = vec![7];
+        let mut with_window = quiet.clone();
+        with_window.reconfig_windows = vec![ReconfigWindow {
+            prefix: PrefixId(3),
+            hour: 12,
+            peers: 20,
+            bursts: 1,
+        }];
+        let a = generate(&quiet, &mut SimRng::new(7));
+        let b = generate(&with_window, &mut SimRng::new(7));
+        assert_eq!(a.hourly_unique_prefixes, b.hourly_unique_prefixes);
+        let b_without: Vec<_> = b
+            .updates
+            .iter()
+            .filter(|u| !(u.prefix == PrefixId(3) && u.time.hour_bin() == 12))
+            .cloned()
+            .collect();
+        assert_eq!(a.updates, b_without, "window draws only from its own fork");
     }
 
     #[test]

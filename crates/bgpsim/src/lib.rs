@@ -27,6 +27,6 @@ pub mod types;
 
 pub use aggregate::aggregate;
 pub use clean::{clean, CleanReport};
-pub use generate::{generate, BgpScenario, RawBgpData, SevereEvent};
+pub use generate::{generate, BgpScenario, RawBgpData, ReconfigWindow, SevereEvent};
 pub use mrt::{decode_stream, decode_stream_salvage, encode_stream, MrtError, MrtIssue, MrtPrefixTable};
 pub use types::{BgpUpdate, CollectorSet, UpdateKind, RESET_PREFIX_THRESHOLD, TOTAL_PEERS};

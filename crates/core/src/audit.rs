@@ -26,7 +26,7 @@
 use crate::blame::{classify_hour, BlameClass};
 use crate::bgp_corr::{self, SeverityRule};
 use crate::Analysis;
-use model::{DnsFailureKind, FailureClass, ProvenanceLog, TrueBlame};
+use model::{DnsFailureKind, FailureClass, FaultSet, ProvenanceLog, TrueBlame};
 use std::collections::BTreeSet;
 
 /// Number of blame classes in the Table 5 vocabulary.
@@ -57,6 +57,88 @@ fn true_index(blame: TrueBlame) -> usize {
     }
 }
 
+/// Misclassification cost `CLASS_COSTS[true][inferred]` for the weighted
+/// agreement. Not every confusion is equally wrong: blaming "server" for a
+/// failure that was truly "both" still named a guilty party (cost 0.5),
+/// while blaming "server" for a truly client-side failure points at the
+/// wrong end of the path entirely (cost 1.0). Confusions with "other" sit
+/// in between — the class is a catch-all, so landing in (or escaping from)
+/// it is wrong but not maximally misleading.
+pub const CLASS_COSTS: [[f64; CLASSES]; CLASSES] = [
+    // inferred:   client server both  other
+    /* client */ [0.00, 1.00, 0.50, 0.75],
+    /* server */ [1.00, 0.00, 0.50, 0.75],
+    /* both   */ [0.50, 0.50, 0.00, 0.75],
+    /* other  */ [0.75, 0.75, 0.75, 0.00],
+];
+
+/// The adversarial fault archetypes the audit scores individually:
+/// `(stamp name, provenance bit, expected inferred class index)`. The
+/// expected class is where a perfect paper-method pipeline *should* land a
+/// failure carrying only that archetype's stamp — pair-scoped archetypes
+/// (censorship, MTU blackholes) collapse to "other" because the Table 5
+/// vocabulary has no pair-specific class.
+pub const ARCHETYPES: [(&str, FaultSet, usize); 7] = [
+    ("bgp-transient", FaultSet::BGP_TRANSIENT, 0),
+    ("censored", FaultSet::CENSORED, 3),
+    ("colo-blast", FaultSet::COLO_BLAST, 1),
+    ("vantage-split", FaultSet::VANTAGE_SPLIT, 1),
+    ("cdn-brownout", FaultSet::CDN_BROWNOUT, 1),
+    ("mtu-blackhole", FaultSet::MTU_BLACKHOLE, 3),
+    ("wrong-dns", FaultSet::WRONG_DNS, 1),
+];
+
+/// Samples of missed failures kept per archetype (operator output).
+pub const ARCHETYPE_SAMPLE_CAP: usize = 5;
+
+/// Detection score for one adversarial fault archetype.
+///
+/// Scored over the same population as the confusion matrix: failed, direct
+/// (unproxied), and not excluded as near-permanent. A failure "counts" for
+/// an archetype when its stamp carries the archetype's bit, and is
+/// "detected" when inference landed it in the archetype's expected class.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ArchetypeScore {
+    /// Stamp name (one of the [`ARCHETYPES`] names).
+    pub name: &'static str,
+    /// Expected inferred class, index per [`CLASS_LABELS`].
+    pub expected: usize,
+    /// Matrix-scored failures stamped with this archetype.
+    pub truth: u64,
+    /// Of those, how many inference put in the expected class.
+    pub detected: u64,
+    /// All failures inference put in the expected class (the precision
+    /// denominator: in a single-archetype world this column is mostly
+    /// this archetype's doing).
+    pub inferred_class_total: u64,
+    /// First few missed failures, as `client→site@hour inferred <class>`.
+    pub missed_samples: Vec<String>,
+}
+
+impl ArchetypeScore {
+    /// Fraction of stamped failures inferred into the expected class.
+    /// 1.0 when the archetype never fired.
+    pub fn recall(&self) -> f64 {
+        if self.truth == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.truth as f64
+        }
+    }
+
+    /// Fraction of expected-class inferences that were truly this
+    /// archetype. 1.0 when the class was never inferred. Meaningful in
+    /// single-archetype scenario worlds; in mixed worlds the column is
+    /// shared with every other cause of the class.
+    pub fn precision(&self) -> f64 {
+        if self.inferred_class_total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.inferred_class_total as f64
+        }
+    }
+}
+
 /// Confusion matrix of inferred vs. true blame over failed transactions.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlameConfusion {
@@ -84,6 +166,27 @@ impl BlameConfusion {
         }
         let diagonal: u64 = (0..CLASSES).map(|i| self.matrix[i][i]).sum();
         diagonal as f64 / total as f64
+    }
+
+    /// Cost-weighted agreement under [`CLASS_COSTS`]: `1 − mean cost` of
+    /// the scored failures. Always ≥ the raw [`Self::agreement`], since
+    /// partial confusions ("both" → "server") cost less than a full miss.
+    pub fn weighted_agreement(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let cost: f64 = self
+            .matrix
+            .iter()
+            .enumerate()
+            .flat_map(|(t, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(move |(i, &n)| CLASS_COSTS[t][i] * n as f64)
+            })
+            .sum();
+        1.0 - cost / total as f64
     }
 
     /// Row sums: how many failures truly belonged to each class.
@@ -195,6 +298,9 @@ pub struct AuditReport {
     /// Severe-BGP instances under the paper's ≥70-neighbor rule vs. the
     /// injected withdrawal storms, as `(prefix, hour)` sets.
     pub severe_bgp: SetOverlap,
+    /// Per-archetype detection scores, in [`ARCHETYPES`] order (always all
+    /// seven entries; archetypes that never fired score trivially).
+    pub archetypes: Vec<ArchetypeScore>,
 }
 
 /// Infer the blame class of one failed record the way the paper would:
@@ -216,12 +322,23 @@ fn infer_blame(analysis: &Analysis<'_>, r: &model::PerformanceRecord) -> BlameCl
     }
 }
 
-/// Build the blame confusion matrix, sharded over the record range.
-fn blame_confusion(analysis: &Analysis<'_>, log: &ProvenanceLog) -> BlameConfusion {
+/// Per-shard archetype tally: `(truth, detected, missed samples)`.
+type ArchetypeTally = (u64, u64, Vec<String>);
+
+/// Build the blame confusion matrix and the per-archetype detection
+/// tallies, sharded over the record range. Shards cover contiguous record
+/// ranges in order and each keeps its first [`ARCHETYPE_SAMPLE_CAP`]
+/// missed samples, so the merged sample list is the dataset-order first
+/// few regardless of thread count.
+fn blame_confusion(
+    analysis: &Analysis<'_>,
+    log: &ProvenanceLog,
+) -> (BlameConfusion, Vec<ArchetypeScore>) {
     let _span = telemetry::span!("analysis.audit.blame_confusion");
     let ds = analysis.ds;
     let partials = crate::par::map_shards(analysis.config.threads, ds.records.len(), |range| {
         let mut out = BlameConfusion::default();
+        let mut arch: [ArchetypeTally; ARCHETYPES.len()] = Default::default();
         for i in range {
             let r = &ds.records[i];
             if !r.failed() {
@@ -235,17 +352,55 @@ fn blame_confusion(analysis: &Analysis<'_>, log: &ProvenanceLog) -> BlameConfusi
                 out.skipped_permanent += 1;
                 continue;
             }
-            let truth = log.records[i].all().true_blame();
-            let inferred = infer_blame(analysis, r);
-            out.matrix[true_index(truth)][inferred_index(inferred)] += 1;
+            let stamp = log.records[i].all();
+            let truth = stamp.true_blame();
+            let inferred = inferred_index(infer_blame(analysis, r));
+            out.matrix[true_index(truth)][inferred] += 1;
+            for (k, &(_, bit, expected)) in ARCHETYPES.iter().enumerate() {
+                if !stamp.contains(bit) {
+                    continue;
+                }
+                arch[k].0 += 1;
+                if inferred == expected {
+                    arch[k].1 += 1;
+                } else if arch[k].2.len() < ARCHETYPE_SAMPLE_CAP {
+                    arch[k].2.push(format!(
+                        "c{}→s{}@h{} inferred {}",
+                        r.client.0,
+                        r.site.0,
+                        r.hour(),
+                        CLASS_LABELS[inferred]
+                    ));
+                }
+            }
         }
-        out
+        (out, arch)
     });
     let mut total = BlameConfusion::default();
-    for p in &partials {
+    let mut tallies: [ArchetypeTally; ARCHETYPES.len()] = Default::default();
+    for (p, arch) in &partials {
         total.merge(p);
+        for (t, a) in tallies.iter_mut().zip(arch) {
+            t.0 += a.0;
+            t.1 += a.1;
+            let room = ARCHETYPE_SAMPLE_CAP - t.2.len();
+            t.2.extend(a.2.iter().take(room).cloned());
+        }
     }
-    total
+    let columns = total.inferred_totals();
+    let scores = ARCHETYPES
+        .iter()
+        .zip(tallies)
+        .map(|(&(name, _, expected), (truth, detected, missed_samples))| ArchetypeScore {
+            name,
+            expected,
+            truth,
+            detected,
+            inferred_class_total: columns[expected],
+            missed_samples,
+        })
+        .collect();
+    (total, scores)
 }
 
 /// Score permanent-pair detection against the injected blocked pairs.
@@ -304,7 +459,7 @@ pub fn audit(analysis: &Analysis<'_>, log: &ProvenanceLog) -> AuditReport {
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
 
-    let blame = blame_confusion(analysis, log);
+    let (blame, archetypes) = blame_confusion(analysis, log);
     let pairs = pair_detection(analysis, log);
 
     let client_episodes = SetOverlap::score(
@@ -345,6 +500,7 @@ pub fn audit(analysis: &Analysis<'_>, log: &ProvenanceLog) -> AuditReport {
         client_episodes,
         server_episodes,
         severe_bgp,
+        archetypes,
     }
 }
 
@@ -391,6 +547,65 @@ mod tests {
         assert_eq!((s.truth, s.inferred, s.overlap), (3, 4, 2));
         assert!((s.precision() - 0.5).abs() < 1e-12);
         assert!((s.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_matrix_is_sane() {
+        for (t, row) in CLASS_COSTS.iter().enumerate() {
+            assert_eq!(row[t], 0.0, "diagonal is free");
+            for &c in row {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+        // The satellite requirement in one line: both→server is milder
+        // than client→server.
+        assert!(CLASS_COSTS[2][1] < CLASS_COSTS[0][1]);
+        // Symmetric: neither direction of a confusion is privileged.
+        for t in 0..CLASSES {
+            for i in 0..CLASSES {
+                assert_eq!(CLASS_COSTS[t][i], CLASS_COSTS[i][t]);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_agreement_bounds_raw() {
+        let mut c = BlameConfusion::default();
+        c.matrix[2][1] = 10; // both → server: half cost
+        c.matrix[0][0] = 10;
+        assert!((c.agreement() - 0.5).abs() < 1e-12);
+        assert!((c.weighted_agreement() - 0.75).abs() < 1e-12);
+        assert!(c.weighted_agreement() >= c.agreement());
+        assert_eq!(BlameConfusion::default().weighted_agreement(), 0.0);
+    }
+
+    #[test]
+    fn archetype_table_matches_stamp_vocabulary() {
+        for (name, bit, expected) in ARCHETYPES {
+            assert!(expected < CLASSES);
+            assert_eq!(bit.names(), vec![name], "bit/name mismatch");
+        }
+        // Every archetype bit is distinct.
+        let mut union = FaultSet::EMPTY;
+        for (_, bit, _) in ARCHETYPES {
+            assert!(!union.contains(bit));
+            union = union | bit;
+        }
+    }
+
+    #[test]
+    fn archetype_score_degenerate_cases() {
+        let s = ArchetypeScore::default();
+        assert_eq!(s.recall(), 1.0, "never fired, never missed");
+        assert_eq!(s.precision(), 1.0, "class never inferred");
+        let s = ArchetypeScore {
+            truth: 10,
+            detected: 7,
+            inferred_class_total: 14,
+            ..ArchetypeScore::default()
+        };
+        assert!((s.recall() - 0.7).abs() < 1e-12);
+        assert!((s.precision() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub trait DnsFaults {
         let _ = (zone_apex, t);
         None
     }
+
+    /// Wrong-answer fault: the zone resolves `qname` to a substitute
+    /// address instead of the real RRset. Resolution *succeeds* — the
+    /// breakage only shows up when the client tries to connect. The LDNS
+    /// cache keeps the genuine answer; the substitution happens on the way
+    /// out, so a lookup after the fault window ends is healthy again.
+    fn wrong_answer(&self, qname: &DomainName, t: SimTime) -> Option<std::net::Ipv4Addr> {
+        let _ = (qname, t);
+        None
+    }
 }
 
 /// A fault view where everything is always healthy.

@@ -216,6 +216,15 @@ impl<'t> StubResolver<'t> {
     ) -> ResolutionStatus {
         out.clear();
         let res = self.resolve_inner(qname, faults, t, rng, cache, out);
+        // Wrong-answer faults substitute the delivered RRset *after* the
+        // genuine resolution (and caching) ran: no RNG draw is added or
+        // removed, and the cache never holds the decoy.
+        if res.result.is_ok() {
+            if let Some(decoy) = faults.wrong_answer(qname, t) {
+                out.clear();
+                out.push(decoy);
+            }
+        }
         if telemetry::enabled() {
             telemetry::counter!("dns.lookups", 1);
             telemetry::histogram!("dns.elapsed_us", res.elapsed.as_micros());
@@ -473,6 +482,13 @@ mod tests {
         }
     }
 
+    struct WrongAnswer(DomainName, Ipv4Addr);
+    impl DnsFaults for WrongAnswer {
+        fn wrong_answer(&self, qname: &DomainName, _t: SimTime) -> Option<Ipv4Addr> {
+            (*qname == self.0).then_some(self.1)
+        }
+    }
+
     fn resolve_with<F: DnsFaults>(faults: &F, host: &str) -> Resolution {
         let t = tree();
         let r = StubResolver::new(&t, ResolverConfig::default());
@@ -535,6 +551,24 @@ mod tests {
             res.result.unwrap_err(),
             DnsFailureKind::ErrorResponse(DnsErrorCode::ServFail)
         );
+    }
+
+    #[test]
+    fn wrong_answer_substitutes_decoy_without_poisoning_cache() {
+        let decoy = Ipv4Addr::new(192, 0, 2, 10);
+        let t = tree();
+        let r = StubResolver::new(&t, ResolverConfig::default());
+        let mut rng = SimRng::new(3);
+        let mut cache = LdnsCache::new();
+        let q = name("www.example.com");
+        let t0 = SimTime::from_hours(1);
+        let faulted = r.resolve(&q, &WrongAnswer(q.clone(), decoy), t0, &mut rng, &mut cache);
+        assert_eq!(faulted.result.unwrap(), vec![decoy]);
+        // The cache kept the genuine RRset: once the fault window ends the
+        // next (cached) lookup is healthy again.
+        let healed = r.resolve(&q, &NoFaults, t0 + SimDuration::from_secs(60), &mut rng, &mut cache);
+        assert!(healed.from_cache);
+        assert_eq!(healed.result.unwrap(), vec![Ipv4Addr::new(10, 0, 0, 1)]);
     }
 
     #[test]

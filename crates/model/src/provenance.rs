@@ -21,7 +21,7 @@
 /// server degradation, hard replica outages and authoritative-DNS faults are
 /// the server's.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub struct FaultSet(u16);
+pub struct FaultSet(u32);
 
 impl FaultSet {
     /// No structural fault active — failures under this set are background
@@ -49,25 +49,46 @@ impl FaultSet {
     pub const PROXY_LINK: FaultSet = FaultSet(1 << 9);
     /// The proxy vantage's resolver is down (proxied transactions only).
     pub const PROXY_LDNS: FaultSet = FaultSet(1 << 10);
+    /// The client's prefix is inside a short-lived path violation caused by
+    /// a scheduled BGP reconfiguration (adversarial archetype).
+    pub const BGP_TRANSIENT: FaultSet = FaultSet(1 << 11);
+    /// The (client category, site) pair is inside a censorship blocking
+    /// window whose onset correlates with injected route churn.
+    pub const CENSORED: FaultSet = FaultSet(1 << 12);
+    /// The site shares co-located hosting that failed as one blast radius.
+    pub const COLO_BLAST: FaultSet = FaultSet(1 << 13);
+    /// A site fault visible only from the direct-client vantage (the proxy
+    /// path around it stays healthy).
+    pub const VANTAGE_SPLIT: FaultSet = FaultSet(1 << 14);
+    /// A CDN site is browning out for one client region.
+    pub const CDN_BROWNOUT: FaultSet = FaultSet(1 << 15);
+    /// Path-MTU blackhole on the pair: connects succeed, transfers stall.
+    pub const MTU_BLACKHOLE: FaultSet = FaultSet(1 << 16);
+    /// The site's zone answered with a decoy address (wrong-answer DNS).
+    pub const WRONG_DNS: FaultSet = FaultSet(1 << 17);
 
-    /// Every client-side bit.
+    /// Every client-side bit. `BGP_TRANSIENT` counts as client-side: the
+    /// violated path is the client prefix's, so from the measurement's point
+    /// of view the client's corner of the network misbehaved.
     pub const CLIENT_BITS: FaultSet = FaultSet(
         Self::LAST_MILE.0 | Self::LDNS_DOWN.0 | Self::WAN.0 | Self::PROXY_LINK.0
-            | Self::PROXY_LDNS.0,
+            | Self::PROXY_LDNS.0 | Self::BGP_TRANSIENT.0,
     );
-    /// Every server-side bit.
+    /// Every server-side bit. The archetypes that take the whole site (or a
+    /// vantage/region slice of it) down count as the server's fault.
     pub const SERVER_BITS: FaultSet = FaultSet(
         Self::SERVER_DEGRADED.0 | Self::REPLICA_DOWN.0 | Self::AUTH_DNS_DOWN.0
-            | Self::ZONE_ERROR.0,
+            | Self::ZONE_ERROR.0 | Self::COLO_BLAST.0 | Self::VANTAGE_SPLIT.0
+            | Self::CDN_BROWNOUT.0 | Self::WRONG_DNS.0,
     );
 
     /// The raw bit pattern (stable across runs; used by exporters).
-    pub fn bits(self) -> u16 {
+    pub fn bits(self) -> u32 {
         self.0
     }
 
     /// Rebuild from a raw pattern produced by [`Self::bits`].
-    pub fn from_bits(bits: u16) -> FaultSet {
+    pub fn from_bits(bits: u32) -> FaultSet {
         FaultSet(bits)
     }
 
@@ -109,14 +130,18 @@ impl FaultSet {
     /// then pair-specific degradation, and an empty set means the failure —
     /// if there was one — was background noise.
     pub fn true_blame(self) -> TrueBlame {
-        if self.contains(Self::BLOCKED_PAIR) {
+        if self.contains(Self::BLOCKED_PAIR) || self.contains(Self::CENSORED) {
+            // Censorship short-circuits the access exactly like a permanent
+            // block does, just on a window instead of the whole month — it
+            // is a property of the pair, not of either endpoint.
             TrueBlame::PairSpecific
         } else {
+            let pair_only = Self::DEGRADED_PAIR.0 | Self::MTU_BLACKHOLE.0;
             match (self.has_client_fault(), self.has_server_fault()) {
                 (true, true) => TrueBlame::Both,
                 (true, false) => TrueBlame::ClientSide,
                 (false, true) => TrueBlame::ServerSide,
-                (false, false) if self.contains(Self::DEGRADED_PAIR) => TrueBlame::PairSpecific,
+                (false, false) if self.0 & pair_only != 0 => TrueBlame::PairSpecific,
                 (false, false) => TrueBlame::Noise,
             }
         }
@@ -124,7 +149,7 @@ impl FaultSet {
 
     /// Short names of the set bits, for rendering.
     pub fn names(self) -> Vec<&'static str> {
-        const TABLE: [(u16, &str); 11] = [
+        const TABLE: [(u32, &str); 18] = [
             (1 << 0, "last-mile"),
             (1 << 1, "ldns-down"),
             (1 << 2, "wan"),
@@ -136,6 +161,13 @@ impl FaultSet {
             (1 << 8, "degraded-pair"),
             (1 << 9, "proxy-link"),
             (1 << 10, "proxy-ldns"),
+            (1 << 11, "bgp-transient"),
+            (1 << 12, "censored"),
+            (1 << 13, "colo-blast"),
+            (1 << 14, "vantage-split"),
+            (1 << 15, "cdn-brownout"),
+            (1 << 16, "mtu-blackhole"),
+            (1 << 17, "wrong-dns"),
         ];
         TABLE
             .iter()
@@ -291,6 +323,38 @@ mod tests {
         // decides the side (the pair bit only matters when it acted alone).
         let mixed = FaultSet::DEGRADED_PAIR | FaultSet::WAN;
         assert_eq!(mixed.true_blame(), TrueBlame::ClientSide);
+    }
+
+    #[test]
+    fn adversarial_archetype_blame() {
+        // Censorship is pair-specific and wins like a permanent block.
+        let censored = FaultSet::CENSORED | FaultSet::SERVER_DEGRADED | FaultSet::WAN;
+        assert_eq!(censored.true_blame(), TrueBlame::PairSpecific);
+        // A reconfiguration transient reads as the client's corner.
+        assert_eq!(FaultSet::BGP_TRANSIENT.true_blame(), TrueBlame::ClientSide);
+        // Infrastructure blast radii and vantage/region slices read server.
+        assert_eq!(FaultSet::COLO_BLAST.true_blame(), TrueBlame::ServerSide);
+        assert_eq!(FaultSet::VANTAGE_SPLIT.true_blame(), TrueBlame::ServerSide);
+        assert_eq!(FaultSet::CDN_BROWNOUT.true_blame(), TrueBlame::ServerSide);
+        assert_eq!(FaultSet::WRONG_DNS.true_blame(), TrueBlame::ServerSide);
+        // An MTU blackhole acting alone is pair-specific; with a structural
+        // fault present, the structural fault decides the side.
+        assert_eq!(FaultSet::MTU_BLACKHOLE.true_blame(), TrueBlame::PairSpecific);
+        let mixed = FaultSet::MTU_BLACKHOLE | FaultSet::REPLICA_DOWN;
+        assert_eq!(mixed.true_blame(), TrueBlame::ServerSide);
+        // Overlapping archetypes union like any other bits.
+        let overlap = FaultSet::BGP_TRANSIENT | FaultSet::COLO_BLAST;
+        assert_eq!(overlap.true_blame(), TrueBlame::Both);
+    }
+
+    #[test]
+    fn archetype_names_render() {
+        let s = FaultSet::BGP_TRANSIENT | FaultSet::MTU_BLACKHOLE | FaultSet::WRONG_DNS;
+        assert_eq!(s.names(), vec!["bgp-transient", "mtu-blackhole", "wrong-dns"]);
+        assert_eq!(
+            format!("{s:?}"),
+            "FaultSet(bgp-transient|mtu-blackhole|wrong-dns)"
+        );
     }
 
     #[test]

@@ -120,11 +120,13 @@ pub fn check_dataset_with_oracle(
     d
 }
 
-/// Diff the optimized attribution audit's confusion matrix against a
-/// fresh naive recount over the same provenance log. Only the matrix and
-/// its skip counters are compared — the overlap metrics are set algebra
-/// over already-diffed artifacts (episode hours, permanent pairs, severe
-/// instances), so a divergence there would already be reported above.
+/// Diff the optimized attribution audit's confusion matrix and archetype
+/// detection tallies against a fresh naive recount over the same
+/// provenance log. The overlap metrics are exempt — set algebra over
+/// already-diffed artifacts (episode hours, permanent pairs, severe
+/// instances) — as are the weighted agreement and each archetype's
+/// `inferred_class_total` and samples, which are arithmetic over the
+/// diffed matrix cells and tallies.
 pub fn check_audit(
     ds: &Dataset,
     cfg: AnalysisConfig,
@@ -177,6 +179,29 @@ pub fn check_audit(
         optimized.blame.skipped_permanent,
         oracle.skipped_permanent,
     );
+    let arch_oracle = naive::archetype_tallies(
+        ds,
+        log,
+        &permanent,
+        &client_grid,
+        &server_grid,
+        cfg.episode_threshold,
+        cfg.min_hour_samples,
+    );
+    d.eq(
+        "audit.archetypes.len",
+        optimized.archetypes.len(),
+        arch_oracle.len(),
+    );
+    for (score, (name, truth, detected)) in optimized.archetypes.iter().zip(arch_oracle) {
+        d.eq(&format!("audit.archetype[{name}].name"), score.name, name);
+        d.eq(&format!("audit.archetype[{name}].truth"), score.truth, truth);
+        d.eq(
+            &format!("audit.archetype[{name}].detected"),
+            score.detected,
+            detected,
+        );
+    }
     d
 }
 

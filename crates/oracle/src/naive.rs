@@ -285,6 +285,63 @@ pub fn table5(
     out
 }
 
+/// The audit's inferred-class reading of one failed record, as a matrix
+/// index: Section 4.2 for DNS failures, sparse grid lookups for the rest.
+fn inferred_class(
+    r: &model::PerformanceRecord,
+    client_grid: &NaiveGrid,
+    server_grid: &NaiveGrid,
+    f: f64,
+    min_samples: u32,
+) -> usize {
+    use model::DnsFailureKind;
+    match r.failure().expect("failed record has a class") {
+        FailureClass::Dns(DnsFailureKind::LdnsTimeout) => 0,
+        FailureClass::Dns(_) => 1,
+        FailureClass::Tcp(_) | FailureClass::Http(_) => {
+            let c = client_grid.is_episode(r.client.0 as usize, r.hour(), f, min_samples);
+            let s = server_grid.is_episode(r.site.0 as usize, r.hour(), f, min_samples);
+            match (c, s) {
+                (true, false) => 0,
+                (false, true) => 1,
+                (true, true) => 2,
+                (false, false) => 3,
+            }
+        }
+    }
+}
+
+/// Per-archetype `(name, truth, detected)` detection tallies, reference
+/// computation: one sequential pass with the same skips and inference
+/// reading as [`blame_confusion`], one counter bump per archetype bit in
+/// the stamp.
+pub fn archetype_tallies(
+    ds: &Dataset,
+    log: &model::ProvenanceLog,
+    permanent: &NaivePermanent,
+    client_grid: &NaiveGrid,
+    server_grid: &NaiveGrid,
+    f: f64,
+    min_samples: u32,
+) -> Vec<(&'static str, u64, u64)> {
+    use netprofiler::audit::ARCHETYPES;
+    let mut out: Vec<(&'static str, u64, u64)> =
+        ARCHETYPES.iter().map(|&(n, _, _)| (n, 0, 0)).collect();
+    for (r, stamp) in ds.records.iter().zip(&log.records) {
+        if !r.failed() || r.proxy.is_some() || permanent.contains(r.client, r.site) {
+            continue;
+        }
+        let inferred = inferred_class(r, client_grid, server_grid, f, min_samples);
+        for (k, &(_, bit, expected)) in ARCHETYPES.iter().enumerate() {
+            if stamp.all().contains(bit) {
+                out[k].1 += 1;
+                out[k].2 += u64::from(inferred == expected);
+            }
+        }
+    }
+    out
+}
+
 /// The attribution-audit confusion matrix, reference computation: one pass
 /// over the records, sparse grid lookups, the same Section 4.2 reading of
 /// DNS failures the optimized audit uses (LDNS timeout → the client's own
@@ -298,7 +355,7 @@ pub fn blame_confusion(
     f: f64,
     min_samples: u32,
 ) -> netprofiler::audit::BlameConfusion {
-    use model::{DnsFailureKind, TrueBlame};
+    use model::TrueBlame;
     let mut out = netprofiler::audit::BlameConfusion::default();
     for (r, stamp) in ds.records.iter().zip(&log.records) {
         if !r.failed() {
@@ -312,20 +369,7 @@ pub fn blame_confusion(
             out.skipped_permanent += 1;
             continue;
         }
-        let inferred = match r.failure().expect("failed record has a class") {
-            FailureClass::Dns(DnsFailureKind::LdnsTimeout) => 0,
-            FailureClass::Dns(_) => 1,
-            FailureClass::Tcp(_) | FailureClass::Http(_) => {
-                let c = client_grid.is_episode(r.client.0 as usize, r.hour(), f, min_samples);
-                let s = server_grid.is_episode(r.site.0 as usize, r.hour(), f, min_samples);
-                match (c, s) {
-                    (true, false) => 0,
-                    (false, true) => 1,
-                    (true, true) => 2,
-                    (false, false) => 3,
-                }
-            }
-        };
+        let inferred = inferred_class(r, client_grid, server_grid, f, min_samples);
         let truth = match stamp.all().true_blame() {
             TrueBlame::ClientSide => 0,
             TrueBlame::ServerSide => 1,

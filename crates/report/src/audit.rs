@@ -12,27 +12,36 @@
 //! uses, so a pathological run cannot flood the report.
 
 use crate::table::{pct, TextTable};
-use netprofiler::audit::{AuditReport, CLASSES, CLASS_LABELS};
+use netprofiler::audit::{ArchetypeScore, AuditReport, CLASSES, CLASS_LABELS};
 
-/// Most missed/spurious pairs named in the rendered audit before
-/// truncation (same cap as the quarantine summary's named clients).
+/// Most missed/spurious pairs (and fired archetype names) named in the
+/// rendered audit before truncation (same cap as the quarantine summary's
+/// named clients).
 pub const MAX_NAMED_PAIRS: usize = 8;
 
-fn pair_list(pairs: &[(u16, u16)]) -> String {
-    if pairs.is_empty() {
+/// Missed-failure samples shown per archetype (same cap as the quarantine
+/// summary's salvage samples; the audit itself collects no more).
+pub const MAX_ARCHETYPE_SAMPLES: usize = 5;
+
+/// Join the first `cap` names with a `(+N more)` overflow marker.
+fn named_list<I: Iterator<Item = String>>(mut names: I, cap: usize) -> String {
+    let named: Vec<String> = names.by_ref().take(cap).collect();
+    if named.is_empty() {
         return "none".to_string();
     }
-    let named: Vec<String> = pairs
-        .iter()
-        .take(MAX_NAMED_PAIRS)
-        .map(|(c, s)| format!("c{c}-s{s}"))
-        .collect();
-    let overflow = pairs.len().saturating_sub(MAX_NAMED_PAIRS);
+    let overflow = names.count();
     if overflow > 0 {
         format!("{} (+{overflow} more)", named.join(", "))
     } else {
         named.join(", ")
     }
+}
+
+fn pair_list(pairs: &[(u16, u16)]) -> String {
+    named_list(
+        pairs.iter().map(|(c, s)| format!("c{c}-s{s}")),
+        MAX_NAMED_PAIRS,
+    )
 }
 
 /// Render the audit as the text block the harness prints.
@@ -56,9 +65,10 @@ pub fn render_audit(a: &AuditReport) -> String {
     }
     out.push_str(&t.render());
     out.push_str(&format!(
-        "  agreement {} over {} scored failures ({} of {} records failed; \
+        "  agreement {} (weighted {}) over {} scored failures ({} of {} records failed; \
          skipped: {} proxied, {} near-permanent)\n",
         pct(a.blame.agreement()),
+        pct(a.blame.weighted_agreement()),
         a.blame.total(),
         a.stamped_failures,
         a.stamped_records,
@@ -87,6 +97,55 @@ pub fn render_audit(a: &AuditReport) -> String {
     out.push_str(&t.render());
     out.push_str(&format!("  pairs missed:   {}\n", pair_list(&a.pairs.missed)));
     out.push_str(&format!("  pairs spurious: {}\n", pair_list(&a.pairs.spurious)));
+
+    // Adversarial archetype detection: only archetypes that actually fired
+    // get a row; a standard world renders the one summary line.
+    let fired: Vec<&ArchetypeScore> = a.archetypes.iter().filter(|s| s.truth > 0).collect();
+    out.push_str(&format!(
+        "  archetypes fired: {}\n",
+        named_list(fired.iter().map(|s| s.name.to_string()), MAX_NAMED_PAIRS)
+    ));
+    if !fired.is_empty() {
+        let mut t = TextTable::new([
+            "archetype", "expected", "truth", "detected", "recall", "precision",
+        ])
+        .with_title("Attribution audit: adversarial archetype detection")
+        .right_align(&[2, 3, 4, 5]);
+        for s in &fired {
+            t.row([
+                s.name.to_string(),
+                CLASS_LABELS[s.expected].to_string(),
+                s.truth.to_string(),
+                s.detected.to_string(),
+                pct(s.recall()),
+                pct(s.precision()),
+            ]);
+        }
+        out.push_str(&t.render());
+        for s in &fired {
+            if s.missed_samples.is_empty() {
+                continue;
+            }
+            let shown: Vec<String> = s
+                .missed_samples
+                .iter()
+                .take(MAX_ARCHETYPE_SAMPLES)
+                .cloned()
+                .collect();
+            // The audit keeps only the first few samples; the overflow
+            // marker counts every miss past what is shown.
+            let overflow = (s.truth - s.detected).saturating_sub(shown.len() as u64);
+            if overflow > 0 {
+                out.push_str(&format!(
+                    "  missed ({}): {} (+{overflow} more)\n",
+                    s.name,
+                    shown.join("; ")
+                ));
+            } else {
+                out.push_str(&format!("  missed ({}): {}\n", s.name, shown.join("; ")));
+            }
+        }
+    }
     out
 }
 
@@ -125,6 +184,28 @@ fn json_overlap(o: &netprofiler::audit::SetOverlap) -> String {
     )
 }
 
+fn json_archetype(s: &ArchetypeScore) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"expected\": \"{}\", \"truth\": {}, \"detected\": {}, \
+         \"precision\": {:.4}, \"recall\": {:.4}}}",
+        s.name,
+        CLASS_LABELS[s.expected],
+        s.truth,
+        s.detected,
+        s.precision(),
+        s.recall()
+    )
+}
+
+fn json_archetypes(a: &AuditReport) -> String {
+    let entries: Vec<String> = a
+        .archetypes
+        .iter()
+        .map(|s| format!("    {}", json_archetype(s)))
+        .collect();
+    format!("[\n{}\n  ]", entries.join(",\n"))
+}
+
 /// The audit as a JSON document (the body of `BENCH_audit.json`).
 ///
 /// `scale`, `seed` and `threads` identify the run the numbers came from;
@@ -145,9 +226,11 @@ pub fn audit_json(a: &AuditReport, scale: &str, seed: u64, threads: usize) -> St
          \"scored_failures\": {},\n  \"skipped_proxied\": {},\n  \
          \"skipped_permanent\": {},\n  \"class_labels\": [{}],\n  \
          \"confusion_matrix\": [\n{}\n  ],\n  \"agreement\": {:.4},\n  \
+         \"weighted_agreement\": {:.4},\n  \
          \"permanent_pairs\": {},\n  \"pairs_missed\": {},\n  \
          \"pairs_spurious\": {},\n  \"client_episode_hours\": {},\n  \
-         \"server_episode_hours\": {},\n  \"severe_bgp\": {}\n}}\n",
+         \"server_episode_hours\": {},\n  \"severe_bgp\": {},\n  \
+         \"archetypes\": {}\n}}\n",
         a.stamped_records,
         a.stamped_failures,
         a.blame.total(),
@@ -156,12 +239,44 @@ pub fn audit_json(a: &AuditReport, scale: &str, seed: u64, threads: usize) -> St
         labels.join(", "),
         matrix_rows.join(",\n"),
         a.blame.agreement(),
+        a.blame.weighted_agreement(),
         json_overlap(&a.pairs.overlap),
         a.pairs.missed.len(),
         a.pairs.spurious.len(),
         json_overlap(&a.client_episodes),
         json_overlap(&a.server_episodes),
         json_overlap(&a.severe_bgp),
+        json_archetypes(a),
+    )
+}
+
+/// Per-scenario archetype detection as a JSON document (the body of
+/// `BENCH_scenarios.json`): one entry per scenario world, each with its
+/// scored-failure count, agreement figures, and the full archetype score
+/// list — including the archetypes that did not fire there, so a reader
+/// can tell "not injected" (truth 0) from "missed".
+pub fn scenarios_json(entries: &[(String, &AuditReport)], seed: u64, threads: usize) -> String {
+    let blocks: Vec<String> = entries
+        .iter()
+        .map(|(name, a)| {
+            format!(
+                "    {{\n      \"scenario\": \"{name}\",\n      \
+                 \"scored_failures\": {},\n      \"agreement\": {:.4},\n      \
+                 \"weighted_agreement\": {:.4},\n      \"archetypes\": [\n{}\n      ]\n    }}",
+                a.blame.total(),
+                a.blame.agreement(),
+                a.blame.weighted_agreement(),
+                a.archetypes
+                    .iter()
+                    .map(|s| format!("        {}", json_archetype(s)))
+                    .collect::<Vec<_>>()
+                    .join(",\n"),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        blocks.join(",\n")
     )
 }
 
@@ -169,6 +284,52 @@ pub fn audit_json(a: &AuditReport, scale: &str, seed: u64, threads: usize) -> St
 mod tests {
     use super::*;
     use netprofiler::audit::{BlameConfusion, PairDetectionScore, SetOverlap};
+
+    #[test]
+    fn archetype_section_lists_fired_archetypes_only() {
+        let text = render_audit(&sample());
+        assert!(text.contains("archetypes fired: colo-blast"), "{text}");
+        assert!(text.contains("adversarial archetype detection"));
+        // wrong-dns never fired (truth 0): no table row for it.
+        let table_start = text.find("archetype detection").unwrap();
+        assert!(!text[table_start..].contains("wrong-dns"), "{text}");
+        assert!(text.contains("missed (colo-blast): c1→s2@h3 inferred other; \
+                               c4→s2@h3 inferred other (+1 more)"),
+            "{text}");
+    }
+
+    #[test]
+    fn no_fired_archetypes_renders_one_line() {
+        let mut a = sample();
+        for s in &mut a.archetypes {
+            s.truth = 0;
+            s.detected = 0;
+            s.missed_samples.clear();
+        }
+        let text = render_audit(&a);
+        assert!(text.contains("archetypes fired: none"));
+        assert!(!text.contains("adversarial archetype detection"));
+    }
+
+    #[test]
+    fn weighted_agreement_renders_beside_raw() {
+        let text = render_audit(&sample());
+        assert!(text.contains("agreement 90.0% (weighted"), "{text}");
+    }
+
+    #[test]
+    fn scenarios_json_has_one_block_per_scenario() {
+        let a = sample();
+        let entries = vec![
+            ("colo-blast".to_string(), &a),
+            ("adversarial-month".to_string(), &a),
+        ];
+        let json = scenarios_json(&entries, 42, 2);
+        assert!(json.contains("\"scenario\": \"colo-blast\""));
+        assert!(json.contains("\"scenario\": \"adversarial-month\""));
+        assert!(json.contains("\"name\": \"wrong-dns\""), "unfired archetypes stay listed");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
 
     fn sample() -> AuditReport {
         let mut blame = BlameConfusion::default();
@@ -190,6 +351,24 @@ mod tests {
             client_episodes: SetOverlap { truth: 50, inferred: 40, overlap: 35 },
             server_episodes: SetOverlap { truth: 20, inferred: 25, overlap: 18 },
             severe_bgp: SetOverlap { truth: 10, inferred: 8, overlap: 8 },
+            archetypes: vec![
+                ArchetypeScore {
+                    name: "colo-blast",
+                    expected: 1,
+                    truth: 12,
+                    detected: 9,
+                    inferred_class_total: 30,
+                    missed_samples: vec![
+                        "c1→s2@h3 inferred other".to_string(),
+                        "c4→s2@h3 inferred other".to_string(),
+                    ],
+                },
+                ArchetypeScore {
+                    name: "wrong-dns",
+                    expected: 1,
+                    ..ArchetypeScore::default()
+                },
+            ],
         }
     }
 

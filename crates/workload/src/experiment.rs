@@ -18,11 +18,11 @@
 
 use crate::apparatus::ApparatusFaults;
 use crate::clients::{build_fleet, FleetSpec};
-use crate::faults::{canonical_host, GroundTruth};
+use crate::faults::{canonical_host, AdversarialProfile, GroundTruth};
 use crate::sites::{build_sites, site_addresses, SiteSpec};
 use crate::view::{ClientView, ProxyView};
 use bgpsim::mrt::{decode_stream_salvage, encode_stream, MrtPrefixTable};
-use bgpsim::{aggregate, clean, generate, BgpScenario, SevereEvent};
+use bgpsim::{aggregate, clean, generate, BgpScenario, ReconfigWindow, SevereEvent};
 use dnssim::ZoneTree;
 use dnswire::DomainName;
 use model::{
@@ -64,6 +64,11 @@ pub struct ExperimentConfig {
     /// [`ProvenanceLog`] sidecar. The dataset itself is bit-identical on or
     /// off — stamping reads materialized timelines only, never the RNG.
     pub record_provenance: bool,
+    /// Adversarial fault-archetype intensities.
+    /// [`AdversarialProfile::none`] (the default everywhere) draws nothing
+    /// from any archetype stream and leaves the run bit-identical to a
+    /// build without the suite.
+    pub adversarial: AdversarialProfile,
 }
 
 impl ExperimentConfig {
@@ -80,6 +85,7 @@ impl ExperimentConfig {
             fault_scale: 1.0,
             apparatus: ApparatusFaults::none(),
             record_provenance: false,
+            adversarial: AdversarialProfile::none(),
         }
     }
 
@@ -106,6 +112,7 @@ impl ExperimentConfig {
             fault_scale: 1.0,
             apparatus: ApparatusFaults::none(),
             record_provenance: false,
+            adversarial: AdversarialProfile::none(),
         }
     }
 
@@ -262,12 +269,13 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         .with_detail(|| format!("seed={} hours={}", config.seed, config.hours));
     let fleet = build_fleet();
     let sites = build_sites();
-    let truth = GroundTruth::materialize_scaled(
+    let truth = GroundTruth::materialize_with(
         &fleet,
         &sites,
         config.hours,
         config.seed,
         config.fault_scale,
+        &config.adversarial,
     );
 
     // --- DNS world -----------------------------------------------------
@@ -643,6 +651,20 @@ fn build_bgp(
         .collect();
     let mut scenario = BgpScenario::quiet(prefix_count, config.hours);
     scenario.severe_events = severe_events;
+    // Adversarial reconfiguration windows (empty unless the profile enabled
+    // the bgp-transient archetype) ride into the feed alongside the severe
+    // events, each drawing only from its own per-window fork.
+    scenario.reconfig_windows = truth
+        .adversarial
+        .reconfig_windows
+        .iter()
+        .map(|w| ReconfigWindow {
+            prefix: PrefixId(w.prefix_index),
+            hour: w.hour,
+            peers: w.peers,
+            bursts: w.bursts,
+        })
+        .collect();
     // A collector reset roughly every 10 days.
     let mut rng = SimRng::new(config.seed).fork_str("bgp-resets");
     let mut h = 0u32;
@@ -871,6 +893,7 @@ mod tests {
             fault_scale: 1.0,
             apparatus: ApparatusFaults::none(),
             record_provenance: false,
+            adversarial: AdversarialProfile::none(),
         }
     }
 

@@ -38,152 +38,16 @@ use netsim::{OnOffProcess, SimRng, Timeline};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
+pub mod adversarial;
+mod profile;
+
 // The *apparatus* fault model — failures of the measurement platform
 // itself, as opposed to the network faults modelled below — lives in
 // [`crate::apparatus`] and is re-exported here so both fault families are
 // reachable from one module path.
 pub use crate::apparatus::{ApparatusFaults, CorruptionApplied};
-
-/// Per-client fault intensities (long-run down fractions and noise rates).
-#[derive(Clone, Copy, Debug)]
-pub struct FaultProfile {
-    /// Shared (site-level) last-mile/LDNS-path outage fraction.
-    pub shared_link_down: f64,
-    /// Client-own last-mile outage fraction.
-    pub own_link_down: f64,
-    /// LDNS server outage fraction.
-    pub ldns_down: f64,
-    /// Shared wide-area outage fraction.
-    pub shared_wan_down: f64,
-    /// Client-own wide-area outage fraction.
-    pub own_wan_down: f64,
-    /// Machine powered off fraction (no accesses made).
-    pub machine_down: f64,
-    /// Mean episode length for link/LDNS faults.
-    pub link_episode: SimDuration,
-    /// Mean episode length for WAN faults.
-    pub wan_episode: SimDuration,
-    /// Baseline per-packet loss on this client's paths.
-    pub base_loss: f64,
-    /// Per-connection transient failure probability (background noise).
-    pub noise_prob: f64,
-    /// Noise failure mix: [no-connection, no-response, stall].
-    pub noise_mix: [f64; 3],
-    /// Mean RTT from this client to US-based sites.
-    pub base_rtt: SimDuration,
-}
-
-impl FaultProfile {
-    /// Calibrated intensities per archetype. Targets: Figure 1's per-category
-    /// failure rates (PL 2.8%, BB 1.3%, DU 0.7%, CN 0.8%) and breakdowns
-    /// (DNS 34–42%, TCP 57–64%), Figure 3's no-connection shares, Table 5's
-    /// blame split, and Tables 7/8's co-location similarity structure.
-    pub fn for_profile(profile: ClientProfile) -> FaultProfile {
-        let minutes = |m: u64| SimDuration::from_secs(m * 60);
-        let ms = SimDuration::from_millis;
-        let pl = FaultProfile {
-            shared_link_down: 0.0034,
-            own_link_down: 0.0030,
-            ldns_down: 0.0004,
-            shared_wan_down: 0.0006,
-            own_wan_down: 0.0001,
-            machine_down: 0.035,
-            link_episode: minutes(25),
-            wan_episode: minutes(18),
-            base_loss: 0.006,
-            noise_prob: 0.0035,
-            noise_mix: [0.55, 0.25, 0.20],
-            base_rtt: ms(45),
-        };
-        match profile {
-            ClientProfile::PlTypical => pl,
-            ClientProfile::PlIntelShared => FaultProfile {
-                // Frequent short shared WAN drops: nearly every hour is a
-                // client-side episode, and both nodes share them (98%).
-                shared_wan_down: 0.075,
-                wan_episode: minutes(4),
-                shared_link_down: 0.004,
-                own_link_down: 0.0008,
-                own_wan_down: 0.0002,
-                ..pl
-            },
-            ClientProfile::PlColumbiaNoisy => FaultProfile {
-                // Heavy node-specific WAN faults plus a subgroup-shared
-                // component that the quiet node does not see.
-                own_wan_down: 0.016,
-                shared_wan_down: 0.018, // keyed per-subgroup, see below
-                wan_episode: minutes(8),
-                ..pl
-            },
-            ClientProfile::PlColumbiaQuiet => FaultProfile {
-                own_wan_down: 0.0006,
-                shared_wan_down: 0.0004,
-                own_link_down: 0.0015,
-                ..pl
-            },
-            ClientProfile::PlKaist => FaultProfile {
-                shared_wan_down: 0.0035,
-                own_wan_down: 0.003,
-                wan_episode: minutes(45),
-                ..pl
-            },
-            ClientProfile::PlBgpShowcase => FaultProfile {
-                // A handful of multi-hour WAN blackouts, each mirrored by a
-                // ≥70-neighbor BGP withdrawal storm (Figure 5).
-                own_wan_down: 0.012,
-                wan_episode: minutes(100),
-                ..pl
-            },
-            ClientProfile::PlKscyShowcase => FaultProfile {
-                own_wan_down: 0.004,
-                wan_episode: minutes(35),
-                ..pl
-            },
-            ClientProfile::Dialup => FaultProfile {
-                shared_link_down: 0.0,
-                own_link_down: 0.0013,
-                ldns_down: 0.0002,
-                shared_wan_down: 0.0,
-                own_wan_down: 0.0003,
-                machine_down: 0.01,
-                link_episode: minutes(15),
-                wan_episode: minutes(15),
-                base_loss: 0.009,
-                noise_prob: 0.0040,
-                noise_mix: [0.20, 0.40, 0.40],
-                base_rtt: ms(160),
-            },
-            ClientProfile::CorpProxied | ClientProfile::CorpExternal => FaultProfile {
-                shared_link_down: 0.0004,
-                own_link_down: 0.0004,
-                ldns_down: 0.0002,
-                shared_wan_down: 0.0006,
-                own_wan_down: 0.0002,
-                machine_down: 0.008,
-                link_episode: minutes(12),
-                wan_episode: minutes(12),
-                base_loss: 0.004,
-                noise_prob: 0.0012,
-                noise_mix: [0.7, 0.18, 0.12],
-                base_rtt: ms(55),
-            },
-            ClientProfile::Broadband => FaultProfile {
-                shared_link_down: 0.0009,
-                own_link_down: 0.0026,
-                ldns_down: 0.0008,
-                shared_wan_down: 0.0003,
-                own_wan_down: 0.0003,
-                machine_down: 0.015,
-                link_episode: minutes(20),
-                wan_episode: minutes(20),
-                base_loss: 0.011,
-                noise_mix: [0.05, 0.45, 0.50],
-                noise_prob: 0.0100,
-                base_rtt: ms(60),
-            },
-        }
-    }
-}
+pub use adversarial::{AdversarialProfile, AdversarialTruth, ReconfigWindowSpec, ARCHETYPE_NAMES};
+pub use profile::FaultProfile;
 
 /// One severe BGP instability event to synthesize (consumed by `bgpsim`).
 #[derive(Clone, Copy, Debug)]
@@ -242,6 +106,9 @@ pub struct GroundTruth {
     pub site_rtt_penalty: Vec<u32>,
     /// Severe BGP events derived from (and coupled to) the outages above.
     pub severe_bgp: Vec<SevereBgpEvent>,
+    /// Adversarial archetype truth (all containers empty unless an
+    /// [`AdversarialProfile`] explicitly enabled an archetype).
+    pub adversarial: AdversarialTruth,
     /// Root seed (used for the stateless per-access noise hashing).
     pub seed: u64,
 }
@@ -301,6 +168,22 @@ impl GroundTruth {
         hours: u32,
         seed: u64,
         fault_scale: f64,
+    ) -> GroundTruth {
+        Self::materialize_with(fleet, sites, hours, seed, fault_scale, &AdversarialProfile::none())
+    }
+
+    /// As [`GroundTruth::materialize_scaled`], additionally injecting the
+    /// adversarial archetypes selected by `adversarial`. Archetypes draw
+    /// exclusively from their own freshly-tagged RNG streams, so any world
+    /// with `AdversarialProfile::none()` is bit-identical to one built by
+    /// the plain constructors.
+    pub fn materialize_with(
+        fleet: &FleetSpec,
+        sites: &[SiteSpec],
+        hours: u32,
+        seed: u64,
+        fault_scale: f64,
+        adversarial: &AdversarialProfile,
     ) -> GroundTruth {
         let k = fault_scale.max(0.0);
         let horizon = SimTime::from_hours(u64::from(hours));
@@ -552,9 +435,18 @@ impl GroundTruth {
             origins,
             site_rtt_penalty,
             severe_bgp: Vec::new(),
+            adversarial: AdversarialTruth::default(),
             seed,
         };
         gt.severe_bgp = derive_severe_events(&gt, fleet, sites, &root);
+        gt.adversarial = adversarial::materialize_adversarial(
+            fleet,
+            sites,
+            hours,
+            &root,
+            adversarial,
+            &gt.blocked,
+        );
         gt
     }
 

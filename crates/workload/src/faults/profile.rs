@@ -1,0 +1,145 @@
+//! Per-client fault intensities: the calibrated knobs of the 2005 Internet.
+
+use crate::clients::ClientProfile;
+use model::SimDuration;
+
+/// Per-client fault intensities (long-run down fractions and noise rates).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProfile {
+    /// Shared (site-level) last-mile/LDNS-path outage fraction.
+    pub shared_link_down: f64,
+    /// Client-own last-mile outage fraction.
+    pub own_link_down: f64,
+    /// LDNS server outage fraction.
+    pub ldns_down: f64,
+    /// Shared wide-area outage fraction.
+    pub shared_wan_down: f64,
+    /// Client-own wide-area outage fraction.
+    pub own_wan_down: f64,
+    /// Machine powered off fraction (no accesses made).
+    pub machine_down: f64,
+    /// Mean episode length for link/LDNS faults.
+    pub link_episode: SimDuration,
+    /// Mean episode length for WAN faults.
+    pub wan_episode: SimDuration,
+    /// Baseline per-packet loss on this client's paths.
+    pub base_loss: f64,
+    /// Per-connection transient failure probability (background noise).
+    pub noise_prob: f64,
+    /// Noise failure mix: [no-connection, no-response, stall].
+    pub noise_mix: [f64; 3],
+    /// Mean RTT from this client to US-based sites.
+    pub base_rtt: SimDuration,
+}
+
+impl FaultProfile {
+    /// Calibrated intensities per archetype. Targets: Figure 1's per-category
+    /// failure rates (PL 2.8%, BB 1.3%, DU 0.7%, CN 0.8%) and breakdowns
+    /// (DNS 34–42%, TCP 57–64%), Figure 3's no-connection shares, Table 5's
+    /// blame split, and Tables 7/8's co-location similarity structure.
+    pub fn for_profile(profile: ClientProfile) -> FaultProfile {
+        let minutes = |m: u64| SimDuration::from_secs(m * 60);
+        let ms = SimDuration::from_millis;
+        let pl = FaultProfile {
+            shared_link_down: 0.0034,
+            own_link_down: 0.0030,
+            ldns_down: 0.0004,
+            shared_wan_down: 0.0006,
+            own_wan_down: 0.0001,
+            machine_down: 0.035,
+            link_episode: minutes(25),
+            wan_episode: minutes(18),
+            base_loss: 0.006,
+            noise_prob: 0.0035,
+            noise_mix: [0.55, 0.25, 0.20],
+            base_rtt: ms(45),
+        };
+        match profile {
+            ClientProfile::PlTypical => pl,
+            ClientProfile::PlIntelShared => FaultProfile {
+                // Frequent short shared WAN drops: nearly every hour is a
+                // client-side episode, and both nodes share them (98%).
+                shared_wan_down: 0.075,
+                wan_episode: minutes(4),
+                shared_link_down: 0.004,
+                own_link_down: 0.0008,
+                own_wan_down: 0.0002,
+                ..pl
+            },
+            ClientProfile::PlColumbiaNoisy => FaultProfile {
+                // Heavy node-specific WAN faults plus a subgroup-shared
+                // component that the quiet node does not see.
+                own_wan_down: 0.016,
+                shared_wan_down: 0.018, // keyed per-subgroup, see below
+                wan_episode: minutes(8),
+                ..pl
+            },
+            ClientProfile::PlColumbiaQuiet => FaultProfile {
+                own_wan_down: 0.0006,
+                shared_wan_down: 0.0004,
+                own_link_down: 0.0015,
+                ..pl
+            },
+            ClientProfile::PlKaist => FaultProfile {
+                shared_wan_down: 0.0035,
+                own_wan_down: 0.003,
+                wan_episode: minutes(45),
+                ..pl
+            },
+            ClientProfile::PlBgpShowcase => FaultProfile {
+                // A handful of multi-hour WAN blackouts, each mirrored by a
+                // ≥70-neighbor BGP withdrawal storm (Figure 5).
+                own_wan_down: 0.012,
+                wan_episode: minutes(100),
+                ..pl
+            },
+            ClientProfile::PlKscyShowcase => FaultProfile {
+                own_wan_down: 0.004,
+                wan_episode: minutes(35),
+                ..pl
+            },
+            ClientProfile::Dialup => FaultProfile {
+                shared_link_down: 0.0,
+                own_link_down: 0.0013,
+                ldns_down: 0.0002,
+                shared_wan_down: 0.0,
+                own_wan_down: 0.0003,
+                machine_down: 0.01,
+                link_episode: minutes(15),
+                wan_episode: minutes(15),
+                base_loss: 0.009,
+                noise_prob: 0.0040,
+                noise_mix: [0.20, 0.40, 0.40],
+                base_rtt: ms(160),
+            },
+            ClientProfile::CorpProxied | ClientProfile::CorpExternal => FaultProfile {
+                shared_link_down: 0.0004,
+                own_link_down: 0.0004,
+                ldns_down: 0.0002,
+                shared_wan_down: 0.0006,
+                own_wan_down: 0.0002,
+                machine_down: 0.008,
+                link_episode: minutes(12),
+                wan_episode: minutes(12),
+                base_loss: 0.004,
+                noise_prob: 0.0012,
+                noise_mix: [0.7, 0.18, 0.12],
+                base_rtt: ms(55),
+            },
+            ClientProfile::Broadband => FaultProfile {
+                shared_link_down: 0.0009,
+                own_link_down: 0.0026,
+                ldns_down: 0.0008,
+                shared_wan_down: 0.0003,
+                own_wan_down: 0.0003,
+                machine_down: 0.015,
+                link_episode: minutes(20),
+                wan_episode: minutes(20),
+                base_loss: 0.011,
+                noise_mix: [0.05, 0.45, 0.50],
+                noise_prob: 0.0100,
+                base_rtt: ms(60),
+            },
+        }
+    }
+}

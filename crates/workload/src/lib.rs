@@ -35,7 +35,7 @@ pub mod view;
 pub use apparatus::ApparatusFaults;
 pub use clients::{build_fleet, ClientSpec, FleetSpec};
 pub use experiment::{run_experiment, ClientOutcome, ExperimentConfig, RunReport};
-pub use faults::{FaultProfile, GroundTruth};
+pub use faults::{AdversarialProfile, AdversarialTruth, FaultProfile, GroundTruth, ARCHETYPE_NAMES};
 pub use sites::{build_sites, ReplicaLayout, SiteSpec};
 pub use validation::{score_attribution, AttributionScore};
 pub use view::{ClientView, ProxyView};

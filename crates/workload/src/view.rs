@@ -222,12 +222,67 @@ impl DnsFaults for ClientView<'_> {
         let (tl, code) = self.gt.zone_error.get(zone_apex)?;
         (*tl.at(t)).then_some(*code)
     }
+
+    fn wrong_answer(&self, qname: &DomainName, t: SimTime) -> Option<Ipv4Addr> {
+        let apex = dnssim::zones::registrable_domain(qname);
+        self.gt.adversarial.wrong_answer(&apex, t)
+    }
 }
+
+/// Failure probability per access while a CDN regional brownout window is
+/// active for the client's region (partial, like a degradation episode).
+const BROWNOUT_FAIL_PROB: f64 = 0.65;
+
+/// Bytes after which an MTU-blackholed transfer stalls: the connect and the
+/// first small packets get through, the full-size data packets do not.
+const MTU_STALL_BYTES: u64 = 1200;
 
 impl AccessEnvironment for ClientView<'_> {
     fn server_behavior(&self, replica: Ipv4Addr, t: SimTime) -> ServerBehavior {
         let c = self.client as usize;
+        let adv = &self.gt.adversarial;
+        if adv.decoys.contains(&replica) {
+            // Wrong-answer DNS: the decoy accepts nothing.
+            return ServerBehavior::Unreachable;
+        }
+        if adv.bgp_transient_at(c, t) {
+            // Reconfiguration transient: the client prefix's paths are
+            // momentarily violated — like a WAN blip, connects die.
+            return ServerBehavior::Unreachable;
+        }
         let site = self.gt.site_of_addr.get(&replica);
+        if let Some(&site) = site {
+            if adv.censored(self.client, site, t) {
+                // Censorship blocks like the permanent pairs do: fast resets.
+                return ServerBehavior::Refusing;
+            }
+            if adv.colo_blasted(site, t) {
+                return ServerBehavior::Unreachable;
+            }
+            if adv.vantage_faulted(site, t) {
+                // Visible from the direct vantage only (ProxyView skips it).
+                return ServerBehavior::AcceptNoResponse;
+            }
+            if adv.mtu_blackholed(self.client, site, t) {
+                let bytes = self.gt.site_index_bytes[site as usize];
+                return ServerBehavior::StallAfter(MTU_STALL_BYTES.min(bytes));
+            }
+            if adv.browning_out_for(site, c, t) {
+                // Partial like a degradation episode: coherent draws so a
+                // browned access fails as a transaction, not one connect.
+                let bucket = t.as_micros() / SERVER_DRAW_WINDOW_US;
+                let u = hash_unit(
+                    self.gt.seed,
+                    0xD1,
+                    u64::from(site),
+                    bucket,
+                    u64::from(self.client),
+                );
+                if u < BROWNOUT_FAIL_PROB {
+                    return ServerBehavior::Unreachable;
+                }
+            }
+        }
         let blocked =
             site.is_some_and(|site| self.gt.blocked.contains(&(self.client, *site)));
         let pair_fail_prob = site
@@ -282,11 +337,16 @@ impl AccessEnvironment for ClientView<'_> {
         if *self.gt.wan[c].at(t) {
             s |= FaultSet::WAN;
         }
+        let apex = dnssim::zones::registrable_domain(host);
+        if self.gt.adversarial.wrong_answer(&apex, t).is_some() {
+            s |= FaultSet::WRONG_DNS;
+        }
         s
     }
 
     fn true_faults(&self, replica: Ipv4Addr, t: SimTime) -> FaultSet {
         let c = self.client as usize;
+        let adv = &self.gt.adversarial;
         let mut s = server_truth(self.gt, replica, t);
         if *self.gt.link[c].at(t) {
             s |= FaultSet::LAST_MILE;
@@ -294,12 +354,33 @@ impl AccessEnvironment for ClientView<'_> {
         if *self.gt.wan[c].at(t) {
             s |= FaultSet::WAN;
         }
+        if adv.bgp_transient_at(c, t) {
+            s |= FaultSet::BGP_TRANSIENT;
+        }
+        if adv.decoys.contains(&replica) {
+            s |= FaultSet::WRONG_DNS;
+        }
         if let Some(&site) = self.gt.site_of_addr.get(&replica) {
             if self.gt.blocked.contains(&(self.client, site)) {
                 s |= FaultSet::BLOCKED_PAIR;
             }
             if self.gt.degraded_pairs.contains_key(&(self.client, site)) {
                 s |= FaultSet::DEGRADED_PAIR;
+            }
+            if adv.censored(self.client, site, t) {
+                s |= FaultSet::CENSORED;
+            }
+            if adv.colo_blasted(site, t) {
+                s |= FaultSet::COLO_BLAST;
+            }
+            if adv.vantage_faulted(site, t) {
+                s |= FaultSet::VANTAGE_SPLIT;
+            }
+            if adv.browning_out_for(site, c, t) {
+                s |= FaultSet::CDN_BROWNOUT;
+            }
+            if adv.mtu_blackholed(self.client, site, t) {
+                s |= FaultSet::MTU_BLACKHOLE;
             }
         }
         s
@@ -347,10 +428,28 @@ impl DnsFaults for ProxyView<'_> {
         let (tl, code) = self.gt.zone_error.get(zone_apex)?;
         (*tl.at(t)).then_some(*code)
     }
+
+    fn wrong_answer(&self, qname: &DomainName, t: SimTime) -> Option<Ipv4Addr> {
+        // Wrong answers come from the zone itself, so every vantage's
+        // resolver picks up the same decoy.
+        let apex = dnssim::zones::registrable_domain(qname);
+        self.gt.adversarial.wrong_answer(&apex, t)
+    }
 }
 
 impl AccessEnvironment for ProxyView<'_> {
     fn server_behavior(&self, replica: Ipv4Addr, t: SimTime) -> ServerBehavior {
+        // Co-location blasts and decoy addresses hit every vantage; the
+        // client-scoped archetypes (censorship, transients, MTU pairs) and
+        // the deliberately vantage-split faults do not reach the proxy path.
+        if self.gt.adversarial.decoys.contains(&replica) {
+            return ServerBehavior::Unreachable;
+        }
+        if let Some(&site) = self.gt.site_of_addr.get(&replica) {
+            if self.gt.adversarial.colo_blasted(site, t) {
+                return ServerBehavior::Unreachable;
+            }
+        }
         ClientView::shared_server_behavior(
             self.gt,
             0x5000 + u64::from(self.proxy),
@@ -391,11 +490,24 @@ impl AccessEnvironment for ProxyView<'_> {
         if *self.gt.proxy_ldns[p].at(t) {
             s |= FaultSet::PROXY_LDNS;
         }
+        let apex = dnssim::zones::registrable_domain(host);
+        if self.gt.adversarial.wrong_answer(&apex, t).is_some() {
+            s |= FaultSet::WRONG_DNS;
+        }
         s
     }
 
     fn true_faults(&self, replica: Ipv4Addr, t: SimTime) -> FaultSet {
-        server_truth(self.gt, replica, t)
+        let mut s = server_truth(self.gt, replica, t);
+        if self.gt.adversarial.decoys.contains(&replica) {
+            s |= FaultSet::WRONG_DNS;
+        }
+        if let Some(&site) = self.gt.site_of_addr.get(&replica) {
+            if self.gt.adversarial.colo_blasted(site, t) {
+                s |= FaultSet::COLO_BLAST;
+            }
+        }
+        s
     }
 }
 

@@ -133,6 +133,81 @@ fn provenance_recording_does_not_change_results() {
 }
 
 #[test]
+fn existing_worlds_bit_identical_to_pre_archetype_goldens() {
+    use workload::ApparatusFaults;
+    // Golden fingerprints captured immediately BEFORE the adversarial
+    // fault-archetype suite landed. Every archetype draws from its own
+    // `fork_str` stream (forked only when its intensity is non-zero), so a
+    // run with `AdversarialProfile::none()` — the default — must replay
+    // the exact same world the repo produced before the suite existed.
+    // If either tuple changes, an archetype is consuming shared RNG state
+    // or perturbing event order even when switched off.
+    let standard = run(9090, 1);
+    assert_eq!(
+        fingerprint(&standard),
+        (
+            85188,
+            97008,
+            5444639083603919108,
+            9914999645929271109,
+            12293567977887159832,
+        ),
+        "standard world drifted from its pre-archetype golden fingerprint"
+    );
+
+    let mut cfg = ExperimentConfig::quick(4242);
+    cfg.hours = 8;
+    cfg.wire_fidelity = false;
+    cfg.threads = 1;
+    cfg.apparatus = ApparatusFaults::stress();
+    let degraded = run_experiment(&cfg).dataset;
+    assert_eq!(
+        fingerprint(&degraded),
+        (
+            80849,
+            93179,
+            17855544009171169314,
+            8974359416489872555,
+            6117770599523513703,
+        ),
+        "degraded world drifted from its pre-archetype golden fingerprint"
+    );
+}
+
+#[test]
+fn adversarial_archetypes_stay_deterministic_across_threads() {
+    use workload::AdversarialProfile;
+    // The full archetype suite — BGP transients, censorship, colo blasts,
+    // vantage splits, CDN brownouts, MTU blackholes, wrong-answer DNS —
+    // must be as thread-invariant as the healthy world, sidecar included.
+    let adversarial = |threads: usize| {
+        let mut cfg = ExperimentConfig::quick(616);
+        cfg.hours = 8;
+        cfg.wire_fidelity = false;
+        cfg.threads = threads;
+        cfg.record_provenance = true;
+        cfg.adversarial = AdversarialProfile::adversarial_month();
+        run_experiment(&cfg)
+    };
+    let a = adversarial(1);
+    let b = adversarial(5);
+    assert_eq!(fingerprint(&a.dataset), fingerprint(&b.dataset));
+    assert_eq!(a.provenance, b.provenance);
+
+    // And the profile actually changes the world — the suite is not a no-op.
+    let mut cfg = ExperimentConfig::quick(616);
+    cfg.hours = 8;
+    cfg.wire_fidelity = false;
+    cfg.threads = 1;
+    let baseline = run_experiment(&cfg).dataset;
+    assert_ne!(
+        fingerprint(&a.dataset),
+        fingerprint(&baseline),
+        "adversarial month must differ from the healthy world"
+    );
+}
+
+#[test]
 fn full_pipeline_and_report_are_thread_invariant() {
     use netprofiler::{pipeline, AnalysisConfig};
     let base_ds = run(9090, 1);

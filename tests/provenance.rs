@@ -175,6 +175,237 @@ fn sidecar_is_parallel_and_vantage_consistent() {
 }
 
 #[test]
+fn archetype_stamps_track_window_boundaries_mid_hour() {
+    let (fleet, sites, mut gt) = small_world(6);
+    // BGP reconfiguration transient for client 0 from 1h24m to 1h36m, and a
+    // co-location blast on site 3's shared rack from 2h15m to 2h45m. Both
+    // stamps must flip at the instant, not at the hour bin.
+    gt.adversarial.bgp_transient =
+        vec![netsim::Timeline::constant(false); fleet.clients.len()];
+    gt.adversarial.bgp_transient[0] =
+        Timeline::from_changes(false, [(t(1.4), true), (t(1.6), false)]);
+    gt.adversarial.colo_of_site.insert(3, 0);
+    gt.adversarial.colo_blast =
+        vec![Timeline::from_changes(false, [(t(2.25), true), (t(2.75), false)])];
+    let view = ClientView::new(&gt, 0);
+    let replica = workload::sites::site_addresses(3, sites[3].layout)[0];
+
+    assert!(!view.true_faults(replica, t(1.39)).contains(FaultSet::BGP_TRANSIENT));
+    for probe in [1.4, 1.5, 1.59] {
+        let s = view.true_faults(replica, t(probe));
+        assert!(s.contains(FaultSet::BGP_TRANSIENT), "transient active at {probe}h");
+        assert_eq!(s.true_blame(), TrueBlame::ClientSide, "a path flap is the client's problem");
+    }
+    assert!(!view.true_faults(replica, t(1.61)).contains(FaultSet::BGP_TRANSIENT));
+
+    assert!(!view.true_faults(replica, t(2.2)).contains(FaultSet::COLO_BLAST));
+    let blast = view.true_faults(replica, t(2.5));
+    assert!(blast.contains(FaultSet::COLO_BLAST));
+    assert_eq!(blast.true_blame(), TrueBlame::ServerSide);
+    assert!(!view.true_faults(replica, t(2.8)).contains(FaultSet::COLO_BLAST));
+
+    // A site outside the blasted rack never picks up the stamp.
+    let other = workload::sites::site_addresses(4, sites[4].layout)[0];
+    assert!(!view.true_faults(other, t(2.5)).contains(FaultSet::COLO_BLAST));
+}
+
+#[test]
+fn overlapping_archetypes_union_and_censorship_short_circuits() {
+    let (_, sites, mut gt) = small_world(6);
+    // Censorship of (client 0, site 0) from 1h to 3h, a colo blast covering
+    // site 0 from 2h to 4h, and the client's own last-mile outage inside
+    // the overlap — the stamp must union all three, and censorship must
+    // dominate the blame verdict like the paper's near-permanent pairs.
+    gt.adversarial.censored_clients.insert(0);
+    gt.adversarial.censored_sites.insert(0);
+    gt.adversarial.censor_window =
+        Timeline::from_changes(false, [(t(1.0), true), (t(3.0), false)]);
+    gt.adversarial.colo_of_site.insert(0, 0);
+    gt.adversarial.colo_blast =
+        vec![Timeline::from_changes(false, [(t(2.0), true), (t(4.0), false)])];
+    gt.link[0] = Timeline::from_changes(false, [(t(2.25), true), (t(2.75), false)]);
+    // Silence the materialized world's own faults on the probed pair so the
+    // verdicts below reflect the archetypes alone.
+    gt.wan[0] = Timeline::constant(false);
+    gt.blocked.remove(&(0, 0));
+    gt.degraded_pairs.remove(&(0, 0));
+    let view = ClientView::new(&gt, 0);
+    let replica = workload::sites::site_addresses(0, sites[0].layout)[0];
+
+    let only_censor = view.true_faults(replica, t(1.5));
+    assert!(only_censor.contains(FaultSet::CENSORED));
+    assert!(!only_censor.contains(FaultSet::COLO_BLAST));
+    assert_eq!(only_censor.true_blame(), TrueBlame::PairSpecific);
+
+    let two = view.true_faults(replica, t(2.1));
+    assert!(two.contains(FaultSet::CENSORED | FaultSet::COLO_BLAST));
+
+    let three = view.true_faults(replica, t(2.5));
+    assert!(three.contains(
+        FaultSet::CENSORED | FaultSet::COLO_BLAST | FaultSet::LAST_MILE
+    ));
+    assert_eq!(
+        three.true_blame(),
+        TrueBlame::PairSpecific,
+        "censorship short-circuits blame even under a client+server overlap"
+    );
+
+    let after = view.true_faults(replica, t(3.5));
+    assert!(!after.contains(FaultSet::CENSORED));
+    assert!(after.contains(FaultSet::COLO_BLAST));
+    assert_eq!(after.true_blame(), TrueBlame::ServerSide);
+
+    // An uncensored client at the same site sees only the blast.
+    let bystander = ClientView::new(&gt, 1).true_faults(replica, t(2.5));
+    assert!(bystander.contains(FaultSet::COLO_BLAST));
+    assert!(!bystander.contains(FaultSet::CENSORED));
+}
+
+#[test]
+fn proxied_vantage_hides_client_scoped_archetypes() {
+    let (fleet, sites, mut gt) = small_world(6);
+    // Turn every archetype on at once for site 0 and every client. The
+    // direct vantage stamps them all; the proxy path stamps only the
+    // archetypes that are really upstream of it (shared-rack blasts and
+    // poisoned zones) — censorship of the *client's* region, the client
+    // prefix's route flap, the direct-path-only split, the regional
+    // brownout, and the client-path MTU hole do not exist from there.
+    let everywhere = Timeline::constant(true);
+    let n = fleet.clients.len();
+    gt.adversarial.bgp_transient = vec![everywhere.clone(); n];
+    for c in 0..n as u16 {
+        gt.adversarial.censored_clients.insert(c);
+        gt.adversarial.mtu_blackhole.insert((c, 0), everywhere.clone());
+    }
+    gt.adversarial.censored_sites.insert(0);
+    gt.adversarial.censor_window = everywhere.clone();
+    gt.adversarial.colo_of_site.insert(0, 0);
+    gt.adversarial.colo_blast = vec![everywhere.clone()];
+    gt.adversarial.vantage_split.insert(0, everywhere.clone());
+    gt.adversarial.group_of_client = vec![Some(0); n];
+    gt.adversarial
+        .cdn_brownout
+        .insert(0, (std::collections::HashSet::from([0u16]), everywhere.clone()));
+    let decoy: std::net::Ipv4Addr = "192.0.2.10".parse().expect("valid addr");
+    gt.adversarial.decoys.insert(decoy);
+
+    let replica = workload::sites::site_addresses(0, sites[0].layout)[0];
+    let direct = ClientView::new(&gt, 0).true_faults(replica, t(1.0));
+    assert!(direct.contains(
+        FaultSet::BGP_TRANSIENT
+            | FaultSet::CENSORED
+            | FaultSet::COLO_BLAST
+            | FaultSet::VANTAGE_SPLIT
+            | FaultSet::CDN_BROWNOUT
+            | FaultSet::MTU_BLACKHOLE
+    ));
+
+    let proxied = ProxyView::new(&gt, 0).true_faults(replica, t(1.0));
+    assert!(proxied.contains(FaultSet::COLO_BLAST), "rack blasts hit every vantage");
+    for hidden in [
+        FaultSet::BGP_TRANSIENT,
+        FaultSet::CENSORED,
+        FaultSet::VANTAGE_SPLIT,
+        FaultSet::CDN_BROWNOUT,
+        FaultSet::MTU_BLACKHOLE,
+    ] {
+        assert!(
+            !proxied.contains(hidden),
+            "{:?} is client-scoped and must not stamp the proxy path",
+            hidden.names()
+        );
+    }
+    // Decoy addresses are poisoned at the zone, so both vantages stamp them.
+    assert!(ProxyView::new(&gt, 0).true_faults(decoy, t(1.0)).contains(FaultSet::WRONG_DNS));
+    assert!(ClientView::new(&gt, 0).true_faults(decoy, t(1.0)).contains(FaultSet::WRONG_DNS));
+}
+
+#[test]
+fn vantage_split_and_mtu_shape_the_direct_path_only() {
+    use tcpsim::ServerBehavior;
+    let (_, sites, mut gt) = small_world(6);
+    gt.adversarial.vantage_split.insert(0, Timeline::from_changes(false, [(t(1.0), true), (t(2.0), false)]));
+    gt.adversarial.mtu_blackhole.insert((0, 2), Timeline::from_changes(false, [(t(1.0), true), (t(2.0), false)]));
+
+    let view = ClientView::new(&gt, 0);
+    let split_replica = workload::sites::site_addresses(0, sites[0].layout)[0];
+    // The split site accepts the connect and never answers — but only on
+    // the direct path, and only inside the window.
+    assert_eq!(view.server_behavior(split_replica, t(1.5)), ServerBehavior::AcceptNoResponse);
+    assert_ne!(
+        ProxyView::new(&gt, 0).server_behavior(split_replica, t(1.5)),
+        ServerBehavior::AcceptNoResponse
+    );
+
+    // The MTU hole lets the connect and the first ~1.2 kB through, then
+    // the transfer hangs; another client's path to the same site is clean.
+    let mtu_replica = workload::sites::site_addresses(2, sites[2].layout)[0];
+    let bytes = gt.site_index_bytes[2];
+    assert_eq!(
+        view.server_behavior(mtu_replica, t(1.5)),
+        ServerBehavior::StallAfter(1200u64.min(bytes))
+    );
+    let stamp = view.true_faults(mtu_replica, t(1.5));
+    assert!(stamp.contains(FaultSet::MTU_BLACKHOLE));
+    assert_eq!(stamp.true_blame(), TrueBlame::PairSpecific);
+    assert!(!ClientView::new(&gt, 1)
+        .true_faults(mtu_replica, t(1.5))
+        .contains(FaultSet::MTU_BLACKHOLE));
+    assert!(!view.true_faults(mtu_replica, t(2.1)).contains(FaultSet::MTU_BLACKHOLE));
+}
+
+#[test]
+fn cdn_brownout_scopes_to_the_faulted_region() {
+    let (fleet, sites, mut gt) = small_world(6);
+    // Site 2 browns out for region group 0 between 1h and 2h. Clients in
+    // group 0 carry the stamp inside the window; clients elsewhere never do.
+    let n = fleet.clients.len();
+    gt.adversarial.group_of_client = (0..n).map(|c| Some((c % 2) as u16)).collect();
+    gt.adversarial.cdn_brownout.insert(
+        2,
+        (
+            std::collections::HashSet::from([0u16]),
+            Timeline::from_changes(false, [(t(1.0), true), (t(2.0), false)]),
+        ),
+    );
+    let replica = workload::sites::site_addresses(2, sites[2].layout)[0];
+
+    let in_region = ClientView::new(&gt, 0).true_faults(replica, t(1.5));
+    assert!(in_region.contains(FaultSet::CDN_BROWNOUT));
+    assert_eq!(in_region.true_blame(), TrueBlame::ServerSide);
+    assert!(!ClientView::new(&gt, 0).true_faults(replica, t(0.5)).contains(FaultSet::CDN_BROWNOUT));
+    assert!(!ClientView::new(&gt, 1).true_faults(replica, t(1.5)).contains(FaultSet::CDN_BROWNOUT));
+}
+
+#[test]
+fn wrong_dns_stamps_both_phases_and_heals_with_the_window() {
+    let (_, sites, mut gt) = small_world(6);
+    let host: dnswire::DomainName = sites[0].hostname.parse().expect("valid hostname");
+    let apex = dnssim::zones::registrable_domain(&host);
+    let decoy: std::net::Ipv4Addr = "192.0.2.10".parse().expect("valid addr");
+    gt.adversarial.wrong_dns.insert(
+        apex,
+        (Timeline::from_changes(false, [(t(1.0), true), (t(2.0), false)]), decoy),
+    );
+    gt.adversarial.decoys.insert(decoy);
+
+    let view = ClientView::new(&gt, 0);
+    // DNS-phase stamp follows the poisoning window exactly.
+    assert!(!view.true_dns_faults(&host, t(0.9)).contains(FaultSet::WRONG_DNS));
+    assert!(view.true_dns_faults(&host, t(1.5)).contains(FaultSet::WRONG_DNS));
+    assert!(!view.true_dns_faults(&host, t(2.1)).contains(FaultSet::WRONG_DNS));
+    // Connect-phase: the decoy is stamped whenever it is dialed (a cached
+    // poisoned answer can outlive the window); real replicas never are.
+    let stamp = view.true_faults(decoy, t(1.5));
+    assert!(stamp.contains(FaultSet::WRONG_DNS));
+    assert_eq!(stamp.true_blame(), TrueBlame::ServerSide);
+    let real = workload::sites::site_addresses(0, sites[0].layout)[0];
+    assert!(!view.true_faults(real, t(1.5)).contains(FaultSet::WRONG_DNS));
+    // The zone serves everyone the decoy, so the proxy vantage agrees.
+    assert!(ProxyView::new(&gt, 0).true_dns_faults(&host, t(1.5)).contains(FaultSet::WRONG_DNS));
+}
+
+#[test]
 fn audit_clears_the_agreement_floor_end_to_end() {
     use netprofiler::{audit, Analysis, AnalysisConfig};
     let mut cfg = ExperimentConfig::quick(20050101);
