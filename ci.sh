@@ -24,6 +24,20 @@ cargo run --release -q -p bench-suite --bin audit -- --out /tmp/BENCH_audit.json
 echo "==> audit --scenario: per-archetype detection clears the recall floors"
 cargo run --release -q -p bench-suite --bin audit -- --scenario --out /tmp/BENCH_scenarios.json > /dev/null
 
+echo "==> reproduce --html: self-contained page smoke test"
+html_dir="$(mktemp -d)"
+trap 'rm -rf "$html_dir"' EXIT
+cargo run --release -q -p bench-suite --bin reproduce -- --scale quick --html "$html_dir/report.html" > /dev/null
+test -s "$html_dir/report.html" || { echo "FAIL: report.html empty"; exit 1; }
+test -s "$html_dir/manifest.json" || { echo "FAIL: manifest.json missing"; exit 1; }
+iconv -f UTF-8 -t UTF-8 "$html_dir/report.html" > /dev/null || { echo "FAIL: report.html not valid UTF-8"; exit 1; }
+for anchor in manifest paper compare audit quarantine telemetry trajectory; do
+    grep -q "id=\"$anchor\"" "$html_dir/report.html" || { echo "FAIL: missing section anchor $anchor"; exit 1; }
+done
+if [ "$(grep -c 'http[s]*://' "$html_dir/report.html")" -ne 0 ]; then
+    echo "FAIL: report.html references external URLs"; exit 1
+fi
+
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 

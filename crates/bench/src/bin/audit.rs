@@ -30,41 +30,12 @@
 //! power fails CI. `--check --scenario` instead reruns the recorder
 //! on/off bit-identity check on the adversarial-month world.
 
-use bench_suite::Scale;
+use bench_suite::{dataset_fingerprint, Fnv, Scale};
 use netprofiler::{audit::audit, Analysis, AnalysisConfig};
 use std::time::Instant;
 use workload::{run_experiment, AdversarialProfile, ExperimentConfig, ARCHETYPE_NAMES};
 
 /// FNV-1a over a byte stream.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl std::fmt::Write for Fnv {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        for &b in s.as_bytes() {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        Ok(())
-    }
-}
-
-/// Hash the complete dataset contents without materializing the string.
-fn dataset_fingerprint(ds: &model::Dataset) -> u64 {
-    use std::fmt::Write as _;
-    let mut h = Fnv::new();
-    write!(h, "{ds:?}").expect("hashing cannot fail");
-    h.finish()
-}
-
 fn fnv1a(bytes: &[u8]) -> u64 {
     use std::fmt::Write as _;
     let mut h = Fnv::new();

@@ -2,12 +2,22 @@
 //!
 //! ```text
 //! reproduce [--scale quick|repro|paper] [--seed N] [--only ID[,ID...]]
-//!           [--export DIR] [--profile [DIR]]
+//!           [--export DIR] [--profile [DIR]] [--html FILE [--bench-dir DIR]]
 //! ```
 //!
 //! `--profile` switches the telemetry recorder on for the whole run and
 //! writes `telemetry.jsonl` + `trace.json` (Chrome trace format) to DIR
 //! (default `profile/`), with the stage summary on stderr.
+//!
+//! `--html FILE` writes the whole run as one self-contained HTML page
+//! (inline CSS/JS, zero external requests): run manifest, every paper
+//! table/figure, paper-vs-measured comparison, the ground-truth attribution
+//! audit, quarantine summary, telemetry stage profile, and the
+//! bench-trajectory panel over the committed `BENCH_*.json` artifacts
+//! (`--bench-dir` points at them; default `.`). A machine-readable
+//! `manifest.json` is written beside the page. The flag turns on
+//! provenance recording and telemetry — both proven zero-perturbation, so
+//! the text output on stdout stays byte-identical.
 //!
 //! IDs: table1 table2 table3 fig1 table4 fig2 fig3 permanent fig4 table5
 //! episodes table6 table7 table8 replicas bgp fig5 fig6 fig7 table9 pairs
@@ -25,10 +35,26 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut profile_dir: Option<std::path::PathBuf> = None;
+    let mut html_path: Option<std::path::PathBuf> = None;
+    let mut bench_dir = std::path::PathBuf::from(".");
 
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--html" => {
+                html_path = args.next().map(std::path::PathBuf::from);
+                if html_path.is_none() {
+                    eprintln!("--html needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--bench-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--bench-dir needs a directory");
+                    std::process::exit(2);
+                };
+                bench_dir = std::path::PathBuf::from(dir);
+            }
             "--profile" => {
                 // Optional DIR operand: consume the next arg unless it is a flag.
                 let dir = match args.peek() {
@@ -71,7 +97,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "reproduce [--scale quick|repro|paper] [--seed N] [--only IDs] [--export DIR] [--profile [DIR]]\n\
+                    "reproduce [--scale quick|repro|paper] [--seed N] [--only IDs] [--export DIR] \
+                     [--profile [DIR]] [--html FILE [--bench-dir DIR]]\n\
                      regenerates the tables/figures of 'A Study of End-to-End Web \
                      Access Failures' (CoNEXT 2006) from a simulated experiment"
                 );
@@ -83,11 +110,17 @@ fn main() {
         }
     }
 
-    if profile_dir.is_some() {
+    if profile_dir.is_some() || html_path.is_some() {
         telemetry::enable(true);
     }
 
-    let config = scale.config(seed);
+    let mut config = scale.config(seed);
+    if html_path.is_some() {
+        // The flight recorder is proven zero-perturbation (audit --check),
+        // so the page's audit section rides along without changing the
+        // dataset or the text output.
+        config.record_provenance = true;
+    }
     eprintln!(
         "running experiment: {} hours x {} accesses/hour x 80 sites x 134 clients (~{} transactions), seed {seed}",
         config.hours,
@@ -177,11 +210,81 @@ fn main() {
         println!("\n{ok}/{} comparisons within the paper's shape", comps.len());
     }
 
+    if let Some(path) = html_path {
+        match write_html_report(&path, &bench_dir, &out, &a5, &a10, &config, scale, seed) {
+            Ok(()) => eprintln!(
+                "HTML report written: {} (+ manifest.json beside it)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("HTML report failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(dir) = profile_dir {
         if let Err(e) = bench_suite::write_profile(&dir) {
             eprintln!("profile write failed: {e}");
         }
     }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Reproduction => "repro",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Assemble and write the self-contained HTML page plus `manifest.json`.
+#[allow(clippy::too_many_arguments)]
+fn write_html_report(
+    path: &std::path::Path,
+    bench_dir: &std::path::Path,
+    out: &workload::ExperimentOutput,
+    a5: &Analysis<'_>,
+    a10: &Analysis<'_>,
+    config: &workload::ExperimentConfig,
+    scale: Scale,
+    seed: u64,
+) -> std::io::Result<()> {
+    let manifest = bench_suite::manifest_for(out, config, scale_name(scale), seed);
+    let snapshot = telemetry::snapshot();
+    let stage_profile = snapshot.stage_profile();
+
+    // Bench-trajectory sources: the committed regression artifacts.
+    let mut sources = Vec::new();
+    let mut missing = Vec::new();
+    for name in bench_suite::BENCH_ARTIFACTS {
+        match std::fs::read_to_string(bench_dir.join(name)) {
+            Ok(text) => sources.push((name.to_string(), text)),
+            Err(_) => missing.push(name.to_string()),
+        }
+    }
+
+    let page = bench_suite::html_page(
+        out,
+        a5,
+        a10,
+        seed,
+        &manifest,
+        &sources,
+        missing,
+        &stage_profile,
+    );
+
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, page)?;
+    let manifest_path = path
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("manifest.json");
+    std::fs::write(manifest_path, manifest.to_json())?;
+    Ok(())
 }
 
 fn print_truncated(csv: &str, max_lines: usize) {

@@ -1,7 +1,8 @@
 //! Shared scaffolding for the benchmark suite and the `reproduce` harness.
 
 use model::Dataset;
-use workload::{run_experiment, ExperimentConfig};
+use netprofiler::Analysis;
+use workload::{run_experiment, ExperimentConfig, ExperimentOutput};
 
 /// Named experiment scales for the harness.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,6 +39,144 @@ impl Scale {
 /// Run an experiment at the given scale and return its dataset.
 pub fn dataset_at(scale: Scale, seed: u64) -> Dataset {
     run_experiment(&scale.config(seed)).dataset
+}
+
+/// Streaming FNV-1a hasher over formatted text, shared by the harness
+/// binaries for dataset fingerprints and config digests.
+pub struct Fnv(u64);
+
+impl Fnv {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Hash the complete dataset contents without materializing the string.
+/// The same digest `BENCH_audit.json` carries, so a manifest fingerprint
+/// can be checked against the committed regression artifact.
+pub fn dataset_fingerprint(ds: &Dataset) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = Fnv::new();
+    write!(h, "{ds:?}").expect("hashing cannot fail");
+    h.finish()
+}
+
+/// The four committed bench regression artifacts the HTML report's
+/// trajectory panel ingests.
+pub const BENCH_ARTIFACTS: [&str; 4] = [
+    "BENCH_baseline.json",
+    "BENCH_parallel.json",
+    "BENCH_audit.json",
+    "BENCH_scenarios.json",
+];
+
+/// Build the run manifest for an experiment output. Everything except
+/// `stage_walls` is a pure function of the dataset and config; the walls
+/// are the one deliberately nondeterministic block (tests pin them).
+pub fn manifest_for(
+    out: &ExperimentOutput,
+    config: &ExperimentConfig,
+    scale_name: &str,
+    seed: u64,
+) -> report::html::Manifest {
+    let ds = &out.dataset;
+    report::html::Manifest {
+        scale: scale_name.to_string(),
+        seed,
+        threads_configured: config.threads,
+        threads_effective: out.report.threads_effective,
+        hours: config.hours,
+        iterations_per_hour: config.iterations_per_hour,
+        config_digest: config.digest(),
+        adversarial_profile: if config.adversarial.is_none() {
+            "none".to_string()
+        } else {
+            "custom".to_string()
+        },
+        dataset_fingerprint: dataset_fingerprint(ds),
+        transactions: ds.records.len() as u64,
+        connections: ds.connections.len() as u64,
+        records_dropped: out.report.records_dropped,
+        clients_lost: out.report.lost_clients().len() as u64,
+        stage_walls: out
+            .report
+            .stage_walls
+            .iter()
+            .map(|(stage, wall)| report::html::StageWall {
+                stage: stage.to_string(),
+                seconds: wall.as_secs_f64(),
+            })
+            .collect(),
+    }
+}
+
+/// Assemble the complete self-contained HTML report page.
+///
+/// Every nondeterministic input (stage walls inside `manifest`, span
+/// aggregates in `stage_profile`) arrives as data, so the page is a pure
+/// function of its arguments — the byte-determinism tests pin those inputs
+/// and compare pages across thread counts.
+#[allow(clippy::too_many_arguments)]
+pub fn html_page(
+    out: &ExperimentOutput,
+    a5: &Analysis<'_>,
+    a10: &Analysis<'_>,
+    seed: u64,
+    manifest: &report::html::Manifest,
+    bench_sources: &[(String, String)],
+    bench_missing: Vec<String>,
+    stage_profile: &[telemetry::StageProfile],
+) -> String {
+    let ds = &out.dataset;
+    let blocks = report::render::paper_blocks(ds, a5, a10, seed);
+    let comps = report::render::comparisons(ds, a5, a10);
+    let audit_report = out
+        .provenance
+        .as_ref()
+        .map(|log| netprofiler::audit::audit(a5, log));
+    let quarantine = out.report.quarantine_summary();
+
+    let mut page = report::html::HtmlReport::new(format!(
+        "End-to-end web access failures — {} scale, seed {seed}",
+        manifest.scale
+    ))
+    .with_generated(
+        "Reproduction of 'A Study of End-to-End Web Access Failures' (CoNEXT 2006). \
+         Page is a pure function of the run: same seed and scale, same bytes.",
+    );
+    let manifest_section = report::html::ManifestSection(manifest);
+    let paper_section = report::render::PaperSection { blocks };
+    let compare_section = report::paper::CompareSection(&comps);
+    let audit_section = audit_report.as_ref().map(report::audit::AuditSection);
+    let quarantine_section = report::quarantine::QuarantineSection(&quarantine);
+    let telemetry_section = report::html::TelemetrySection(stage_profile);
+    let trajectory_section =
+        report::trajectory::TrajectorySection::from_sources(bench_sources, bench_missing);
+    page.add_section(&manifest_section);
+    page.add_section(&paper_section);
+    page.add_section(&compare_section);
+    if let Some(s) = audit_section.as_ref() {
+        page.add_section(s);
+    }
+    page.add_section(&quarantine_section);
+    page.add_section(&telemetry_section);
+    page.add_section(&trajectory_section);
+    page.render()
 }
 
 /// Write the current telemetry snapshot as the standard profile artifact

@@ -11,31 +11,19 @@
 //! Long pair lists are truncated with the same caps the quarantine summary
 //! uses, so a pathological run cannot flood the report.
 
+use crate::caps::{self, named_list};
+use crate::html::{Cell, HtmlTable, Section, SectionBuilder};
 use crate::table::{pct, TextTable};
 use netprofiler::audit::{ArchetypeScore, AuditReport, CLASSES, CLASS_LABELS};
 
 /// Most missed/spurious pairs (and fired archetype names) named in the
 /// rendered audit before truncation (same cap as the quarantine summary's
 /// named clients).
-pub const MAX_NAMED_PAIRS: usize = 8;
+pub const MAX_NAMED_PAIRS: usize = caps::MAX_NAMED;
 
 /// Missed-failure samples shown per archetype (same cap as the quarantine
 /// summary's salvage samples; the audit itself collects no more).
-pub const MAX_ARCHETYPE_SAMPLES: usize = 5;
-
-/// Join the first `cap` names with a `(+N more)` overflow marker.
-fn named_list<I: Iterator<Item = String>>(mut names: I, cap: usize) -> String {
-    let named: Vec<String> = names.by_ref().take(cap).collect();
-    if named.is_empty() {
-        return "none".to_string();
-    }
-    let overflow = names.count();
-    if overflow > 0 {
-        format!("{} (+{overflow} more)", named.join(", "))
-    } else {
-        named.join(", ")
-    }
-}
+pub const MAX_ARCHETYPE_SAMPLES: usize = caps::MAX_SAMPLES;
 
 fn pair_list(pairs: &[(u16, u16)]) -> String {
     named_list(
@@ -280,6 +268,162 @@ pub fn scenarios_json(entries: &[(String, &AuditReport)], seed: u64, threads: us
     )
 }
 
+/// The audit as an HTML report section: the confusion matrix as a
+/// heat-shaded grid, agreement badges, the detection-overlap table, and
+/// per-archetype rows with missed-sample drilldowns.
+pub struct AuditSection<'a>(pub &'a AuditReport);
+
+impl Section for AuditSection<'_> {
+    fn id(&self) -> &'static str {
+        "audit"
+    }
+
+    fn title(&self) -> String {
+        "Attribution audit".to_string()
+    }
+
+    fn build(&self, out: &mut SectionBuilder) {
+        let a = self.0;
+        out.badges(&[
+            ("agreement".to_string(), pct(a.blame.agreement())),
+            (
+                "weighted agreement".to_string(),
+                pct(a.blame.weighted_agreement()),
+            ),
+            ("scored failures".to_string(), a.blame.total().to_string()),
+            (
+                "stamped failures".to_string(),
+                format!("{} of {}", a.stamped_failures, a.stamped_records),
+            ),
+            (
+                "skipped".to_string(),
+                format!(
+                    "{} proxied, {} near-permanent",
+                    a.blame.skipped_proxied, a.blame.skipped_permanent
+                ),
+            ),
+        ]);
+
+        // Confusion grid: rows = truth, columns = inference; each cell is
+        // shaded by its share of the row's true total, so the diagonal
+        // glows when attribution is right and misclassification bands show
+        // up as off-diagonal color.
+        let mut headers = vec!["true \\ inferred".to_string()];
+        headers.extend(CLASS_LABELS.iter().map(|l| l.to_string()));
+        headers.push("recall".to_string());
+        let mut t = HtmlTable::new(headers)
+            .with_caption("Blame confusion (rows = ground truth)")
+            .right_align(&(1..=CLASSES + 1).collect::<Vec<_>>());
+        let truths = a.blame.true_totals();
+        for (i, label) in CLASS_LABELS.iter().enumerate() {
+            let mut cells = vec![Cell::text(*label)];
+            for j in 0..CLASSES {
+                let n = a.blame.matrix[i][j];
+                let frac = if truths[i] > 0 {
+                    n as f64 / truths[i] as f64
+                } else {
+                    0.0
+                };
+                cells.push(Cell::heat(n.to_string(), frac));
+            }
+            cells.push(Cell::num(
+                a.blame
+                    .class_recall(i)
+                    .map(pct)
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+            t.row(cells);
+        }
+        out.table(&t);
+
+        let mut t = HtmlTable::new([
+            "metric",
+            "truth",
+            "inferred",
+            "overlap",
+            "precision",
+            "recall",
+        ])
+        .with_caption("Detection vs. injected faults")
+        .right_align(&[1, 2, 3, 4, 5]);
+        for (name, o) in [
+            ("permanent pairs", &a.pairs.overlap),
+            ("client episode hours", &a.client_episodes),
+            ("server episode hours", &a.server_episodes),
+            ("severe-BGP instances", &a.severe_bgp),
+        ] {
+            t.row(vec![
+                Cell::text(name),
+                Cell::num(o.truth.to_string()),
+                Cell::num(o.inferred.to_string()),
+                Cell::num(o.overlap.to_string()),
+                Cell::num(pct(o.precision())),
+                Cell::num(pct(o.recall())),
+            ]);
+        }
+        out.table(&t);
+        for (what, pairs) in [("missed", &a.pairs.missed), ("spurious", &a.pairs.spurious)] {
+            if pairs.is_empty() {
+                continue;
+            }
+            let lines: Vec<String> = pairs.iter().map(|(c, s)| format!("c{c}-s{s}")).collect();
+            out.drilldown(
+                &format!("pairs {what} ({})", pairs.len()),
+                &caps::capped_lines(&lines, MAX_NAMED_PAIRS),
+            );
+        }
+
+        let fired: Vec<&ArchetypeScore> = a.archetypes.iter().filter(|s| s.truth > 0).collect();
+        if fired.is_empty() {
+            out.note("No adversarial archetypes fired in this run.");
+            return;
+        }
+        let mut t = HtmlTable::new([
+            "archetype",
+            "expected",
+            "truth",
+            "detected",
+            "recall",
+            "precision",
+        ])
+        .with_caption("Adversarial archetype detection")
+        .right_align(&[2, 3, 4, 5]);
+        for s in &fired {
+            t.row(vec![
+                Cell::text(s.name),
+                Cell::text(CLASS_LABELS[s.expected]),
+                Cell::num(s.truth.to_string()),
+                Cell::num(s.detected.to_string()),
+                Cell::heat(pct(s.recall()), s.recall()),
+                Cell::num(pct(s.precision())),
+            ]);
+        }
+        out.table(&t);
+        for s in &fired {
+            if s.missed_samples.is_empty() {
+                continue;
+            }
+            let shown: Vec<String> = s
+                .missed_samples
+                .iter()
+                .take(MAX_ARCHETYPE_SAMPLES)
+                .cloned()
+                .collect();
+            // The audit keeps only the first few samples; the overflow
+            // marker counts every miss past what is shown.
+            let overflow = (s.truth - s.detected).saturating_sub(shown.len() as u64);
+            let mut lines = shown;
+            if overflow > 0 {
+                lines.push(format!("... (+{overflow} more)"));
+            }
+            out.drilldown(
+                &format!("missed ({}): {} samples", s.name, s.missed_samples.len()),
+                &lines,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +561,39 @@ mod tests {
         assert!(csv.starts_with("section,name,truth_or_row,values"));
         assert!(csv.contains("confusion,client,0,40;0;0;10"));
         assert!(csv.contains("overlap,permanent_pairs,38,"));
+    }
+
+    #[test]
+    fn html_section_heat_shades_confusion_diagonal() {
+        use crate::html::HtmlReport;
+        let mut page = HtmlReport::new("t");
+        page.add_section(&AuditSection(&sample()));
+        let html = page.render();
+        // client row: 40 of 50 true-client failures inferred client.
+        assert!(html.contains("rgba(31,119,80,0.680)"), "{html}");
+        assert!(html.contains("Blame confusion"));
+        assert!(html.contains("Adversarial archetype detection"));
+        assert!(html.contains("pairs missed (2)"));
+        assert!(html.contains("missed (colo-blast): 2 samples"));
+        // wrong-dns never fired: no detection row.
+        assert!(!html.contains("wrong-dns"));
+    }
+
+    #[test]
+    fn html_section_without_fired_archetypes_notes_absence() {
+        let mut a = sample();
+        for s in &mut a.archetypes {
+            s.truth = 0;
+            s.detected = 0;
+            s.missed_samples.clear();
+        }
+        a.pairs.missed.clear();
+        a.pairs.spurious.clear();
+        let mut page = crate::html::HtmlReport::new("t");
+        page.add_section(&AuditSection(&a));
+        let html = page.render();
+        assert!(html.contains("No adversarial archetypes fired"));
+        assert!(!html.contains("<details>"));
     }
 
     #[test]

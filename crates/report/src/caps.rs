@@ -1,0 +1,76 @@
+//! Shared truncation caps for human-facing drilldowns.
+//!
+//! Every long list in the report — lost clients, missed/spurious pairs,
+//! salvage issue samples, archetype missed-failure samples, HTML
+//! drilldowns — truncates with the same two caps, so a catastrophic run
+//! cannot flood any rendering surface and every surface truncates the same
+//! way. The caps are part of the report's contract (tests pin them).
+
+/// Most names listed before truncation (lost clients, missed pairs, fired
+/// archetypes, ...).
+pub const MAX_NAMED: usize = 8;
+
+/// Most issue/missed samples listed per source before truncation.
+pub const MAX_SAMPLES: usize = 5;
+
+/// Join the first `cap` names with a `(+N more)` overflow marker; an empty
+/// iterator renders as `"none"`.
+pub fn named_list<I: Iterator<Item = String>>(mut names: I, cap: usize) -> String {
+    let named: Vec<String> = names.by_ref().take(cap).collect();
+    if named.is_empty() {
+        return "none".to_string();
+    }
+    let overflow = names.count();
+    if overflow > 0 {
+        format!("{} (+{overflow} more)", named.join(", "))
+    } else {
+        named.join(", ")
+    }
+}
+
+/// Truncate `items` to `cap` entries, appending a `... (+N more)` line when
+/// anything was cut. The list form of [`named_list`], for drilldowns.
+pub fn capped_lines(items: &[String], cap: usize) -> Vec<String> {
+    if items.len() <= cap {
+        return items.to_vec();
+    }
+    let mut out: Vec<String> = items[..cap].to_vec();
+    out.push(format!("... (+{} more)", items.len() - cap));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_are_pinned() {
+        // 8 names / 5 samples is the quarantine idiom every surface reuses.
+        assert_eq!(MAX_NAMED, 8);
+        assert_eq!(MAX_SAMPLES, 5);
+    }
+
+    #[test]
+    fn named_list_truncates_with_marker() {
+        assert_eq!(named_list(std::iter::empty(), 3), "none");
+        assert_eq!(
+            named_list(["a".to_string(), "b".to_string()].into_iter(), 3),
+            "a, b"
+        );
+        let many: Vec<String> = (0..10).map(|i| format!("n{i}")).collect();
+        let s = named_list(many.into_iter(), MAX_NAMED);
+        assert!(s.starts_with("n0, n1"));
+        assert!(s.contains("n7"));
+        assert!(!s.contains("n8"));
+        assert!(s.ends_with("(+2 more)"));
+    }
+
+    #[test]
+    fn capped_lines_appends_overflow_line() {
+        let items: Vec<String> = (0..7).map(|i| format!("s{i}")).collect();
+        let capped = capped_lines(&items, MAX_SAMPLES);
+        assert_eq!(capped.len(), MAX_SAMPLES + 1);
+        assert_eq!(capped.last().unwrap(), "... (+2 more)");
+        assert_eq!(capped_lines(&items[..3], MAX_SAMPLES), items[..3].to_vec());
+    }
+}

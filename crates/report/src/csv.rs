@@ -49,13 +49,54 @@ impl Csv {
     }
 }
 
-/// Quote a field per RFC 4180 when needed.
+/// Quote a field per RFC 4180 when needed. A bare CR must be quoted too —
+/// RFC 4180 treats CRLF as the record separator, so an unquoted `\r` splits
+/// the row in conforming readers.
 fn escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
         field.to_string()
     }
+}
+
+/// Split a CSV document back into rows of fields (RFC 4180), for the
+/// round-trip tests: quoted fields may contain separators, doubled quotes,
+/// and line breaks.
+#[cfg(test)]
+fn parse(doc: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut chars = doc.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = false,
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => quoted = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -77,8 +118,40 @@ mod tests {
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(escape("cr\rhere"), "\"cr\rhere\"");
         let mut c = Csv::new(["h"]);
         c.row(["v,1"]);
         assert_eq!(c.finish(), "h\n\"v,1\"\n");
+    }
+
+    #[test]
+    fn hostile_fields_round_trip() {
+        let fields = [
+            "plain",
+            "with,comma",
+            "with \"quotes\"",
+            "line\nbreak",
+            "carriage\rreturn",
+            "\r\n,\",\"\n",
+            "trailing,",
+            ",leading",
+        ];
+        let mut c = Csv::new(["field", "index"]);
+        for (i, f) in fields.iter().enumerate() {
+            c.row([(*f).to_string(), i.to_string()]);
+        }
+        let doc = c.finish();
+        let rows = parse(&doc);
+        assert_eq!(rows.len(), fields.len() + 1);
+        for (i, f) in fields.iter().enumerate() {
+            assert_eq!(rows[i + 1], vec![(*f).to_string(), i.to_string()], "field {i}");
+        }
+    }
+
+    #[test]
+    fn quoted_headers_round_trip() {
+        let c = Csv::new(["a,b", "c\nd"]);
+        let rows = parse(&c.finish());
+        assert_eq!(rows, vec![vec!["a,b".to_string(), "c\nd".to_string()]]);
     }
 }

@@ -10,16 +10,25 @@
 //!   records, salvaged bytes);
 //! * [`audit`] — the attribution audit (inference vs. recorded ground
 //!   truth), rendered standalone so `render_all` stays the determinism
-//!   fingerprint surface.
+//!   fingerprint surface;
+//! * [`caps`] — the shared truncation caps every drilldown surface reuses;
+//! * [`html`] — the typed single-file HTML report builder (sections →
+//!   tables/bars/badges → escaped cells) plus the run [`html::Manifest`];
+//! * [`trajectory`] — the bench-trajectory panel over committed
+//!   `BENCH_*.json` artifacts.
 
 pub mod audit;
+pub mod caps;
 pub mod csv;
 pub mod export;
+pub mod html;
 pub mod paper;
 pub mod quarantine;
 pub mod render;
 pub mod table;
+pub mod trajectory;
 
+pub use html::{escape_html, HtmlReport, Manifest, Section};
 pub use paper::PaperTargets;
 pub use render::render_all;
 pub use quarantine::{QuarantineSummary, SalvageLine};

@@ -149,9 +149,75 @@ impl Comparison {
     }
 }
 
+/// The paper-vs-measured comparison as an HTML report section: one row per
+/// target, matching rows shaded green, plus a match-count badge.
+pub struct CompareSection<'a>(pub &'a [Comparison]);
+
+impl crate::html::Section for CompareSection<'_> {
+    fn id(&self) -> &'static str {
+        "compare"
+    }
+
+    fn title(&self) -> String {
+        "Paper vs. measured".to_string()
+    }
+
+    fn build(&self, out: &mut crate::html::SectionBuilder) {
+        use crate::html::{Cell, HtmlTable};
+        let matched = self.0.iter().filter(|c| c.ok).count();
+        out.badges(&[(
+            "targets matched".to_string(),
+            format!("{matched} of {}", self.0.len()),
+        )]);
+        let mut t = HtmlTable::new(["", "target", "paper", "measured"])
+            .with_caption("Published CoNEXT 2006 values against this run")
+            .right_align(&[2, 3]);
+        for c in self.0 {
+            let status = if c.ok {
+                Cell::heat("ok", 0.55)
+            } else {
+                Cell::text("??")
+            };
+            t.row(vec![
+                status,
+                Cell::text(c.what),
+                Cell::num(c.paper.clone()),
+                Cell::num(c.measured.clone()),
+            ]);
+        }
+        out.table(&t);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn html_compare_section_counts_matches() {
+        let rows = vec![
+            Comparison {
+                what: "median client failure rate",
+                paper: "1.47%".into(),
+                measured: "1.52%".into(),
+                ok: true,
+            },
+            Comparison {
+                what: "DNS share of failures",
+                paper: "34-42%".into(),
+                measured: "71%".into(),
+                ok: false,
+            },
+        ];
+        let mut page = crate::html::HtmlReport::new("t");
+        page.add_section(&CompareSection(&rows));
+        let html = page.render();
+        assert!(html.contains("1 of 2"));
+        assert!(html.contains("DNS share of failures"));
+        assert!(html.contains("??"));
+        // The ok row is shaded, the mismatch is not.
+        assert_eq!(html.matches("rgba(31,119,80").count(), 1);
+    }
 
     #[test]
     fn published_targets_are_consistent() {

@@ -124,9 +124,72 @@ impl QuarantineSummary {
     }
 
     /// Most lost clients named in the rendered summary before truncation.
-    pub const MAX_NAMED_CLIENTS: usize = 8;
+    pub const MAX_NAMED_CLIENTS: usize = crate::caps::MAX_NAMED;
     /// Most issue samples printed per salvage source before truncation.
-    pub const MAX_SALVAGE_SAMPLES: usize = 5;
+    pub const MAX_SALVAGE_SAMPLES: usize = crate::caps::MAX_SAMPLES;
+}
+
+/// The quarantine summary as an HTML report section: loss table plus
+/// per-source salvage-sample drilldowns, truncated with the shared caps.
+pub struct QuarantineSection<'a>(pub &'a QuarantineSummary);
+
+impl crate::html::Section for QuarantineSection<'_> {
+    fn id(&self) -> &'static str {
+        "quarantine"
+    }
+
+    fn title(&self) -> String {
+        "Data quarantine".to_string()
+    }
+
+    fn build(&self, out: &mut crate::html::SectionBuilder) {
+        use crate::html::{Cell, HtmlTable};
+        let s = self.0;
+        if s.is_clean() {
+            out.paragraph("Clean run: no clients lost, no records dropped, nothing quarantined.");
+            return;
+        }
+        let mut t = HtmlTable::new(["loss", "count", "detail"])
+            .with_caption("What the apparatus lost")
+            .right_align(&[1]);
+        t.row(vec![
+            Cell::text("clients lost"),
+            Cell::num(s.clients_lost.len().to_string()),
+            Cell::text(format!("of {} started", s.clients_total)),
+        ]);
+        t.row(vec![
+            Cell::text("records dropped"),
+            Cell::num(s.records_dropped.to_string()),
+            Cell::text(format!(
+                "{:.2}% of {} emitted",
+                100.0 * s.record_drop_rate(),
+                s.records_kept + s.records_dropped
+            )),
+        ]);
+        for line in &s.salvage {
+            t.row(vec![
+                Cell::text(format!("{} quarantined", line.source)),
+                Cell::num(line.quarantined.to_string()),
+                Cell::text(format!("{} records salvaged", line.kept)),
+            ]);
+        }
+        out.table(&t);
+        if !s.clients_lost.is_empty() {
+            out.drilldown(
+                &format!("lost clients ({})", s.clients_lost.len()),
+                &crate::caps::capped_lines(&s.clients_lost, QuarantineSummary::MAX_NAMED_CLIENTS),
+            );
+        }
+        for line in &s.salvage {
+            if line.samples.is_empty() {
+                continue;
+            }
+            out.drilldown(
+                &format!("{} issue samples ({})", line.source, line.samples.len()),
+                &crate::caps::capped_lines(&line.samples, QuarantineSummary::MAX_SALVAGE_SAMPLES),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +291,31 @@ mod tests {
         // caps are part of its contract.
         assert_eq!(QuarantineSummary::MAX_NAMED_CLIENTS, 8);
         assert_eq!(QuarantineSummary::MAX_SALVAGE_SAMPLES, 5);
+    }
+
+    #[test]
+    fn html_section_renders_losses_and_caps_drilldowns() {
+        let mut s = degraded();
+        s.salvage[0].samples = (0..9).map(|i| format!("offset {i}: garbage")).collect();
+        let mut page = crate::html::HtmlReport::new("t");
+        page.add_section(&QuarantineSection(&s));
+        let html = page.render();
+        assert!(html.contains("clients lost"));
+        assert!(html.contains("planetlab-03"));
+        assert!(html.contains("bgp-mrt issue samples (9)"));
+        // 5 samples shown, then the shared overflow marker.
+        assert_eq!(html.matches(": garbage").count(), QuarantineSummary::MAX_SALVAGE_SAMPLES);
+        assert!(html.contains("(+4 more)"));
+    }
+
+    #[test]
+    fn html_section_clean_run_is_one_paragraph() {
+        let s = QuarantineSummary::default();
+        let mut page = crate::html::HtmlReport::new("t");
+        page.add_section(&QuarantineSection(&s));
+        let html = page.render();
+        assert!(html.contains("Clean run"));
+        assert!(!html.contains("<table>"));
     }
 
     #[test]

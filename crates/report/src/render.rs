@@ -23,48 +23,92 @@ pub fn render_all(ds: &Dataset, config: AnalysisConfig, seed: u64) -> String {
     let a5 = Analysis::new(ds, config);
     let a10 = Analysis::new(ds, config.with_threshold(0.10));
     let mut out = String::new();
-    let mut emit = |id: &str, body: String| {
+    let mut emit = |id: &str, body: &str| {
         out.push_str("==== ");
         out.push_str(id);
         out.push_str(" ====\n");
-        out.push_str(&body);
+        out.push_str(body);
         out.push('\n');
     };
-    emit("table1", render_table1(ds));
-    emit("table2", render_table2(ds));
-    emit("table3", render_table3(ds));
-    emit("fig1", render_figure1(ds));
-    emit("table4", render_table4(ds));
-    emit("fig2", render_figure2(ds));
-    emit("fig3", render_figure3(ds));
-    emit("permanent", render_permanent(&a5));
-    emit("fig4", render_figure4(&a5));
-    emit("table5", render_table5(&a5, &a10));
-    emit("episodes", render_episode_stats(&a5));
-    emit("table6", render_table6(&a5, 12));
-    emit("table7", render_table7(&a5, seed));
-    emit("table8", render_table8(&a5, 8));
-    emit("replicas", render_replicas(&a5));
-    emit("bgp", render_bgp(&a5));
-    if let Some(csv) = render_client_timeseries_csv(ds, "howard") {
-        emit("fig5", csv);
+    for (id, body) in paper_blocks(ds, &a5, &a10, seed) {
+        emit(id, &body);
     }
-    emit("fig6", render_figure6_csv(&a5));
-    if let Some(csv) = render_client_timeseries_csv(ds, "kscy") {
-        emit("fig7", csv);
-    }
-    emit("table9", render_table9(&a5, &["iitb", "royal"]));
-    emit("pairs", render_pair_episodes(&a5));
-    emit("medians", render_medians(ds));
-    emit("timing", render_timing(ds));
-    emit("loss", render_loss(ds));
-    emit("digcheck", render_digcheck(ds));
     let comps = comparisons(ds, &a5, &a10);
     emit(
         "compare",
-        comps.iter().map(|c| c.line() + "\n").collect::<String>(),
+        &comps.iter().map(|c| c.line() + "\n").collect::<String>(),
     );
     out
+}
+
+/// Every paper table/figure as `(id, text block)`, in the `reproduce`
+/// emission order — the single source both [`render_all`] (the text
+/// fingerprint surface) and the HTML [`PaperSection`] draw from, so the
+/// two can never drift. Excludes the `compare` block, which
+/// [`comparisons`] provides in structured form.
+pub fn paper_blocks(
+    ds: &Dataset,
+    a5: &Analysis<'_>,
+    a10: &Analysis<'_>,
+    seed: u64,
+) -> Vec<(&'static str, String)> {
+    let mut blocks: Vec<(&'static str, String)> = vec![
+        ("table1", render_table1(ds)),
+        ("table2", render_table2(ds)),
+        ("table3", render_table3(ds)),
+        ("fig1", render_figure1(ds)),
+        ("table4", render_table4(ds)),
+        ("fig2", render_figure2(ds)),
+        ("fig3", render_figure3(ds)),
+        ("permanent", render_permanent(a5)),
+        ("fig4", render_figure4(a5)),
+        ("table5", render_table5(a5, a10)),
+        ("episodes", render_episode_stats(a5)),
+        ("table6", render_table6(a5, 12)),
+        ("table7", render_table7(a5, seed)),
+        ("table8", render_table8(a5, 8)),
+        ("replicas", render_replicas(a5)),
+        ("bgp", render_bgp(a5)),
+    ];
+    if let Some(csv) = render_client_timeseries_csv(ds, "howard") {
+        blocks.push(("fig5", csv));
+    }
+    blocks.push(("fig6", render_figure6_csv(a5)));
+    if let Some(csv) = render_client_timeseries_csv(ds, "kscy") {
+        blocks.push(("fig7", csv));
+    }
+    blocks.push(("table9", render_table9(a5, &["iitb", "royal"])));
+    blocks.push(("pairs", render_pair_episodes(a5)));
+    blocks.push(("medians", render_medians(ds)));
+    blocks.push(("timing", render_timing(ds)));
+    blocks.push(("loss", render_loss(ds)));
+    blocks.push(("digcheck", render_digcheck(ds)));
+    blocks
+}
+
+/// The paper's tables and figures as an HTML report section: each text
+/// block verbatim in a `<pre>` (escaped), under its `==== id ====` anchor.
+/// The blocks are the same strings `render_all` emits, so the page shows
+/// exactly what the fingerprint surface contains.
+pub struct PaperSection {
+    pub blocks: Vec<(&'static str, String)>,
+}
+
+impl crate::html::Section for PaperSection {
+    fn id(&self) -> &'static str {
+        "paper"
+    }
+
+    fn title(&self) -> String {
+        "Paper tables and figures".to_string()
+    }
+
+    fn build(&self, out: &mut crate::html::SectionBuilder) {
+        for (id, body) in &self.blocks {
+            out.subheading(&format!("paper-{id}"), id);
+            out.preformatted(body.trim_end());
+        }
+    }
 }
 
 /// Table 1: the client fleet.
@@ -1041,6 +1085,43 @@ mod tests {
         ] {
             assert!(!s.is_empty());
         }
+    }
+
+    #[test]
+    fn render_all_is_paper_blocks_plus_compare() {
+        let ds = tiny_ds();
+        let config = AnalysisConfig::default();
+        let a5 = Analysis::new(&ds, config);
+        let a10 = Analysis::new(&ds, config.with_threshold(0.10));
+        let mut expected = String::new();
+        for (id, body) in paper_blocks(&ds, &a5, &a10, 7) {
+            expected.push_str(&format!("==== {id} ====\n{body}\n"));
+        }
+        let comps = comparisons(&ds, &a5, &a10);
+        expected.push_str(&format!(
+            "==== compare ====\n{}\n",
+            comps.iter().map(|c| c.line() + "\n").collect::<String>()
+        ));
+        assert_eq!(render_all(&ds, config, 7), expected);
+    }
+
+    #[test]
+    fn paper_section_anchors_every_block() {
+        let ds = tiny_ds();
+        let config = AnalysisConfig::default();
+        let a5 = Analysis::new(&ds, config);
+        let a10 = Analysis::new(&ds, config.with_threshold(0.10));
+        let blocks = paper_blocks(&ds, &a5, &a10, 7);
+        let n = blocks.len();
+        let mut page = crate::html::HtmlReport::new("t");
+        let section = PaperSection { blocks };
+        page.add_section(&section);
+        let html = page.render();
+        assert!(html.contains("id=\"paper-table1\""));
+        assert!(html.contains("id=\"paper-digcheck\""));
+        assert_eq!(html.matches("<pre>").count(), n);
+        // Table text is escaped, never interpreted.
+        assert!(!html.contains("≥{"));
     }
 
     #[test]

@@ -75,6 +75,22 @@ pub struct Snapshot {
     pub spans_dropped: u64,
 }
 
+/// Per-span-name aggregate: the stage-profile export hook consumed by the
+/// HTML report's telemetry section (and anything else that wants a compact
+/// "where did the time go" view without walking raw spans).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Static span name, e.g. `"workload.simulate_clients"`.
+    pub name: &'static str,
+    /// Spans recorded under this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub wall_ns_total: u64,
+    /// Total simulated microseconds covered (0 when no span under this name
+    /// carried a sim range).
+    pub sim_us_total: u64,
+}
+
 pub(crate) fn take_snapshot() -> Snapshot {
     let mut snap = Snapshot::default();
     metrics::collect_all(&mut snap);
@@ -110,6 +126,26 @@ impl Snapshot {
     /// Number of recorded spans with this name.
     pub fn span_count(&self, name: &str) -> usize {
         self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Aggregate spans by name into [`StageProfile`] rows, sorted by name
+    /// (the rendering order of the HTML report's stage bars).
+    pub fn stage_profile(&self) -> Vec<StageProfile> {
+        let mut agg: BTreeMap<&'static str, StageProfile> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg.entry(s.name).or_insert(StageProfile {
+                name: s.name,
+                count: 0,
+                wall_ns_total: 0,
+                sim_us_total: 0,
+            });
+            e.count += 1;
+            e.wall_ns_total += s.dur_ns;
+            if let (Some(a), Some(b)) = (s.sim_start_us, s.sim_end_us) {
+                e.sim_us_total += b.saturating_sub(a);
+            }
+        }
+        agg.into_values().collect()
     }
 
     /// True when nothing at all was recorded.
@@ -320,6 +356,51 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\ny");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn stage_profile_aggregates_by_name_with_sim_ranges() {
+        let snap = Snapshot {
+            spans: vec![
+                SpanRecord {
+                    name: "b.stage",
+                    detail: None,
+                    tid: 0,
+                    start_ns: 0,
+                    dur_ns: 100,
+                    sim_start_us: Some(10),
+                    sim_end_us: Some(30),
+                },
+                SpanRecord {
+                    name: "b.stage",
+                    detail: None,
+                    tid: 1,
+                    start_ns: 50,
+                    dur_ns: 200,
+                    sim_start_us: None,
+                    sim_end_us: None,
+                },
+                SpanRecord {
+                    name: "a.stage",
+                    detail: None,
+                    tid: 0,
+                    start_ns: 0,
+                    dur_ns: 7,
+                    sim_start_us: None,
+                    sim_end_us: None,
+                },
+            ],
+            ..Snapshot::default()
+        };
+        let profile = snap.stage_profile();
+        assert_eq!(profile.len(), 2);
+        // Sorted by name.
+        assert_eq!(profile[0].name, "a.stage");
+        assert_eq!(profile[1].name, "b.stage");
+        assert_eq!(profile[1].count, 2);
+        assert_eq!(profile[1].wall_ns_total, 300);
+        assert_eq!(profile[1].sim_us_total, 20);
+        assert!(Snapshot::default().stage_profile().is_empty());
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod export;
 mod metrics;
 mod span;
 
-pub use export::{BucketSnap, CounterSnap, GaugeSnap, HistogramSnap, Snapshot};
+pub use export::{BucketSnap, CounterSnap, GaugeSnap, HistogramSnap, Snapshot, StageProfile};
 pub use metrics::{Counter, CounterVec, Gauge, Histogram, Sampler};
 pub use span::{SpanGuard, SpanRecord};
 

@@ -120,6 +120,19 @@ impl ExperimentConfig {
     pub fn expected_transactions(&self) -> u64 {
         u64::from(self.hours) * u64::from(self.iterations_per_hour) * 80 * 134
     }
+
+    /// FNV-1a digest of the complete config (via its `Debug` rendering), so
+    /// a run manifest can prove which knob settings produced a dataset.
+    /// Covers every field — adding a knob changes the digest by
+    /// construction.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 /// Everything a run produces: the dataset plus the ground truth it came
@@ -189,6 +202,12 @@ pub struct RunReport {
     /// Rendered telemetry summary for the run (counters, histograms, span
     /// aggregates). `None` unless the recorder was enabled during the run.
     pub telemetry_summary: Option<String>,
+    /// Worker threads actually used (the resolved value of
+    /// [`ExperimentConfig::threads`] `== 0`).
+    pub threads_effective: usize,
+    /// Wall-clock time per pipeline stage, in execution order (diagnostic
+    /// only — nondeterministic, like the per-client `wall` fields).
+    pub stage_walls: Vec<(&'static str, Duration)>,
 }
 
 impl RunReport {
@@ -264,6 +283,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Run the experiment.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
+    let mut stage_walls: Vec<(&'static str, Duration)> = Vec::new();
+    let mut stage_start = Instant::now();
     let horizon_us = u64::from(config.hours) * 3_600_000_000;
     let build_span = telemetry::span!("workload.build_world")
         .with_detail(|| format!("seed={} hours={}", config.seed, config.hours));
@@ -298,12 +319,16 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         build_prefixes(&fleet, &sites);
 
     drop(build_span);
+    stage_walls.push(("build_world", stage_start.elapsed()));
+    stage_start = Instant::now();
 
     // --- BGP feed -----------------------------------------------------------
     let (bgp, mrt_records_kept, mrt_issues, mrt_issue_samples) = {
         let _span = telemetry::span!("workload.build_bgp");
         build_bgp(config, &truth, &prefixes)
     };
+    stage_walls.push(("build_bgp", stage_start.elapsed()));
+    stage_start = Instant::now();
 
     // --- Access schedule + sessions, per client ------------------------------
     let mut clients_span = telemetry::span!("workload.simulate_clients");
@@ -382,6 +407,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
     };
 
     drop(clients_span);
+    stage_walls.push(("simulate_clients", stage_start.elapsed()));
+    stage_start = Instant::now();
 
     // --- Collection: gather surviving output, account for the rest ----------
     let _collect_span = telemetry::span!("workload.collect");
@@ -523,6 +550,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
             truth: truth.truth_sidecar(&sites),
         }
     });
+    report.threads_effective = threads.min(n_clients).max(1);
+    report.stage_walls = stage_walls;
+    report
+        .stage_walls
+        .push(("collect", stage_start.elapsed()));
     if telemetry::enabled() {
         telemetry::counter!("workload.mrt_records_kept", report.mrt_records_kept);
         telemetry::counter!("workload.mrt_records_quarantined", report.mrt_issues);
@@ -994,6 +1026,33 @@ mod tests {
             .count();
         // Showcase clients plus coupled server events, scaled to 48 h.
         assert!(severe >= 1, "no severe BGP cells");
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_knob_sensitive() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.digest(), b.digest());
+        let mut c = tiny();
+        c.seed += 1;
+        assert_ne!(a.digest(), c.digest());
+        let mut d = tiny();
+        d.fault_scale = 2.0;
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn run_report_records_stage_walls_in_order() {
+        let mut cfg = tiny();
+        cfg.hours = 2;
+        cfg.threads = 3;
+        let out = run_experiment(&cfg);
+        let names: Vec<&str> = out.report.stage_walls.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["build_world", "build_bgp", "simulate_clients", "collect"]
+        );
+        assert_eq!(out.report.threads_effective, 3);
     }
 
     #[test]

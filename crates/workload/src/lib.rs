@@ -34,7 +34,7 @@ pub mod view;
 
 pub use apparatus::ApparatusFaults;
 pub use clients::{build_fleet, ClientSpec, FleetSpec};
-pub use experiment::{run_experiment, ClientOutcome, ExperimentConfig, RunReport};
+pub use experiment::{run_experiment, ClientOutcome, ExperimentConfig, ExperimentOutput, RunReport};
 pub use faults::{AdversarialProfile, AdversarialTruth, FaultProfile, GroundTruth, ARCHETYPE_NAMES};
 pub use sites::{build_sites, ReplicaLayout, SiteSpec};
 pub use validation::{score_attribution, AttributionScore};
