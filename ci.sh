@@ -9,8 +9,13 @@ cargo build --release
 echo "==> detcheck --scenario: standard + adversarial worlds diff clean across threads"
 cargo run --release -q -p bench-suite --bin detcheck -- --scenario
 
-echo "==> oracle_diff: optimized pipeline matches the naive oracle (audit diff included)"
+echo "==> oracle_diff: columnar sharded scans match the naive row-layout oracle (audit diff included)"
 cargo run --release -q -p bench-suite --bin oracle_diff
+
+echo "==> baseline --sweep --scale stress: columnar pipeline smoke at ~3.5 M transactions"
+cargo run --release -q -p bench-suite --bin baseline -- --sweep --scale stress --threads 2 --out /tmp/BENCH_stress.json > /dev/null
+reduction="$(grep -o '"memory_reduction": [0-9.]*' /tmp/BENCH_stress.json | awk '{print $2}')"
+awk -v r="$reduction" 'BEGIN { exit !(r >= 2.0) }' || { echo "FAIL: memory_reduction $reduction < 2.0"; exit 1; }
 
 echo "==> audit --check: flight recorder on/off is bit-identical"
 cargo run --release -q -p bench-suite --bin audit -- --check

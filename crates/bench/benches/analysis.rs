@@ -30,10 +30,10 @@ fn bench_grid_build(c: &mut Criterion) {
     g.sample_size(20);
     for threads in [1usize, 2] {
         g.bench_function(format!("client_conn_t{threads}"), |b| {
-            b.iter(|| black_box(grid::client_connection_grid(ds, &a.permanent, threads)))
+            b.iter(|| black_box(grid::client_connection_grid(&a.cds, &a.permanent, threads)))
         });
         g.bench_function(format!("server_txn_t{threads}"), |b| {
-            b.iter(|| black_box(grid::server_transaction_grid(ds, &a.permanent, threads)))
+            b.iter(|| black_box(grid::server_transaction_grid(&a.cds, &a.permanent, threads)))
         });
     }
     g.finish();
@@ -72,11 +72,12 @@ fn bench_blame_scan(c: &mut Criterion) {
 
 fn bench_summary_scan(c: &mut Criterion) {
     let ds = dataset();
+    let cds = model::ColumnarDataset::from_dataset(ds);
     let mut g = c.benchmark_group("summary");
     g.sample_size(20);
     for threads in [1usize, 2] {
         g.bench_function(format!("table3_t{threads}"), |b| {
-            b.iter(|| black_box(summary::table3_with_threads(ds, threads)))
+            b.iter(|| black_box(summary::table3_with_threads(&cds, threads)))
         });
     }
     g.finish();

@@ -50,8 +50,8 @@ fn bench_analysis(c: &mut Criterion) {
 
     g.bench_function("table3_fig1", |b| {
         b.iter(|| {
-            black_box(render::render_table3(ds));
-            black_box(render::render_figure1(ds))
+            black_box(render::render_table3(&a5.cds));
+            black_box(render::render_figure1(&a5.cds))
         })
     });
     g.bench_function("table4_fig2_dns", |b| {

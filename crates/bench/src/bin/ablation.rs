@@ -98,8 +98,8 @@ fn ablate_fault_scale(hours: u32, seed: u64) {
         config.fault_scale = scale;
         let out = run_experiment(&config);
         let ds = out.dataset;
-        let b = netprofiler::summary::overall_breakdown(&ds);
         let a = Analysis::new(&ds, AnalysisConfig::default());
+        let b = netprofiler::summary::overall_breakdown(&a.cds);
         let blame = blame::table5(&a);
         t.row([
             format!("{scale:.1}"),
@@ -173,7 +173,10 @@ fn ablate_permanent_exclusion(ds: &Dataset) {
 fn ablate_episode_duration(ds: &Dataset) {
     // Rebuild server grids at coarser bin widths and measure how many
     // entity-bins exceed 5%.
-    let perm = netprofiler::permanent::detect(ds, &AnalysisConfig::default());
+    let perm = netprofiler::permanent::detect(
+        &model::ColumnarDataset::from_dataset(ds),
+        &AnalysisConfig::default(),
+    );
     let mut t = TextTable::new([
         "bin width",
         "server bins ≥5%",

@@ -2,7 +2,7 @@
 //! the flight recorder and gate on the agreement floor.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin audit [--scale quick|repro|paper]
+//! cargo run --release -p bench-suite --bin audit [--scale quick|stress|repro|paper]
 //!     [--seed N] [--threads N] [--out FILE] [--min-agreement F] [--csv FILE]
 //! cargo run --release -p bench-suite --bin audit -- --check [--seed N]
 //! ```
@@ -60,7 +60,7 @@ fn main() {
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale {v:?} (quick|repro|paper)");
+                    eprintln!("unknown scale {v:?} (quick|stress|repro|paper)");
                     std::process::exit(2);
                 });
             }
@@ -78,7 +78,7 @@ fn main() {
             "--check" => check = true,
             "--help" | "-h" => {
                 println!(
-                    "audit [--scale quick|repro|paper] [--seed N] [--threads N] [--out FILE] \
+                    "audit [--scale quick|stress|repro|paper] [--seed N] [--threads N] [--out FILE] \
                      [--csv FILE] [--min-agreement F] | audit --check [--seed N] [--scenario] \
                      | audit --scenario [--seed N] [--threads N] [--out FILE]"
                 );
@@ -107,6 +107,7 @@ fn main() {
 
     let scale_name = match scale {
         Scale::Quick => "quick",
+        Scale::Stress => "stress",
         Scale::Reproduction => "repro",
         Scale::Paper => "paper",
     };

@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the standard run.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin baseline [--scale quick|repro|paper]
+//! cargo run --release -p bench-suite --bin baseline [--scale quick|stress|repro|paper]
 //!                                                   [--seed N] [--out FILE]
 //!                                                   [--sweep [--threads 1,2,4]]
 //! ```
@@ -62,7 +62,7 @@ fn main() {
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale {v:?} (quick|repro|paper)");
+                    eprintln!("unknown scale {v:?} (quick|stress|repro|paper)");
                     std::process::exit(2);
                 });
             }
@@ -80,7 +80,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "baseline [--scale quick|repro|paper] [--seed N] [--out FILE] \
+                    "baseline [--scale quick|stress|repro|paper] [--seed N] [--out FILE] \
                      [--sweep [--threads 1,2,4]]"
                 );
                 return;
@@ -94,6 +94,7 @@ fn main() {
 
     let scale_name = match scale {
         Scale::Quick => "quick",
+        Scale::Stress => "stress",
         Scale::Reproduction => "repro",
         Scale::Paper => "paper",
     };
@@ -169,6 +170,9 @@ fn run_sweep(
         fingerprint: u64,
     }
     let mut rows: Vec<Row> = Vec::new();
+    // The dataset is bit-identical at every thread count, so one columnar
+    // footprint (taken from the first run) describes the whole sweep.
+    let mut memory: Option<model::MemoryFootprint> = None;
 
     for &t in &list {
         telemetry::enable(true);
@@ -188,6 +192,10 @@ fn run_sweep(
         let full = netprofiler::pipeline::run(&out.dataset, acfg);
         let analysis = t1.elapsed().as_secs_f64();
         telemetry::enable(false);
+
+        if memory.is_none() {
+            memory = Some(full.memory);
+        }
 
         // Render every table/figure and fingerprint the whole report: the
         // determinism guarantee is that this hash matches at every count.
@@ -232,11 +240,21 @@ fn run_sweep(
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
+    let mem = memory.expect("sweep ran at least once");
     let json = format!(
         "{{\n  \"scale\": \"{scale_name}\",\n  \"seed\": {seed},\n  \"cores\": {cores},\n  \
-         \"transactions\": {},\n  \"connections\": {},\n  \"sweep\": [\n{sweep_json}  ],\n  \
+         \"transactions\": {},\n  \"connections\": {},\n  \
+         \"dataset_bytes\": {},\n  \"row_dataset_bytes\": {},\n  \
+         \"bytes_per_transaction\": {:.1},\n  \"row_bytes_per_transaction\": {:.1},\n  \
+         \"memory_reduction\": {:.2},\n  \"sweep\": [\n{sweep_json}  ],\n  \
          \"tables_identical\": {identical}\n}}\n",
-        rows[0].transactions, rows[0].connections,
+        rows[0].transactions,
+        rows[0].connections,
+        mem.columnar_bytes,
+        mem.row_bytes,
+        mem.bytes_per_transaction(),
+        mem.row_bytes_per_transaction(),
+        mem.reduction(),
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {}: {e}", out_path.display());

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--scale quick|repro|paper] [--seed N] [--only ID[,ID...]]
+//! reproduce [--scale quick|stress|repro|paper] [--seed N] [--only ID[,ID...]]
 //!           [--export DIR] [--profile [DIR]] [--html FILE [--bench-dir DIR]]
 //! ```
 //!
@@ -66,7 +66,7 @@ fn main() {
             "--scale" => {
                 let v = args.next().unwrap_or_default();
                 scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale {v:?} (quick|repro|paper)");
+                    eprintln!("unknown scale {v:?} (quick|stress|repro|paper)");
                     std::process::exit(2);
                 });
             }
@@ -97,7 +97,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "reproduce [--scale quick|repro|paper] [--seed N] [--only IDs] [--export DIR] \
+                    "reproduce [--scale quick|stress|repro|paper] [--seed N] [--only IDs] [--export DIR] \
                      [--profile [DIR]] [--html FILE [--bench-dir DIR]]\n\
                      regenerates the tables/figures of 'A Study of End-to-End Web \
                      Access Failures' (CoNEXT 2006) from a simulated experiment"
@@ -152,8 +152,8 @@ fn main() {
 
     emit("table1", render::render_table1(ds));
     emit("table2", render::render_table2(ds));
-    emit("table3", render::render_table3(ds));
-    emit("fig1", render::render_figure1(ds));
+    emit("table3", render::render_table3(&a5.cds));
+    emit("fig1", render::render_figure1(&a5.cds));
     emit("table4", render::render_table4(ds));
     emit("fig2", render::render_figure2(ds));
     emit("fig3", render::render_figure3(ds));
@@ -186,7 +186,7 @@ fn main() {
     }
     emit("table9", render::render_table9(&a5, &["iitb", "royal"]));
     emit("pairs", render::render_pair_episodes(&a5));
-    emit("medians", render::render_medians(ds));
+    emit("medians", render::render_medians(&a5.cds));
     emit("timing", render::render_timing(ds));
     emit("loss", render::render_loss(ds));
     emit("digcheck", render::render_digcheck(ds));
@@ -233,6 +233,7 @@ fn main() {
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
         Scale::Quick => "quick",
+        Scale::Stress => "stress",
         Scale::Reproduction => "repro",
         Scale::Paper => "paper",
     }

@@ -9,6 +9,9 @@ use workload::{run_experiment, ExperimentConfig, ExperimentOutput};
 pub enum Scale {
     /// 72 h × 1 access/hour, full wire fidelity (~0.8 M transactions).
     Quick,
+    /// One week × 2 accesses/hour, no wire fidelity (~3.5 M transactions)
+    /// — the columnar/allocator stress smoke point.
+    Stress,
     /// Full month × 2 accesses/hour (~16 M transactions) — the default
     /// reproduction scale.
     Reproduction,
@@ -21,6 +24,7 @@ impl Scale {
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "quick" => Some(Scale::Quick),
+            "stress" => Some(Scale::Stress),
             "repro" | "reproduction" => Some(Scale::Reproduction),
             "paper" => Some(Scale::Paper),
             _ => None,
@@ -30,6 +34,7 @@ impl Scale {
     pub fn config(self, seed: u64) -> ExperimentConfig {
         match self {
             Scale::Quick => ExperimentConfig::quick(seed),
+            Scale::Stress => ExperimentConfig::stress(seed),
             Scale::Reproduction => ExperimentConfig::reproduction(seed),
             Scale::Paper => ExperimentConfig::paper_scale(seed),
         }
@@ -206,6 +211,7 @@ mod tests {
     #[test]
     fn scale_parsing() {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("stress"), Some(Scale::Stress));
         assert_eq!(Scale::parse("repro"), Some(Scale::Reproduction));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("nope"), None);
@@ -214,9 +220,11 @@ mod tests {
     #[test]
     fn configs_scale_up() {
         let q = Scale::Quick.config(1);
+        let s = Scale::Stress.config(1);
         let r = Scale::Reproduction.config(1);
         let p = Scale::Paper.config(1);
-        assert!(q.expected_transactions() < r.expected_transactions());
+        assert!(q.expected_transactions() < s.expected_transactions());
+        assert!(s.expected_transactions() < r.expected_transactions());
         assert!(r.expected_transactions() < p.expected_transactions());
     }
 }

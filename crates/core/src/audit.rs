@@ -306,16 +306,22 @@ pub struct AuditReport {
 /// Infer the blame class of one failed record the way the paper would:
 /// grid classification for TCP/HTTP failures, the Section 4.2 reading for
 /// DNS failures.
-fn infer_blame(analysis: &Analysis<'_>, r: &model::PerformanceRecord) -> BlameClass {
-    match r.outcome.failure().expect("caller filters to failures") {
+fn infer_blame(
+    analysis: &Analysis<'_>,
+    failure: FailureClass,
+    client: u16,
+    site: u16,
+    hour: u32,
+) -> BlameClass {
+    match failure {
         FailureClass::Dns(DnsFailureKind::LdnsTimeout) => BlameClass::ClientSide,
         FailureClass::Dns(_) => BlameClass::ServerSide,
         FailureClass::Tcp(_) | FailureClass::Http(_) => classify_hour(
             &analysis.client_grid,
             &analysis.server_grid,
-            r.client.0 as usize,
-            r.site.0 as usize,
-            r.hour(),
+            client as usize,
+            site as usize,
+            hour,
             analysis.config.episode_threshold,
             analysis.config.min_hour_samples,
         ),
@@ -335,26 +341,32 @@ fn blame_confusion(
     log: &ProvenanceLog,
 ) -> (BlameConfusion, Vec<ArchetypeScore>) {
     let _span = telemetry::span!("analysis.audit.blame_confusion");
-    let ds = analysis.ds;
-    let partials = crate::par::map_shards(analysis.config.threads, ds.records.len(), |range| {
+    let cds = &analysis.cds;
+    let txn = &cds.txn;
+    let partials = crate::par::map_shards(analysis.config.threads, cds.txn_len(), |range| {
         let mut out = BlameConfusion::default();
         let mut arch: [ArchetypeTally; ARCHETYPES.len()] = Default::default();
         for i in range {
-            let r = &ds.records[i];
-            if !r.failed() {
+            if !cds.txn_failed(i) {
                 continue;
             }
-            if r.proxy.is_some() {
+            if cds.txn_proxied(i) {
                 out.skipped_proxied += 1;
                 continue;
             }
-            if analysis.permanent.contains(r.client, r.site) {
+            let (client, site) = (txn.client[i], txn.site[i]);
+            if analysis
+                .permanent
+                .contains(model::ClientId(client), model::SiteId(site))
+            {
                 out.skipped_permanent += 1;
                 continue;
             }
+            let hour = cds.txn_hour(i);
+            let failure = cds.txn_failure(i).expect("txn_failed filtered to failures");
             let stamp = log.records[i].all();
             let truth = stamp.true_blame();
-            let inferred = inferred_index(infer_blame(analysis, r));
+            let inferred = inferred_index(infer_blame(analysis, failure, client, site, hour));
             out.matrix[true_index(truth)][inferred] += 1;
             for (k, &(_, bit, expected)) in ARCHETYPES.iter().enumerate() {
                 if !stamp.contains(bit) {
@@ -365,10 +377,7 @@ fn blame_confusion(
                     arch[k].1 += 1;
                 } else if arch[k].2.len() < ARCHETYPE_SAMPLE_CAP {
                     arch[k].2.push(format!(
-                        "c{}→s{}@h{} inferred {}",
-                        r.client.0,
-                        r.site.0,
-                        r.hour(),
+                        "c{client}→s{site}@h{hour} inferred {}",
                         CLASS_LABELS[inferred]
                     ));
                 }
@@ -453,7 +462,7 @@ pub fn audit(analysis: &Analysis<'_>, log: &ProvenanceLog) -> AuditReport {
     let mut span = telemetry::span!("analysis.audit");
     assert_eq!(
         log.records.len(),
-        analysis.ds.records.len(),
+        analysis.cds.txn_len(),
         "provenance sidecar must be parallel to the dataset"
     );
     let f = analysis.config.episode_threshold;
@@ -488,9 +497,11 @@ pub fn audit(analysis: &Analysis<'_>, log: &ProvenanceLog) -> AuditReport {
     let truth_severe: BTreeSet<(u32, u32)> = log.truth.severe_bgp.iter().copied().collect();
     let severe_bgp = SetOverlap::score(&truth_severe, &inferred_severe);
 
-    let stamped_failures = analysis.ds.records.iter().filter(|r| r.failed()).count() as u64;
+    let stamped_failures = (0..analysis.cds.txn_len())
+        .filter(|&i| analysis.cds.txn_failed(i))
+        .count() as u64;
     telemetry::counter!("analysis.audit.scored_failures", blame.total());
-    span.set_sim_range(0, u64::from(analysis.ds.hours) * 3_600_000_000);
+    span.set_sim_range(0, u64::from(analysis.cds.hours) * 3_600_000_000);
 
     AuditReport {
         stamped_records: log.records.len() as u64,

@@ -62,34 +62,48 @@ pub struct SevereInstabilityReport {
 /// toward its client's prefixes and its replica's prefixes.
 pub fn prefix_grid(analysis: &Analysis<'_>) -> HourlyGrid {
     let _span = telemetry::span!("analysis.bgp.prefix_grid");
-    let ds = analysis.ds;
-    let mut client_prefixes: Vec<&[PrefixId]> = Vec::with_capacity(ds.clients.len());
-    for c in &ds.clients {
-        client_prefixes.push(&c.prefixes);
-    }
-    let mut replica_prefixes: HashMap<(u16, std::net::Ipv4Addr), &[PrefixId]> = HashMap::new();
-    for s in &ds.sites {
-        for (addr, pfx) in &s.replica_prefixes {
-            replica_prefixes.insert((s.id.0, *addr), pfx);
+    let cds = &analysis.cds;
+    let conn = &cds.conn;
+    let client_prefixes: Vec<&[PrefixId]> = (0..cds.client_count())
+        .map(|c| cds.client_prefixes(c as u16))
+        .collect();
+    // The connection replica column stores interned addresses, so the
+    // replica coverings are keyed by (site, interned index) — integer keys
+    // in the hot loop instead of hashing an Ipv4Addr per connection.
+    let addr_index: HashMap<std::net::Ipv4Addr, u32> = cds
+        .replica_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (*a, i as u32))
+        .collect();
+    let mut replica_prefixes: HashMap<(u16, u32), &[PrefixId]> = HashMap::new();
+    for s in 0..cds.site_count() as u16 {
+        for (addr, pfx) in cds.site_replica_prefixes(s) {
+            // Addresses no connection ever reached have no interned index
+            // and can never be looked up below.
+            if let Some(&idx) = addr_index.get(&addr) {
+                replica_prefixes.insert((s, idx), pfx);
+            }
         }
     }
     // Shard by connection range; the prefix lookup tables built above are
     // shared read-only, and the partial grids merge by addition.
     let mut partials = crate::par::map_shards(
         analysis.config.threads,
-        ds.connections.len(),
+        cds.conn_len(),
         |range| {
-            let mut grid = HourlyGrid::new(ds.prefixes.len(), ds.hours);
-            for conn in &ds.connections[range] {
-                if analysis.permanent.contains(conn.client, conn.site) {
+            let mut grid = HourlyGrid::new(cds.prefixes.len(), cds.hours);
+            for i in range {
+                let (client, site) = (conn.client[i], conn.site[i]);
+                if analysis.permanent.contains(ClientId(client), model::SiteId(site)) {
                     continue;
                 }
-                let hour = conn.hour();
-                let failed = conn.failed();
-                for p in client_prefixes[conn.client.0 as usize] {
+                let hour = cds.conn_hour(i);
+                let failed = cds.conn_failed(i);
+                for p in client_prefixes[client as usize] {
                     grid.add(p.0 as usize, hour, failed);
                 }
-                if let Some(pfx) = replica_prefixes.get(&(conn.site.0, conn.replica)) {
+                if let Some(pfx) = replica_prefixes.get(&(site, cds.conn_replica_index(i))) {
                     for p in *pfx {
                         grid.add(p.0 as usize, hour, failed);
                     }
@@ -100,7 +114,7 @@ pub fn prefix_grid(analysis: &Analysis<'_>) -> HourlyGrid {
     );
     let mut grid = partials
         .pop()
-        .unwrap_or_else(|| HourlyGrid::new(ds.prefixes.len(), ds.hours));
+        .unwrap_or_else(|| HourlyGrid::new(cds.prefixes.len(), cds.hours));
     for p in &partials {
         grid.merge(p);
     }

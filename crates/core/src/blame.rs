@@ -78,21 +78,27 @@ pub fn table5(analysis: &Analysis<'_>) -> BlameBreakdown {
     let _span = telemetry::span!("analysis.blame.table5");
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
-    let conns = &analysis.ds.connections;
+    let cds = &analysis.cds;
+    let conn = &cds.conn;
     // Shard by connection range; each shard reads the shared episode grids
     // and folds a private breakdown, merged by addition.
-    let partials = crate::par::map_shards(analysis.config.threads, conns.len(), |range| {
+    let partials = crate::par::map_shards(analysis.config.threads, cds.conn_len(), |range| {
         let mut out = BlameBreakdown::default();
-        for conn in &conns[range] {
-            if !conn.failed() || analysis.permanent.contains(conn.client, conn.site) {
+        for i in range {
+            let (client, site) = (conn.client[i], conn.site[i]);
+            if !cds.conn_failed(i)
+                || analysis
+                    .permanent
+                    .contains(model::ClientId(client), model::SiteId(site))
+            {
                 continue;
             }
             let class = classify_hour(
                 &analysis.client_grid,
                 &analysis.server_grid,
-                conn.client.0 as usize,
-                conn.site.0 as usize,
-                conn.hour(),
+                client as usize,
+                site as usize,
+                cds.conn_hour(i),
                 f,
                 min,
             );
@@ -155,11 +161,11 @@ pub fn server_episode_stats(analysis: &Analysis<'_>) -> ServerEpisodeStats {
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
     let mut stats = ServerEpisodeStats {
-        per_server_hours: vec![0; analysis.ds.sites.len()],
+        per_server_hours: vec![0; analysis.cds.site_count()],
         ..Default::default()
     };
     let mut run_lengths: Vec<u32> = Vec::new();
-    for s in 0..analysis.ds.sites.len() {
+    for s in 0..analysis.cds.site_count() {
         let hours = analysis.server_grid.episode_hours(s, f, min);
         stats.per_server_hours[s] = hours.len() as u32;
         stats.total_hours += hours.len() as u64;

@@ -5,7 +5,7 @@
 //! structure every correlation analysis reads.
 
 use crate::permanent::PermanentPairs;
-use model::Dataset;
+use model::{ClientId, ColumnarDataset, SiteId};
 
 /// Dense hourly counters for a family of entities.
 #[derive(Clone, Debug)]
@@ -172,19 +172,20 @@ impl GridCoverage {
     }
 }
 
-/// Build a grid by sharding `items` across `threads` workers, folding each
-/// shard into a partial grid, and merging the partials in shard order.
-fn sharded_grid<T: Sync>(
+/// Build a grid by sharding record indices across `threads` workers,
+/// folding each shard into a partial grid, and merging the partials in
+/// shard order.
+fn sharded_grid(
     threads: usize,
     rows: usize,
     hours: u32,
-    items: &[T],
-    add: impl Fn(&mut HourlyGrid, &T) + Sync,
+    len: usize,
+    add: impl Fn(&mut HourlyGrid, usize) + Sync,
 ) -> HourlyGrid {
-    let mut partials = crate::par::map_shards(threads, items.len(), |range| {
+    let mut partials = crate::par::map_shards(threads, len, |range| {
         let mut g = HourlyGrid::new(rows, hours);
-        for item in &items[range] {
-            add(&mut g, item);
+        for i in range {
+            add(&mut g, i);
         }
         g
     });
@@ -198,29 +199,36 @@ fn sharded_grid<T: Sync>(
 }
 
 /// Per-client hourly TCP-connection grid, excluding permanent pairs.
+///
+/// Scans the connection columns: 9 bytes per record (client, site, hour,
+/// outcome tag) instead of a 32-byte row.
 pub fn client_connection_grid(
-    ds: &Dataset,
+    cds: &ColumnarDataset,
     permanent: &PermanentPairs,
     threads: usize,
 ) -> HourlyGrid {
     let _span = telemetry::span!("analysis.grid.client_conn");
-    sharded_grid(threads, ds.clients.len(), ds.hours, &ds.connections, |g, c| {
-        if !permanent.contains(c.client, c.site) {
-            g.add(c.client.0 as usize, c.hour(), c.failed());
+    let conn = &cds.conn;
+    sharded_grid(threads, cds.client_count(), cds.hours, cds.conn_len(), |g, i| {
+        let (client, site) = (conn.client[i], conn.site[i]);
+        if !permanent.contains(ClientId(client), SiteId(site)) {
+            g.add(client as usize, cds.conn_hour(i), cds.conn_failed(i));
         }
     })
 }
 
 /// Per-server hourly TCP-connection grid, excluding permanent pairs.
 pub fn server_connection_grid(
-    ds: &Dataset,
+    cds: &ColumnarDataset,
     permanent: &PermanentPairs,
     threads: usize,
 ) -> HourlyGrid {
     let _span = telemetry::span!("analysis.grid.server_conn");
-    sharded_grid(threads, ds.sites.len(), ds.hours, &ds.connections, |g, c| {
-        if !permanent.contains(c.client, c.site) {
-            g.add(c.site.0 as usize, c.hour(), c.failed());
+    let conn = &cds.conn;
+    sharded_grid(threads, cds.site_count(), cds.hours, cds.conn_len(), |g, i| {
+        let (client, site) = (conn.client[i], conn.site[i]);
+        if !permanent.contains(ClientId(client), SiteId(site)) {
+            g.add(site as usize, cds.conn_hour(i), cds.conn_failed(i));
         }
     })
 }
@@ -228,28 +236,32 @@ pub fn server_connection_grid(
 /// Per-client hourly *transaction* grid (used where connections are masked,
 /// e.g. proxied clients).
 pub fn client_transaction_grid(
-    ds: &Dataset,
+    cds: &ColumnarDataset,
     permanent: &PermanentPairs,
     threads: usize,
 ) -> HourlyGrid {
     let _span = telemetry::span!("analysis.grid.client_txn");
-    sharded_grid(threads, ds.clients.len(), ds.hours, &ds.records, |g, r| {
-        if !permanent.contains(r.client, r.site) {
-            g.add(r.client.0 as usize, r.hour(), r.failed());
+    let txn = &cds.txn;
+    sharded_grid(threads, cds.client_count(), cds.hours, cds.txn_len(), |g, i| {
+        let (client, site) = (txn.client[i], txn.site[i]);
+        if !permanent.contains(ClientId(client), SiteId(site)) {
+            g.add(client as usize, cds.txn_hour(i), cds.txn_failed(i));
         }
     })
 }
 
 /// Per-server hourly transaction grid.
 pub fn server_transaction_grid(
-    ds: &Dataset,
+    cds: &ColumnarDataset,
     permanent: &PermanentPairs,
     threads: usize,
 ) -> HourlyGrid {
     let _span = telemetry::span!("analysis.grid.server_txn");
-    sharded_grid(threads, ds.sites.len(), ds.hours, &ds.records, |g, r| {
-        if !permanent.contains(r.client, r.site) {
-            g.add(r.site.0 as usize, r.hour(), r.failed());
+    let txn = &cds.txn;
+    sharded_grid(threads, cds.site_count(), cds.hours, cds.txn_len(), |g, i| {
+        let (client, site) = (txn.client[i], txn.site[i]);
+        if !permanent.contains(ClientId(client), SiteId(site)) {
+            g.add(site as usize, cds.txn_hour(i), cds.txn_failed(i));
         }
     })
 }
@@ -340,11 +352,11 @@ mod tests {
                 w.add_txn(ClientId(1), SiteId(1), h, true);
             }
         }
-        let ds = w.finish();
+        let cds = ColumnarDataset::from_dataset(&w.finish());
         let cfg = crate::AnalysisConfig::default();
-        let perm = crate::permanent::detect(&ds, &cfg);
+        let perm = crate::permanent::detect(&cds, &cfg);
         assert!(perm.contains(ClientId(0), SiteId(0)));
-        let g = client_connection_grid(&ds, &perm, 1);
+        let g = client_connection_grid(&cds, &perm, 1);
         assert_eq!(g.cell(0, 0), (0, 0), "permanent pair excluded");
         assert_eq!(g.cell(1, 0), (30, 0));
     }
@@ -362,19 +374,19 @@ mod tests {
                 }
             }
         }
-        let ds = w.finish();
-        let perm = crate::permanent::detect(&ds, &crate::AnalysisConfig::default());
-        let serial = client_connection_grid(&ds, &perm, 1);
+        let cds = ColumnarDataset::from_dataset(&w.finish());
+        let perm = crate::permanent::detect(&cds, &crate::AnalysisConfig::default());
+        let serial = client_connection_grid(&cds, &perm, 1);
         for threads in [2usize, 3, 7] {
-            let par = client_connection_grid(&ds, &perm, threads);
+            let par = client_connection_grid(&cds, &perm, threads);
             for row in 0..serial.rows() {
                 for hour in 0..serial.hours() {
                     assert_eq!(serial.cell(row, hour), par.cell(row, hour));
                 }
             }
         }
-        let serial_t = server_transaction_grid(&ds, &perm, 1);
-        let par_t = server_transaction_grid(&ds, &perm, 5);
+        let serial_t = server_transaction_grid(&cds, &perm, 1);
+        let par_t = server_transaction_grid(&cds, &perm, 5);
         for row in 0..serial_t.rows() {
             for hour in 0..serial_t.hours() {
                 assert_eq!(serial_t.cell(row, hour), par_t.cell(row, hour));

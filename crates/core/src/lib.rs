@@ -54,11 +54,17 @@ pub use grid::{GridCoverage, HourlyGrid};
 pub use integrity::{ConfidentBlame, DegradationReport};
 pub use permanent::PermanentPairs;
 
-use model::Dataset;
+use model::{ColumnarDataset, Dataset};
 
 /// The indexed analysis over one dataset.
 pub struct Analysis<'d> {
     pub ds: &'d Dataset,
+    /// Structure-of-arrays view of the same records; every headline scan
+    /// (grids, permanent pairs, Table 5, episodes, BGP grid, summaries)
+    /// reads these columns instead of the row structs. `Arc` so the two
+    /// blame thresholds in [`pipeline::run`] share one copy — the columns
+    /// are hundreds of MB at reproduction scale.
+    pub cds: std::sync::Arc<ColumnarDataset>,
     pub config: AnalysisConfig,
     /// Near-permanent (client, site) pairs, detected from the data and
     /// excluded from the correlation analyses (Section 4.4.2).
@@ -73,14 +79,16 @@ impl<'d> Analysis<'d> {
     /// Index `ds` under `config`.
     pub fn new(ds: &'d Dataset, config: AnalysisConfig) -> Analysis<'d> {
         let _span = telemetry::span!("analysis.index");
-        let permanent = permanent::detect(ds, &config);
+        let cds = std::sync::Arc::new(ColumnarDataset::from_dataset(ds));
+        let permanent = permanent::detect(&cds, &config);
         let (client_grid, server_grid) = par::join2(
             config.threads,
-            || grid::client_connection_grid(ds, &permanent, config.threads),
-            || grid::server_connection_grid(ds, &permanent, config.threads),
+            || grid::client_connection_grid(&cds, &permanent, config.threads),
+            || grid::server_connection_grid(&cds, &permanent, config.threads),
         );
         Analysis {
             ds,
+            cds,
             config,
             permanent,
             client_grid,

@@ -68,10 +68,11 @@ pub struct PairEpisodeReport {
 /// Scan for client-server-specific episodes.
 pub fn detect(analysis: &Analysis<'_>, cfg: PairEpisodeConfig) -> PairEpisodeReport {
     let _span = telemetry::span!("analysis.pair_episodes");
-    let ds = analysis.ds;
+    let cds = &analysis.cds;
+    let conn = &cds.conn;
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
-    let windows = ds.hours.div_ceil(cfg.window_hours.max(1));
+    let windows = cds.hours.div_ceil(cfg.window_hours.max(1));
 
     // (client, site, window) → (attempts, failures, any endpoint episode),
     // built as per-shard maps merged by adding the counters and OR-ing the
@@ -79,31 +80,36 @@ pub fn detect(analysis: &Analysis<'_>, cfg: PairEpisodeConfig) -> PairEpisodeRep
     // bins (the emission loop below sorts its output).
     let partials = crate::par::map_shards(
         analysis.config.threads,
-        ds.connections.len(),
+        cds.conn_len(),
         |range| {
             let mut bins: HashMap<(u16, u16, u32), (u32, u32, bool)> = HashMap::new();
-            for conn in &ds.connections[range] {
-                if analysis.permanent.contains(conn.client, conn.site) {
+            for i in range {
+                let (client, site) = (conn.client[i], conn.site[i]);
+                if analysis
+                    .permanent
+                    .contains(ClientId(client), SiteId(site))
+                {
                     continue;
                 }
-                let hour = conn.hour();
-                if hour >= ds.hours {
+                let hour = cds.conn_hour(i);
+                if hour >= cds.hours {
                     continue;
                 }
+                let failed = cds.conn_failed(i);
                 let window = hour / cfg.window_hours.max(1);
                 let entry = bins
-                    .entry((conn.client.0, conn.site.0, window))
+                    .entry((client, site, window))
                     .or_insert((0, 0, false));
                 entry.0 += 1;
-                entry.1 += u32::from(conn.failed());
-                if conn.failed() {
+                entry.1 += u32::from(failed);
+                if failed {
                     // Did either endpoint have an episode this hour?
                     let c_ep = analysis
                         .client_grid
-                        .is_episode(conn.client.0 as usize, hour, f, min);
+                        .is_episode(client as usize, hour, f, min);
                     let s_ep = analysis
                         .server_grid
-                        .is_episode(conn.site.0 as usize, hour, f, min);
+                        .is_episode(site as usize, hour, f, min);
                     entry.2 |= c_ep || s_ep;
                 }
             }

@@ -7,7 +7,7 @@
 //! server-side episodes.
 
 use crate::config::AnalysisConfig;
-use model::{ClientId, Dataset, SiteId};
+use model::{ClientId, ColumnarDataset, SiteId};
 use std::collections::{HashMap, HashSet};
 
 /// Detected near-permanent pairs with their impact statistics.
@@ -54,17 +54,19 @@ impl PermanentPairs {
     }
 }
 
-/// Detect near-permanent pairs in `ds`.
-pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
+/// Detect near-permanent pairs in `cds`.
+pub fn detect(cds: &ColumnarDataset, config: &AnalysisConfig) -> PermanentPairs {
     let _span = telemetry::span!("analysis.permanent_pairs");
+    let txn = &cds.txn;
+    let conn = &cds.conn;
     // Per-shard pair counters merged by addition; the detection filter and
     // the sorted detail list below make the output order-independent.
-    let partials = crate::par::map_shards(config.threads, ds.records.len(), |range| {
+    let partials = crate::par::map_shards(config.threads, cds.txn_len(), |range| {
         let mut per_pair: HashMap<(u16, u16), (u32, u32)> = HashMap::new();
-        for r in &ds.records[range] {
-            let e = per_pair.entry((r.client.0, r.site.0)).or_insert((0, 0));
+        for i in range {
+            let e = per_pair.entry((txn.client[i], txn.site[i])).or_insert((0, 0));
             e.0 += 1;
-            e.1 += u32::from(r.failed());
+            e.1 += u32::from(cds.txn_failed(i));
         }
         per_pair
     });
@@ -96,13 +98,13 @@ pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
 
     // Impact shares: one sharded pass per record family.
     let (total_txn_failures, perm_txn_failures) =
-        crate::par::map_shards(config.threads, ds.records.len(), |range| {
+        crate::par::map_shards(config.threads, cds.txn_len(), |range| {
             let mut total = 0usize;
             let mut perm = 0usize;
-            for r in &ds.records[range] {
-                if r.failed() {
+            for i in range {
+                if cds.txn_failed(i) {
                     total += 1;
-                    perm += usize::from(pairs.contains(&(r.client.0, r.site.0)));
+                    perm += usize::from(pairs.contains(&(txn.client[i], txn.site[i])));
                 }
             }
             (total, perm)
@@ -110,13 +112,13 @@ pub fn detect(ds: &Dataset, config: &AnalysisConfig) -> PermanentPairs {
         .into_iter()
         .fold((0, 0), |(t, p), (st, sp)| (t + st, p + sp));
     let (total_conn_failures, perm_conn_failures) =
-        crate::par::map_shards(config.threads, ds.connections.len(), |range| {
+        crate::par::map_shards(config.threads, cds.conn_len(), |range| {
             let mut total = 0usize;
             let mut perm = 0usize;
-            for c in &ds.connections[range] {
-                if c.failed() {
+            for i in range {
+                if cds.conn_failed(i) {
                     total += 1;
-                    perm += usize::from(pairs.contains(&(c.client.0, c.site.0)));
+                    perm += usize::from(pairs.contains(&(conn.client[i], conn.site[i])));
                 }
             }
             (total, perm)
@@ -145,6 +147,10 @@ mod tests {
     use super::*;
     use crate::synthetic::SynthWorld;
 
+    fn cds(ds: &model::Dataset) -> ColumnarDataset {
+        ColumnarDataset::from_dataset(ds)
+    }
+
     #[test]
     fn detects_only_high_rate_pairs() {
         let mut w = SynthWorld::new(2, 2, 4);
@@ -157,7 +163,7 @@ mod tests {
             w.add_txn_batch(ClientId(1), SiteId(0), h, 10, 0);
         }
         let ds = w.finish();
-        let p = detect(&ds, &AnalysisConfig::default());
+        let p = detect(&cds(&ds), &AnalysisConfig::default());
         assert_eq!(p.len(), 1);
         assert!(p.contains(ClientId(0), SiteId(0)));
         assert!(!p.contains(ClientId(0), SiteId(1)));
@@ -171,7 +177,7 @@ mod tests {
         // 10 transactions, all failed — but below min_pair_transactions.
         w.add_txn_batch(ClientId(0), SiteId(0), 0, 10, 10);
         let ds = w.finish();
-        let p = detect(&ds, &AnalysisConfig::default());
+        let p = detect(&cds(&ds), &AnalysisConfig::default());
         assert!(p.is_empty());
     }
 
@@ -189,7 +195,7 @@ mod tests {
             w.add_conn_batch(ClientId(1), SiteId(0), h, 10, 1);
         }
         let ds = w.finish();
-        let p = detect(&ds, &AnalysisConfig::default());
+        let p = detect(&cds(&ds), &AnalysisConfig::default());
         assert_eq!(p.len(), 1);
         // 40 of 44 txn failures; 120 of 124 conn failures.
         assert!((p.share_of_transaction_failures - 40.0 / 44.0).abs() < 1e-9);
@@ -213,9 +219,9 @@ mod tests {
             w.add_txn_batch(ClientId(3), SiteId(0), h, 10, 0);
         }
         let ds = w.finish();
-        let serial = detect(&ds, &AnalysisConfig::default().with_threads(1));
+        let serial = detect(&cds(&ds), &AnalysisConfig::default().with_threads(1));
         for threads in [2usize, 3, 7] {
-            let par = detect(&ds, &AnalysisConfig::default().with_threads(threads));
+            let par = detect(&cds(&ds), &AnalysisConfig::default().with_threads(threads));
             assert_eq!(par.len(), serial.len());
             assert_eq!(par.detail.len(), serial.detail.len());
             for (a, b) in par.detail.iter().zip(&serial.detail) {
@@ -236,7 +242,7 @@ mod tests {
     #[test]
     fn empty_dataset() {
         let ds = SynthWorld::new(1, 1, 1).finish();
-        let p = detect(&ds, &AnalysisConfig::default());
+        let p = detect(&cds(&ds), &AnalysisConfig::default());
         assert!(p.is_empty());
         assert_eq!(p.share_of_connection_failures, 0.0);
     }

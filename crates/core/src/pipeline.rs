@@ -39,6 +39,9 @@ pub struct FullAnalysis {
     pub pair_episodes: PairEpisodeReport,
     /// Number of excluded near-permanent pairs (Section 4.4.2).
     pub permanent_pairs: usize,
+    /// Columnar-vs-row memory footprint of the dataset the pipeline indexed
+    /// (free to report here — the columns are already built).
+    pub memory: model::MemoryFootprint,
 }
 
 /// Run the full pipeline over `ds` under `config`.
@@ -52,6 +55,7 @@ pub fn run(ds: &Dataset, config: AnalysisConfig) -> FullAnalysis {
     let a5 = Analysis::new(ds, config);
     let a10 = Analysis {
         ds,
+        cds: a5.cds.clone(),
         config: config.with_threshold(0.10),
         permanent: a5.permanent.clone(),
         client_grid: a5.client_grid.clone(),
@@ -61,12 +65,13 @@ pub fn run(ds: &Dataset, config: AnalysisConfig) -> FullAnalysis {
     let alt_rule =
         SeverityRule::WithdrawalsAndNeighbors(config.alt_withdrawals, config.alt_neighbors);
     let permanent_pairs = a5.permanent.len();
+    let memory = a5.cds.memory();
 
     if crate::par::resolve(threads) <= 1 {
         let prefix_grid = bgp_corr::prefix_grid(&a5);
         return FullAnalysis {
-            table3: summary::table3_with_threads(ds, threads),
-            overall: summary::overall_breakdown_with_threads(ds, threads),
+            table3: summary::table3_with_threads(&a5.cds, threads),
+            overall: summary::overall_breakdown_with_threads(&a5.cds, threads),
             figure4: episodes::figure4(&a5),
             table5: blame::table5(&a5),
             table5_conservative: blame::table5(&a10),
@@ -79,6 +84,7 @@ pub fn run(ds: &Dataset, config: AnalysisConfig) -> FullAnalysis {
             severe_alt: bgp_corr::severe_instability_with_grid(&a5, alt_rule, &prefix_grid),
             pair_episodes: pair_episodes::detect(&a5, PairEpisodeConfig::default()),
             permanent_pairs,
+            memory,
         };
     }
 
@@ -87,8 +93,8 @@ pub fn run(ds: &Dataset, config: AnalysisConfig) -> FullAnalysis {
     // runs on its own scoped thread.
     let prefix_grid = bgp_corr::prefix_grid(&a5);
     std::thread::scope(|s| {
-        let table3 = s.spawn(|| summary::table3_with_threads(ds, threads));
-        let overall = s.spawn(|| summary::overall_breakdown_with_threads(ds, threads));
+        let table3 = s.spawn(|| summary::table3_with_threads(&a5.cds, threads));
+        let overall = s.spawn(|| summary::overall_breakdown_with_threads(&a5.cds, threads));
         let figure4 = s.spawn(|| episodes::figure4(&a5));
         let table5 = s.spawn(|| blame::table5(&a5));
         let table5_conservative = s.spawn(|| blame::table5(&a10));
@@ -111,6 +117,7 @@ pub fn run(ds: &Dataset, config: AnalysisConfig) -> FullAnalysis {
             severe_alt: severe_alt.join().expect("pipeline stage panicked"),
             pair_episodes: pair.join().expect("pipeline stage panicked"),
             permanent_pairs,
+            memory,
         }
     })
 }

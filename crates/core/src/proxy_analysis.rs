@@ -47,7 +47,7 @@ pub struct Table9Row {
 /// own bad hours must be visible through transactions.
 pub fn residual_rates(analysis: &Analysis<'_>, site: SiteId) -> Table9Row {
     let txn_grid =
-        client_transaction_grid(analysis.ds, &analysis.permanent, analysis.config.threads);
+        client_transaction_grid(&analysis.cds, &analysis.permanent, analysis.config.threads);
     residual_rates_with_grid(analysis, site, &txn_grid)
 }
 
@@ -59,7 +59,8 @@ pub fn residual_rates_with_grid(
     txn_grid: &HourlyGrid,
 ) -> Table9Row {
     let _span = telemetry::span!("analysis.proxy.table9");
-    let ds = analysis.ds;
+    let cds = &analysis.cds;
+    let txn = &cds.txn;
     let f = analysis.config.episode_threshold;
     let min = analysis.config.min_hour_samples;
 
@@ -76,21 +77,23 @@ pub fn residual_rates_with_grid(
             || txn_grid.is_episode(client.0 as usize, hour, f, min)
     };
 
-    let mut per_client: Vec<ResidualRate> = (0..ds.clients.len())
+    let mut per_client: Vec<ResidualRate> = (0..cds.client_count())
         .map(|_| ResidualRate {
             transactions: 0,
             residual_failures: 0,
         })
         .collect();
-    for r in &ds.records {
-        if r.site != site || analysis.permanent.contains(r.client, r.site) {
+    for i in 0..cds.txn_len() {
+        let client = txn.client[i];
+        if txn.site[i] != site.0 || analysis.permanent.contains(ClientId(client), site) {
             continue;
         }
-        let e = &mut per_client[r.client.0 as usize];
+        let e = &mut per_client[client as usize];
         e.transactions += 1;
-        if r.failed()
-            && !server_episodes.contains(&r.hour())
-            && !client_in_episode(r.client, r.hour())
+        let hour = cds.txn_hour(i);
+        if cds.txn_failed(i)
+            && !server_episodes.contains(&hour)
+            && !client_in_episode(ClientId(client), hour)
         {
             e.residual_failures += 1;
         }
@@ -102,13 +105,13 @@ pub fn residual_rates_with_grid(
         transactions: 0,
         residual_failures: 0,
     };
-    for (i, meta) in ds.clients.iter().enumerate() {
-        let rr = per_client[i].clone();
-        if meta.category == ClientCategory::CorpNet {
-            if meta.proxy.is_some() {
-                proxied.push((meta.id, rr));
+    for (i, rr) in per_client.into_iter().enumerate() {
+        let id = ClientId(i as u16);
+        if cds.clients.category[i] == ClientCategory::CorpNet {
+            if cds.clients.proxy[i] != model::columnar::NONE_U16 {
+                proxied.push((id, rr));
             } else {
-                external = Some((meta.id, rr));
+                external = Some((id, rr));
             }
         } else {
             non_cn.transactions += rr.transactions;
@@ -149,11 +152,11 @@ pub fn shared_proxy_sites(
     min_rate: f64,
     dominance: f64,
 ) -> Vec<SharedProxySite> {
-    let ds = analysis.ds;
-    let txn_grid = client_transaction_grid(ds, &analysis.permanent, analysis.config.threads);
+    let txn_grid =
+        client_transaction_grid(&analysis.cds, &analysis.permanent, analysis.config.threads);
     let mut out = Vec::new();
-    for site in &ds.sites {
-        let row = residual_rates_with_grid(analysis, site.id, &txn_grid);
+    for s in 0..analysis.cds.site_count() as u16 {
+        let row = residual_rates_with_grid(analysis, SiteId(s), &txn_grid);
         if row.proxied.is_empty() {
             continue;
         }
@@ -174,7 +177,7 @@ pub fn shared_proxy_sites(
             && external_ok
         {
             out.push(SharedProxySite {
-                site: site.id,
+                site: SiteId(s),
                 min_proxied_rate,
                 non_cn_rate,
                 external_rate,

@@ -1,6 +1,6 @@
 //! Overall failure statistics (Section 4.1, Table 3, Figure 1).
 
-use model::{ClientCategory, Dataset, FailureClass};
+use model::{ClientCategory, ColumnarDataset, FailureClass};
 
 /// One Table 3 row.
 #[derive(Clone, Debug)]
@@ -68,13 +68,14 @@ struct CategoryCounts {
     breakdown: FailureBreakdown,
 }
 
-fn category_index(ds: &Dataset) -> Vec<usize> {
-    ds.clients
+fn category_index(cds: &ColumnarDataset) -> Vec<usize> {
+    cds.clients
+        .category
         .iter()
-        .map(|c| {
+        .map(|&category| {
             ClientCategory::ALL
                 .iter()
-                .position(|&cat| cat == c.category)
+                .position(|&cat| cat == category)
                 .expect("client category listed in ClientCategory::ALL")
         })
         .collect()
@@ -93,17 +94,19 @@ fn merge_counts(mut acc: Vec<CategoryCounts>, shard: Vec<CategoryCounts>) -> Vec
     acc
 }
 
-fn category_counts(ds: &Dataset, threads: usize) -> Vec<CategoryCounts> {
-    let cat = category_index(ds);
+fn category_counts(cds: &ColumnarDataset, threads: usize) -> Vec<CategoryCounts> {
+    let cat = category_index(cds);
     let n = ClientCategory::ALL.len();
     let empty = || vec![CategoryCounts::default(); n];
-    let from_records = crate::par::map_shards(threads, ds.records.len(), |range| {
+    let txn = &cds.txn;
+    let conn = &cds.conn;
+    let from_records = crate::par::map_shards(threads, cds.txn_len(), |range| {
         let mut counts = empty();
-        for r in &ds.records[range] {
-            let e = &mut counts[cat[r.client.0 as usize]];
+        for i in range {
+            let e = &mut counts[cat[txn.client[i] as usize]];
             e.transactions += 1;
-            e.failed_transactions += u64::from(r.failed());
-            match r.failure() {
+            e.failed_transactions += u64::from(cds.txn_failed(i));
+            match cds.txn_failure(i) {
                 Some(FailureClass::Dns(_)) => e.breakdown.dns += 1,
                 Some(FailureClass::Tcp(_)) => e.breakdown.tcp += 1,
                 Some(FailureClass::Http(_)) => e.breakdown.http += 1,
@@ -114,12 +117,12 @@ fn category_counts(ds: &Dataset, threads: usize) -> Vec<CategoryCounts> {
     })
     .into_iter()
     .fold(empty(), merge_counts);
-    crate::par::map_shards(threads, ds.connections.len(), |range| {
+    crate::par::map_shards(threads, cds.conn_len(), |range| {
         let mut counts = empty();
-        for c in &ds.connections[range] {
-            let e = &mut counts[cat[c.client.0 as usize]];
+        for i in range {
+            let e = &mut counts[cat[conn.client[i] as usize]];
             e.connections += 1;
-            e.failed_connections += u64::from(c.failed());
+            e.failed_connections += u64::from(cds.conn_failed(i));
         }
         counts
     })
@@ -128,16 +131,16 @@ fn category_counts(ds: &Dataset, threads: usize) -> Vec<CategoryCounts> {
 }
 
 /// Compute Table 3: per-category transaction and connection counts.
-pub fn table3(ds: &Dataset) -> Vec<CategorySummary> {
-    table3_with_threads(ds, 0)
+pub fn table3(cds: &ColumnarDataset) -> Vec<CategorySummary> {
+    table3_with_threads(cds, 0)
 }
 
 /// [`table3`] with an explicit scan thread count (0 = all cores).
-pub fn table3_with_threads(ds: &Dataset, threads: usize) -> Vec<CategorySummary> {
+pub fn table3_with_threads(cds: &ColumnarDataset, threads: usize) -> Vec<CategorySummary> {
     let _span = telemetry::span!("analysis.summary.table3");
     ClientCategory::ALL
         .iter()
-        .zip(category_counts(ds, threads))
+        .zip(category_counts(cds, threads))
         .map(|(&category, counts)| {
             // CN connections are masked by the proxies (Table 3: N/A). We
             // detect that structurally: a category whose transactions exist
@@ -157,19 +160,19 @@ pub fn table3_with_threads(ds: &Dataset, threads: usize) -> Vec<CategorySummary>
 /// Compute Figure 1's per-category failure breakdown. Proxied (CN) clients
 /// are excluded from the breakdown, as in the paper — their failure classes
 /// are distorted by the proxy's masking.
-pub fn figure1(ds: &Dataset) -> Vec<(ClientCategory, f64, Option<FailureBreakdown>)> {
-    figure1_with_threads(ds, 0)
+pub fn figure1(cds: &ColumnarDataset) -> Vec<(ClientCategory, f64, Option<FailureBreakdown>)> {
+    figure1_with_threads(cds, 0)
 }
 
 /// [`figure1`] with an explicit scan thread count (0 = all cores).
 pub fn figure1_with_threads(
-    ds: &Dataset,
+    cds: &ColumnarDataset,
     threads: usize,
 ) -> Vec<(ClientCategory, f64, Option<FailureBreakdown>)> {
     let _span = telemetry::span!("analysis.summary.figure1");
     ClientCategory::ALL
         .iter()
-        .zip(category_counts(ds, threads))
+        .zip(category_counts(cds, threads))
         .map(|(&category, counts)| {
             let rate = rate(counts.failed_transactions, counts.transactions);
             let breakdown = (category != ClientCategory::CorpNet).then_some(counts.breakdown);
@@ -179,14 +182,14 @@ pub fn figure1_with_threads(
 }
 
 /// Whole-dataset failure breakdown over the non-proxied categories.
-pub fn overall_breakdown(ds: &Dataset) -> FailureBreakdown {
-    overall_breakdown_with_threads(ds, 0)
+pub fn overall_breakdown(cds: &ColumnarDataset) -> FailureBreakdown {
+    overall_breakdown_with_threads(cds, 0)
 }
 
 /// [`overall_breakdown`] with an explicit scan thread count (0 = all cores).
-pub fn overall_breakdown_with_threads(ds: &Dataset, threads: usize) -> FailureBreakdown {
+pub fn overall_breakdown_with_threads(cds: &ColumnarDataset, threads: usize) -> FailureBreakdown {
     let mut b = FailureBreakdown::default();
-    for (&category, counts) in ClientCategory::ALL.iter().zip(category_counts(ds, threads)) {
+    for (&category, counts) in ClientCategory::ALL.iter().zip(category_counts(cds, threads)) {
         if category == ClientCategory::CorpNet {
             continue;
         }
@@ -198,12 +201,12 @@ pub fn overall_breakdown_with_threads(ds: &Dataset, threads: usize) -> FailureBr
 }
 
 /// Monthly per-client transaction failure rates.
-pub fn client_failure_rates(ds: &Dataset) -> Vec<f64> {
-    let mut totals = vec![(0u64, 0u64); ds.clients.len()];
-    for r in &ds.records {
-        let e = &mut totals[r.client.0 as usize];
+pub fn client_failure_rates(cds: &ColumnarDataset) -> Vec<f64> {
+    let mut totals = vec![(0u64, 0u64); cds.client_count()];
+    for i in 0..cds.txn_len() {
+        let e = &mut totals[cds.txn.client[i] as usize];
         e.0 += 1;
-        e.1 += u64::from(r.failed());
+        e.1 += u64::from(cds.txn_failed(i));
     }
     totals
         .into_iter()
@@ -213,12 +216,12 @@ pub fn client_failure_rates(ds: &Dataset) -> Vec<f64> {
 }
 
 /// Monthly per-server transaction failure rates.
-pub fn server_failure_rates(ds: &Dataset) -> Vec<f64> {
-    let mut totals = vec![(0u64, 0u64); ds.sites.len()];
-    for r in &ds.records {
-        let e = &mut totals[r.site.0 as usize];
+pub fn server_failure_rates(cds: &ColumnarDataset) -> Vec<f64> {
+    let mut totals = vec![(0u64, 0u64); cds.site_count()];
+    for i in 0..cds.txn_len() {
+        let e = &mut totals[cds.txn.site[i] as usize];
         e.0 += 1;
-        e.1 += u64::from(r.failed());
+        e.1 += u64::from(cds.txn_failed(i));
     }
     totals
         .into_iter()
@@ -262,7 +265,7 @@ mod tests {
     use crate::synthetic::SynthWorld;
     use model::{ClientId, DnsFailureKind, SiteId};
 
-    fn world() -> Dataset {
+    fn world() -> ColumnarDataset {
         let mut w = SynthWorld::new(3, 2, 2);
         w.set_category(ClientId(1), ClientCategory::Dialup);
         w.set_category(ClientId(2), ClientCategory::CorpNet);
@@ -283,7 +286,7 @@ mod tests {
         // CN client: 5 txns, 1 HTTP failure, no conn records.
         w.add_txn_batch(ClientId(2), SiteId(0), 0, 4, 0);
         w.add_txn_failure(ClientId(2), SiteId(0), 0, FailureClass::Http(504));
-        w.finish()
+        ColumnarDataset::from_dataset(&w.finish())
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! can evolve independently.
 
 pub mod bgp;
+pub mod columnar;
 pub mod dataset;
 pub mod failure;
 pub mod ids;
@@ -21,7 +22,8 @@ pub mod records;
 pub mod time;
 
 pub use bgp::{BgpHourly, BgpHourlySeries};
-pub use dataset::{ClientMeta, Dataset, IntegrityReport, SiteMeta};
+pub use columnar::{ColumnarDataset, MemoryFootprint};
+pub use dataset::{ClientMeta, Dataset, IntegrityReport, PrefixCoverIndex, SiteMeta};
 pub use failure::{DnsErrorCode, DnsFailureKind, FailureClass, TcpFailureKind};
 pub use ids::{ClientCategory, ClientId, PrefixId, ProxyId, SiteCategory, SiteId};
 pub use net::Ipv4Prefix;

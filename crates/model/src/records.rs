@@ -15,7 +15,7 @@ use crate::time::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 /// The result of one transaction (one wget invocation for one URL).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TransactionOutcome {
     /// The index object was downloaded in full.
     Success,
@@ -43,7 +43,7 @@ impl TransactionOutcome {
 
 /// Outcome of the iterative `dig` that follows every wget access (Section
 /// 3.4, step 3). Used in Section 4.2 to cross-check wget's DNS failures.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DigOutcome {
     /// The iterative walk resolved the name.
     Resolved,

@@ -103,7 +103,7 @@ pub fn check_dataset_with_oracle(
 ) -> DiffReport {
     let full = pipeline::run(ds, cfg);
     let analysis = Analysis::new(ds, cfg);
-    let txn_grid = client_transaction_grid(ds, &analysis.permanent, cfg.threads);
+    let txn_grid = client_transaction_grid(&analysis.cds, &analysis.permanent, cfg.threads);
     let table9: Vec<Table9Row> = ds
         .sites
         .iter()

@@ -3,7 +3,7 @@
 use crate::csv::Csv;
 use crate::paper::{Comparison, PaperTargets};
 use crate::table::{count, pct, pct2, TextTable};
-use model::{ClientCategory, Dataset, DnsFailureKind, SiteId};
+use model::{ClientCategory, ColumnarDataset, Dataset, DnsFailureKind, SiteId};
 use netprofiler::bgp_corr::{self, SeverityRule};
 use netprofiler::episodes::figure4;
 use netprofiler::{
@@ -55,8 +55,8 @@ pub fn paper_blocks(
     let mut blocks: Vec<(&'static str, String)> = vec![
         ("table1", render_table1(ds)),
         ("table2", render_table2(ds)),
-        ("table3", render_table3(ds)),
-        ("fig1", render_figure1(ds)),
+        ("table3", render_table3(&a5.cds)),
+        ("fig1", render_figure1(&a5.cds)),
         ("table4", render_table4(ds)),
         ("fig2", render_figure2(ds)),
         ("fig3", render_figure3(ds)),
@@ -79,7 +79,7 @@ pub fn paper_blocks(
     }
     blocks.push(("table9", render_table9(a5, &["iitb", "royal"])));
     blocks.push(("pairs", render_pair_episodes(a5)));
-    blocks.push(("medians", render_medians(ds)));
+    blocks.push(("medians", render_medians(&a5.cds)));
     blocks.push(("timing", render_timing(ds)));
     blocks.push(("loss", render_loss(ds)));
     blocks.push(("digcheck", render_digcheck(ds)));
@@ -162,7 +162,7 @@ pub fn render_table2(ds: &Dataset) -> String {
 }
 
 /// Table 3: transaction/connection counts and failure rates per category.
-pub fn render_table3(ds: &Dataset) -> String {
+pub fn render_table3(cds: &ColumnarDataset) -> String {
     let mut t = TextTable::new([
         "category",
         "trans.",
@@ -172,7 +172,7 @@ pub fn render_table3(ds: &Dataset) -> String {
     ])
     .with_title("Table 3: overall transaction and connection counts")
     .right_align(&[1, 2, 3, 4]);
-    for row in summary::table3(ds) {
+    for row in summary::table3(cds) {
         t.row([
             row.category.abbrev().to_string(),
             count(row.transactions),
@@ -192,11 +192,11 @@ pub fn render_table3(ds: &Dataset) -> String {
 }
 
 /// Figure 1: failure rate and breakdown per category.
-pub fn render_figure1(ds: &Dataset) -> String {
+pub fn render_figure1(cds: &ColumnarDataset) -> String {
     let mut t = TextTable::new(["category", "failure rate", "DNS", "TCP", "HTTP"])
         .with_title("Figure 1: transaction failure rate and breakdown by type")
         .right_align(&[1, 2, 3, 4]);
-    for (cat, rate, breakdown) in summary::figure1(ds) {
+    for (cat, rate, breakdown) in summary::figure1(cds) {
         match breakdown {
             Some(b) => t.row([
                 cat.abbrev().to_string(),
@@ -591,8 +591,11 @@ pub fn render_figure6_csv(analysis: &Analysis<'_>) -> String {
 /// Table 9: proxy residual failures on the named sites.
 pub fn render_table9(analysis: &Analysis<'_>, hostnames: &[&str]) -> String {
     let ds = analysis.ds;
-    let txn_grid =
-        netprofiler::grid::client_transaction_grid(ds, &analysis.permanent, analysis.config.threads);
+    let txn_grid = netprofiler::grid::client_transaction_grid(
+        &analysis.cds,
+        &analysis.permanent,
+        analysis.config.threads,
+    );
     let mut t = TextTable::new(["site", "client", "residual failure rate"])
         .with_title("Table 9: residual failure rates after excluding client/server episodes")
         .right_align(&[2]);
@@ -705,9 +708,9 @@ pub fn render_timing(ds: &Dataset) -> String {
     t.render()
 }
 
-pub fn render_medians(ds: &Dataset) -> String {
-    let clients = summary::client_failure_rates(ds);
-    let servers = summary::server_failure_rates(ds);
+pub fn render_medians(cds: &ColumnarDataset) -> String {
+    let clients = summary::client_failure_rates(cds);
+    let servers = summary::server_failure_rates(cds);
     format!(
         "median client failure rate: {}\n\
          median server failure rate: {}\n\
@@ -745,7 +748,7 @@ pub fn comparisons(ds: &Dataset, a5: &Analysis<'_>, a10: &Analysis<'_>) -> Vec<C
         });
     };
 
-    let rates = summary::client_failure_rates(ds);
+    let rates = summary::client_failure_rates(&a5.cds);
     let med_c = summary::quantile(&rates, 0.5).unwrap_or(0.0);
     push(
         "median client failure rate",
@@ -753,7 +756,7 @@ pub fn comparisons(ds: &Dataset, a5: &Analysis<'_>, a10: &Analysis<'_>) -> Vec<C
         pct2(med_c),
         (0.005..0.035).contains(&med_c),
     );
-    let s_rates = summary::server_failure_rates(ds);
+    let s_rates = summary::server_failure_rates(&a5.cds);
     let med_s = summary::quantile(&s_rates, 0.5).unwrap_or(0.0);
     push(
         "median server failure rate",
@@ -762,7 +765,7 @@ pub fn comparisons(ds: &Dataset, a5: &Analysis<'_>, a10: &Analysis<'_>) -> Vec<C
         (0.005..0.04).contains(&med_s),
     );
 
-    let f1 = summary::figure1(ds);
+    let f1 = summary::figure1(&a5.cds);
     let rate_of = |cat: ClientCategory| {
         f1.iter()
             .find(|(c, _, _)| *c == cat)
@@ -784,7 +787,7 @@ pub fn comparisons(ds: &Dataset, a5: &Analysis<'_>, a10: &Analysis<'_>) -> Vec<C
         du < bb && bb < pl && du < cn,
     );
 
-    let b = summary::overall_breakdown(ds);
+    let b = summary::overall_breakdown(&a5.cds);
     push(
         "DNS share of failures",
         format!("{}–{}", pct(p.dns_share_low), pct(p.dns_share_high)),
@@ -1063,8 +1066,8 @@ mod tests {
         for s in [
             render_table1(&ds),
             render_table2(&ds),
-            render_table3(&ds),
-            render_figure1(&ds),
+            render_table3(&a5.cds),
+            render_figure1(&a5.cds),
             render_table4(&ds),
             render_figure2(&ds),
             render_figure3(&ds),
@@ -1079,7 +1082,7 @@ mod tests {
             render_bgp(&a5),
             render_figure6_csv(&a5),
             render_table9(&a5, &["site1"]),
-            render_medians(&ds),
+            render_medians(&a5.cds),
             render_loss(&ds),
             render_digcheck(&ds),
         ] {
@@ -1127,7 +1130,8 @@ mod tests {
     #[test]
     fn table3_marks_cn_masked() {
         let ds = tiny_ds();
-        let t3 = render_table3(&ds);
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let t3 = render_table3(&a.cds);
         assert!(t3.contains("N/A"));
         assert!(t3.contains("PL"));
     }

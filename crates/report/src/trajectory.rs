@@ -316,6 +316,23 @@ fn extract_parallel(doc: &Json, panel: &mut Panel) {
                 .push(Series::new(format!("{metric} across thread sweep"), points));
         }
     }
+    // Memory axis: columnar bytes per transaction plus the row-layout
+    // comparison, rendered as a two-point series so the reduction is
+    // visible at a glance alongside the badges.
+    if let (Some(col), Some(row)) = (
+        doc.num("bytes_per_transaction"),
+        doc.num("row_bytes_per_transaction"),
+    ) {
+        panel.series.push(Series::new(
+            "bytes per transaction (row vs columnar)",
+            vec![("row".to_string(), row), ("columnar".to_string(), col)],
+        ));
+    }
+    for key in ["dataset_bytes", "bytes_per_transaction", "memory_reduction"] {
+        if let Some(v) = doc.num(key) {
+            panel.badges.push((key.replace('_', " "), fmt(v)));
+        }
+    }
     if let Some(Json::Bool(ok)) = doc.get("tables_identical") {
         panel
             .badges
@@ -538,6 +555,27 @@ mod tests {
             .badges
             .iter()
             .any(|(k, v)| k == "tables identical" && v == "true"));
+    }
+
+    #[test]
+    fn parallel_panel_extracts_memory_axis() {
+        let text = "{\"scale\": \"repro\", \"seed\": 1, \"cores\": 2, \
+                    \"dataset_bytes\": 720000000, \"row_dataset_bytes\": 1600000000, \
+                    \"bytes_per_transaction\": 43.5, \"row_bytes_per_transaction\": 96.8, \
+                    \"memory_reduction\": 2.23, \
+                    \"sweep\": [{\"threads\": 1, \"sim_seconds\": 10.0, \"speedup\": 1.0, \
+                    \"efficiency\": 1.0, \"wall_seconds\": 11.0}], \
+                    \"tables_identical\": true}";
+        let p = bench_panel("BENCH_parallel.json", text);
+        let mem = p
+            .series
+            .iter()
+            .find(|s| s.name.contains("bytes per transaction"))
+            .unwrap();
+        assert_eq!(mem.points[0], ("row".to_string(), 96.8));
+        assert_eq!(mem.points[1], ("columnar".to_string(), 43.5));
+        assert!(p.badges.iter().any(|(k, v)| k == "memory reduction" && v == "2.2300"));
+        assert!(p.badges.iter().any(|(k, _)| k == "dataset bytes"));
     }
 
     #[test]

@@ -154,6 +154,9 @@ pub struct ClientSession<'t> {
     conn_scratch: Vec<ConnObservation>,
     /// Reused packet-capture buffer for [`simulate_connection_into`].
     trace_buf: Trace,
+    /// Reused hostname rendering buffer (one live allocation per session,
+    /// not one per redirect hop).
+    host_scratch: String,
 }
 
 impl<'t> ClientSession<'t> {
@@ -168,6 +171,7 @@ impl<'t> ClientSession<'t> {
             addr_scratch: Vec::new(),
             conn_scratch: Vec::new(),
             trace_buf: Trace::new(),
+            host_scratch: String::new(),
         }
     }
 
@@ -271,14 +275,20 @@ impl<'t> ClientSession<'t> {
         for _hop in 0..=self.config.max_redirects {
             // What will this host's origin say? (Determines the transfer
             // size the connection must carry.)
-            let host_str = redirect_host.as_ref().unwrap_or(host).to_string();
-            let request = HttpRequest::get(&host_str, "/", self.config.no_cache);
+            self.host_scratch.clear();
+            {
+                use std::fmt::Write as _;
+                write!(self.host_scratch, "{}", redirect_host.as_ref().unwrap_or(host))
+                    .expect("formatting into a String cannot fail");
+            }
+            let host_str = &self.host_scratch;
+            let request = HttpRequest::get(host_str, "/", self.config.no_cache);
             if self.config.http_wire_fidelity {
                 let text = request.encode();
                 let _ = HttpRequest::decode(&text).expect("own request re-parses");
             }
-            let answer = match env.origin(&host_str) {
-                Some(origin) => origin.respond(&host_str, &request, &mut self.rng),
+            let answer = match env.origin(host_str) {
+                Some(origin) => origin.respond(host_str, &request, &mut self.rng),
                 None => httpsim::OriginAnswer {
                     response: HttpResponse::error(404, "Not Found"),
                     next_host: None,

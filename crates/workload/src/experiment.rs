@@ -99,6 +99,17 @@ impl ExperimentConfig {
         }
     }
 
+    /// A memory/allocator stress point between `quick` and `reproduction`:
+    /// one week at the reproduction access rate without wire fidelity
+    /// (~3.5 M transactions) — large enough to exercise column spills and
+    /// capacity growth, small enough for a CI smoke run.
+    pub fn stress(seed: u64) -> Self {
+        ExperimentConfig {
+            hours: 168,
+            ..Self::reproduction(seed)
+        }
+    }
+
     /// A small run for integration tests and examples: full fleet, 72
     /// hours, 1 access/hour, full wire fidelity.
     pub fn quick(seed: u64) -> Self {
@@ -805,9 +816,21 @@ fn run_client(
         iter_len / n_sites as u64
     };
 
-    let mut records = Vec::new();
-    let mut connections = Vec::new();
-    let mut provenance = Vec::new();
+    // Size the month's output up front: one record per scheduled access,
+    // and (for direct clients) roughly 1.05–1.6 connections per record, so
+    // the collection loop never reallocates mid-run.
+    let accesses = (iterations as usize).saturating_mul(n_sites);
+    let mut records = Vec::with_capacity(accesses);
+    let mut connections = if spec.proxy.is_some() {
+        Vec::new()
+    } else {
+        Vec::with_capacity(accesses + accesses / 2)
+    };
+    let mut provenance = if config.record_provenance {
+        Vec::with_capacity(accesses)
+    } else {
+        Vec::new()
+    };
     let mut order: Vec<usize> = (0..n_sites).collect();
 
     let mut month_span = telemetry::span!("workload.client_month")

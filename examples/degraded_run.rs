@@ -37,10 +37,9 @@ fn main() {
     );
 
     // The headline table still computes from what survived.
-    println!("\n{}", render::render_table3(&out.dataset));
-
-    // And the blame attribution says how much of it stands on thin cells.
     let a = Analysis::with_defaults(&out.dataset);
+    println!("\n{}", render::render_table3(&a.cds));
+
     let deg = a.degradation();
     println!(
         "analysis cells: client grid {} active / {} thin, server grid {} active / {} thin",

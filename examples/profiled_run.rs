@@ -24,7 +24,7 @@ fn main() {
     // Run a representative slice of the analysis pipeline so its stage
     // spans land in the trace too.
     let a = Analysis::new(&out.dataset, AnalysisConfig::default());
-    let t3 = summary::table3(&out.dataset);
+    let t3 = summary::table3(&model::ColumnarDataset::from_dataset(&out.dataset));
     let t5 = blame::table5(&a);
     println!(
         "{} transactions across {} categories; blame classified {} episode failures",

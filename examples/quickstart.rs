@@ -25,13 +25,15 @@ fn main() {
         ds.connections.len()
     );
 
-    // Overall failure statistics (Table 3 / Figure 1).
-    println!("{}", render::render_table3(ds));
-    println!("{}", render::render_figure1(ds));
+    // Overall failure statistics (Table 3 / Figure 1), computed over the
+    // columnar view the analysis indexes once.
+    let analysis = Analysis::new(ds, AnalysisConfig::default());
+    println!("{}", render::render_table3(&analysis.cds));
+    println!("{}", render::render_figure1(&analysis.cds));
 
     // The paper's headline: failures are rare but non-negligible, DNS is a
     // third of them, and server-side problems dominate the TCP side.
-    let b = summary::overall_breakdown(ds);
+    let b = summary::overall_breakdown(&analysis.cds);
     println!(
         "failure mix: DNS {:.0}%, TCP {:.0}%, HTTP {:.1}%",
         b.dns_share() * 100.0,
@@ -39,7 +41,6 @@ fn main() {
         b.http_share() * 100.0
     );
 
-    let analysis = Analysis::new(ds, AnalysisConfig::default());
     let t5 = blame::table5(&analysis);
     println!(
         "blame attribution (f=5%): server-side {:.0}%, client-side {:.0}%, both {:.1}%, other {:.0}%",

@@ -55,8 +55,8 @@ fn degraded_run_completes_and_reproduces_table3() {
 
     // Table 3 still has the paper's shape: every category's transaction
     // failure rate tracks the healthy run.
-    let degraded_t3 = summary::table3(&out.dataset);
-    let healthy_t3 = summary::table3(&healthy.dataset);
+    let degraded_t3 = summary::table3(&model::ColumnarDataset::from_dataset(&out.dataset));
+    let healthy_t3 = summary::table3(&model::ColumnarDataset::from_dataset(&healthy.dataset));
     assert_eq!(degraded_t3.len(), healthy_t3.len());
     for (d, h) in degraded_t3.iter().zip(&healthy_t3) {
         assert_eq!(d.category, h.category);

@@ -96,7 +96,7 @@ fn transaction_and_connection_counts_relate() {
 #[test]
 fn table3_is_consistent_with_raw_counts() {
     let ds = shared();
-    let t3 = summary::table3(ds);
+    let t3 = summary::table3(&model::ColumnarDataset::from_dataset(ds));
     let total: u64 = t3.iter().map(|r| r.transactions).sum();
     assert_eq!(total, ds.records.len() as u64);
     let cn = t3

@@ -21,6 +21,11 @@ fn shared() -> &'static Dataset {
     })
 }
 
+fn shared_cds() -> &'static model::ColumnarDataset {
+    static CDS: OnceLock<model::ColumnarDataset> = OnceLock::new();
+    CDS.get_or_init(|| model::ColumnarDataset::from_dataset(shared()))
+}
+
 #[test]
 fn failure_rates_are_low_but_nonzero() {
     let ds = shared();
@@ -29,7 +34,7 @@ fn failure_rates_are_low_but_nonzero() {
         (0.005..0.05).contains(&overall),
         "overall failure rate {overall}"
     );
-    let rates = summary::client_failure_rates(ds);
+    let rates = summary::client_failure_rates(shared_cds());
     let median = summary::quantile(&rates, 0.5).unwrap();
     assert!((0.004..0.04).contains(&median), "median {median}");
 }
@@ -37,7 +42,7 @@ fn failure_rates_are_low_but_nonzero() {
 #[test]
 fn planetlab_fails_more_than_dialup() {
     let ds = shared();
-    let f1 = summary::figure1(ds);
+    let f1 = summary::figure1(shared_cds());
     let get = |cat| {
         f1.iter()
             .find(|(c, _, _)| *c == cat)
@@ -49,8 +54,7 @@ fn planetlab_fails_more_than_dialup() {
 
 #[test]
 fn dns_and_tcp_dominate_http_is_rare() {
-    let ds = shared();
-    let b = summary::overall_breakdown(ds);
+    let b = summary::overall_breakdown(shared_cds());
     assert!(b.dns_share() > 0.25, "DNS share {}", b.dns_share());
     assert!(b.tcp_share() > 0.40, "TCP share {}", b.tcp_share());
     assert!(b.http_share() < 0.05, "HTTP share {}", b.http_share());

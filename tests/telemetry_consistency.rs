@@ -32,7 +32,7 @@ fn per_class_failure_counters_match_table3_aggregates() {
         .expect("profiled run carries a telemetry summary");
     assert!(summary.contains("workload.transactions"));
 
-    let rows = netprofiler::summary::table3(&out.dataset);
+    let rows = netprofiler::summary::table3(&model::ColumnarDataset::from_dataset(&out.dataset));
     assert_eq!(rows.len(), ClientCategory::ALL.len());
     for row in &rows {
         let label = row.category.abbrev();
