@@ -23,10 +23,10 @@ cargo run --release -q -p bench-suite --bin audit -- --check
 echo "==> audit --check --scenario: recorder purity holds on the adversarial month"
 cargo run --release -q -p bench-suite --bin audit -- --check --scenario
 
-echo "==> audit: blame agreement and pair detection clear the floor"
+echo "==> audit: blame agreement, pair detection, and client-episode precision clear the floor"
 cargo run --release -q -p bench-suite --bin audit -- --out /tmp/BENCH_audit.json > /dev/null
 
-echo "==> audit --scenario: per-archetype detection clears the recall floors"
+echo "==> audit --scenario: per-archetype detection clears the recall floors (censorship/brownout included)"
 cargo run --release -q -p bench-suite --bin audit -- --scenario --out /tmp/BENCH_scenarios.json > /dev/null
 
 echo "==> reproduce --html: self-contained page smoke test"

@@ -23,10 +23,10 @@
 //! pairs the pipeline itself excluded as near-permanent are scored by the
 //! pair metric, not the matrix, mirroring Table 5's exclusion rule.
 
-use crate::blame::{classify_hour, BlameClass};
+use crate::blame::{self, classify_hour_outcome, BlameBreakdown, BlameClass};
 use crate::bgp_corr::{self, SeverityRule};
 use crate::Analysis;
-use model::{DnsFailureKind, FailureClass, FaultSet, ProvenanceLog, TrueBlame};
+use model::{FaultSet, ProvenanceLog, TrueBlame, TxnBlameHint};
 use std::collections::BTreeSet;
 
 /// Number of blame classes in the Table 5 vocabulary.
@@ -171,10 +171,16 @@ impl BlameConfusion {
     /// Cost-weighted agreement under [`CLASS_COSTS`]: `1 − mean cost` of
     /// the scored failures. Always ≥ the raw [`Self::agreement`], since
     /// partial confusions ("both" → "server") cost less than a full miss.
+    ///
+    /// An empty matrix (zero scored failures, e.g. a no-fault world) is a
+    /// perfect score: no failure was misattributed, so the mean cost is
+    /// vacuously zero and the agreement 1.0. (The raw [`Self::agreement`]
+    /// keeps its conservative 0.0 on empty — it doubles as the CI gate,
+    /// where "nothing was scored" should not pass a floor.)
     pub fn weighted_agreement(&self) -> f64 {
         let total = self.total();
         if total == 0 {
-            return 0.0;
+            return 1.0;
         }
         let cost: f64 = self
             .matrix
@@ -290,35 +296,55 @@ pub struct AuditReport {
     /// Permanent-pair detection vs. the injected blocked pairs.
     pub pairs: PairDetectionScore,
     /// Inferred client failure episodes vs. hours a client-side structural
-    /// fault covered, as `(client, hour)` sets.
+    /// fault covered, as `(client, hour)` sets. The headline score: outage
+    /// cells (majority failure rate) of the client transaction-outcome
+    /// grid, which sees the DNS-phase faults connection grids miss.
     pub client_episodes: SetOverlap,
+    /// The same truth scored against the *connection*-grid client episodes
+    /// — the old blind-spot path, kept for comparison.
+    pub client_episodes_conn: SetOverlap,
     /// Inferred server failure episodes vs. hours a server-side structural
-    /// fault covered, as `(site, hour)` sets.
+    /// fault covered, as `(site, hour)` sets. Connection grids (already
+    /// accurate on this axis).
     pub server_episodes: SetOverlap,
+    /// The same truth scored against the server transaction-outcome grid,
+    /// for comparison.
+    pub server_episodes_txn: SetOverlap,
     /// Severe-BGP instances under the paper's ≥70-neighbor rule vs. the
     /// injected withdrawal storms, as `(prefix, hour)` sets.
     pub severe_bgp: SetOverlap,
     /// Per-archetype detection scores, in [`ARCHETYPES`] order (always all
     /// seven entries; archetypes that never fired score trivially).
     pub archetypes: Vec<ArchetypeScore>,
+    /// Table 5 over failed connections against the connection grids (what
+    /// the report's headline Table 5 shows).
+    pub table5_conn: BlameBreakdown,
+    /// Table 5 over failed transactions against the outcome grids (DNS
+    /// failures included, access-policy resets in "other").
+    pub table5_txn: BlameBreakdown,
 }
 
-/// Infer the blame class of one failed record the way the paper would:
-/// grid classification for TCP/HTTP failures, the Section 4.2 reading for
-/// DNS failures.
-fn infer_blame(
-    analysis: &Analysis<'_>,
-    failure: FailureClass,
-    client: u16,
-    site: u16,
-    hour: u32,
-) -> BlameClass {
-    match failure {
-        FailureClass::Dns(DnsFailureKind::LdnsTimeout) => BlameClass::ClientSide,
-        FailureClass::Dns(_) => BlameClass::ServerSide,
-        FailureClass::Tcp(_) | FailureClass::Http(_) => classify_hour(
-            &analysis.client_grid,
-            &analysis.server_grid,
+/// Infer the blame class of one failed record the way the paper would,
+/// over the transaction-outcome grids:
+///
+/// * the per-record [`TxnBlameHint`] settles what needs no grid — an LDNS
+///   timeout is the client's own infrastructure, an authoritative DNS error
+///   the server side, a fast all-refused connect phase an access policy
+///   ("other", Section 4.4.2);
+/// * everything ambiguous (TCP/HTTP failures, non-LDNS DNS timeouts)
+///   classifies against the outcome-grid episodes, which see DNS-phase
+///   faults the connection grids are blind to.
+fn infer_blame(analysis: &Analysis<'_>, i: usize, client: u16, site: u16, hour: u32) -> BlameClass {
+    match analysis
+        .cds
+        .txn_blame_hint(i, analysis.config.reset_fast_micros)
+    {
+        TxnBlameHint::ClientDns => BlameClass::ClientSide,
+        TxnBlameHint::AuthDns => BlameClass::ServerSide,
+        TxnBlameHint::PolicyReset => BlameClass::Other,
+        TxnBlameHint::Success | TxnBlameHint::Ambiguous => classify_hour_outcome(
+            &analysis.client_outcome,
+            &analysis.server_outcome,
             client as usize,
             site as usize,
             hour,
@@ -363,10 +389,9 @@ fn blame_confusion(
                 continue;
             }
             let hour = cds.txn_hour(i);
-            let failure = cds.txn_failure(i).expect("txn_failed filtered to failures");
             let stamp = log.records[i].all();
             let truth = stamp.true_blame();
-            let inferred = inferred_index(infer_blame(analysis, failure, client, site, hour));
+            let inferred = inferred_index(infer_blame(analysis, i, client, site, hour));
             out.matrix[true_index(truth)][inferred] += 1;
             for (k, &(_, bit, expected)) in ARCHETYPES.iter().enumerate() {
                 if !stamp.contains(bit) {
@@ -471,13 +496,29 @@ pub fn audit(analysis: &Analysis<'_>, log: &ProvenanceLog) -> AuditReport {
     let (blame, archetypes) = blame_confusion(analysis, log);
     let pairs = pair_detection(analysis, log);
 
+    // Client episodes: the truth hours are those a *structural* client
+    // fault covered — an access link, LDNS, or last-mile outage that takes
+    // out the majority of the client's traffic and usually kills DNS before
+    // any TCP connection exists. Scored on the transaction-outcome grid at
+    // the majority (outage) bar; the connection-grid score at the plain
+    // episode bar rides along to show the blind spot.
+    let client_truth = truth_cells(&log.truth.client_fault_hours);
     let client_episodes = SetOverlap::score(
-        &truth_cells(&log.truth.client_fault_hours),
-        &episode_cells(&analysis.client_grid, f, min),
+        &client_truth,
+        &episode_cells(
+            &analysis.client_outcome.grid,
+            analysis.config.outage_threshold,
+            min,
+        ),
     );
-    let server_episodes = SetOverlap::score(
-        &truth_cells(&log.truth.site_fault_hours),
-        &episode_cells(&analysis.server_grid, f, min),
+    let client_episodes_conn =
+        SetOverlap::score(&client_truth, &episode_cells(&analysis.client_grid, f, min));
+    let server_truth = truth_cells(&log.truth.site_fault_hours);
+    let server_episodes =
+        SetOverlap::score(&server_truth, &episode_cells(&analysis.server_grid, f, min));
+    let server_episodes_txn = SetOverlap::score(
+        &server_truth,
+        &episode_cells(&analysis.server_outcome.grid, f, min),
     );
 
     // Severe-BGP instances under the paper's headline rule vs. the injected
@@ -509,9 +550,13 @@ pub fn audit(analysis: &Analysis<'_>, log: &ProvenanceLog) -> AuditReport {
         blame,
         pairs,
         client_episodes,
+        client_episodes_conn,
         server_episodes,
+        server_episodes_txn,
         severe_bgp,
         archetypes,
+        table5_conn: blame::table5(analysis),
+        table5_txn: blame::table5_outcome(analysis),
     }
 }
 
@@ -587,7 +632,19 @@ mod tests {
         assert!((c.agreement() - 0.5).abs() < 1e-12);
         assert!((c.weighted_agreement() - 0.75).abs() < 1e-12);
         assert!(c.weighted_agreement() >= c.agreement());
-        assert_eq!(BlameConfusion::default().weighted_agreement(), 0.0);
+    }
+
+    #[test]
+    fn weighted_agreement_empty_matrix_is_perfect() {
+        // A no-fault world scores zero failures; the mean misattribution
+        // cost over zero samples is vacuously zero, not undefined — and
+        // must not read as total disagreement.
+        let c = BlameConfusion::default();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.weighted_agreement(), 1.0);
+        assert!(c.weighted_agreement().is_finite());
+        // The raw agreement stays conservative for gate purposes.
+        assert_eq!(c.agreement(), 0.0);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! during a server episode only *server-side*, during both *both*, during
 //! neither *other* (intermittent / pair-specific).
 
-use crate::grid::HourlyGrid;
+use crate::grid::{HourlyGrid, OutcomeGrid};
 use crate::Analysis;
+use model::TxnBlameHint;
 
 /// Classification of one failure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,6 +71,95 @@ pub fn classify_hour(
         (false, true) => BlameClass::ServerSide,
         (false, false) => BlameClass::Other,
     }
+}
+
+/// Classify one (client, server, hour) failure against the
+/// transaction-outcome grids.
+///
+/// The client side uses the *robust* broad-episode test — failures beyond
+/// any single peer's contribution must clear `f`, so one misbehaving site
+/// cannot flag a client that spreads its hourly traffic over dozens of
+/// sites. The server side uses the plain episode test, matching the
+/// connection-grid behavior that is already accurate there.
+pub fn classify_hour_outcome(
+    client_outcome: &OutcomeGrid,
+    server_outcome: &OutcomeGrid,
+    client: usize,
+    server: usize,
+    hour: u32,
+    f: f64,
+    min_samples: u32,
+) -> BlameClass {
+    let c = client_outcome.is_broad_episode(client, hour, f, min_samples);
+    let s = server_outcome.grid.is_episode(server, hour, f, min_samples);
+    match (c, s) {
+        (true, true) => BlameClass::Both,
+        (true, false) => BlameClass::ClientSide,
+        (false, true) => BlameClass::ServerSide,
+        (false, false) => BlameClass::Other,
+    }
+}
+
+/// Table 5 blame over every failed *transaction* (DNS failures included),
+/// against the transaction-outcome grids.
+///
+/// The per-transaction [`TxnBlameHint`] settles the cases the paper settles
+/// without grids — an LDNS timeout is the client's own infrastructure, an
+/// authoritative DNS error the server side, a fast all-refused connect
+/// phase an access policy ("other", Section 4.4.2) — and everything
+/// ambiguous goes to [`classify_hour_outcome`]. Proxied transactions are
+/// skipped like the paper's Table 5 skips vantage-masked records.
+pub fn table5_outcome(analysis: &Analysis<'_>) -> BlameBreakdown {
+    let _span = telemetry::span!("analysis.blame.table5_outcome");
+    let f = analysis.config.episode_threshold;
+    let min = analysis.config.min_hour_samples;
+    let reset_fast = analysis.config.reset_fast_micros;
+    let cds = &analysis.cds;
+    let txn = &cds.txn;
+    let partials = crate::par::map_shards(analysis.config.threads, cds.txn_len(), |range| {
+        let mut out = BlameBreakdown::default();
+        for i in range {
+            let (client, site) = (txn.client[i], txn.site[i]);
+            if !cds.txn_failed(i)
+                || cds.txn_proxied(i)
+                || analysis
+                    .permanent
+                    .contains(model::ClientId(client), model::SiteId(site))
+            {
+                continue;
+            }
+            let class = match cds.txn_blame_hint(i, reset_fast) {
+                TxnBlameHint::ClientDns => BlameClass::ClientSide,
+                TxnBlameHint::AuthDns => BlameClass::ServerSide,
+                TxnBlameHint::PolicyReset => BlameClass::Other,
+                TxnBlameHint::Success | TxnBlameHint::Ambiguous => classify_hour_outcome(
+                    &analysis.client_outcome,
+                    &analysis.server_outcome,
+                    client as usize,
+                    site as usize,
+                    cds.txn_hour(i),
+                    f,
+                    min,
+                ),
+            };
+            match class {
+                BlameClass::ServerSide => out.server_side += 1,
+                BlameClass::ClientSide => out.client_side += 1,
+                BlameClass::Both => out.both += 1,
+                BlameClass::Other => out.other += 1,
+            }
+        }
+        out
+    });
+    partials
+        .into_iter()
+        .fold(BlameBreakdown::default(), |mut acc, p| {
+            acc.server_side += p.server_side;
+            acc.client_side += p.client_side;
+            acc.both += p.both;
+            acc.other += p.other;
+            acc
+        })
 }
 
 /// Run blame attribution over every failed connection at the analysis's
@@ -296,6 +386,62 @@ mod tests {
         assert_eq!(b.other, 1, "the month-boundary failure is unclassifiable");
         assert_eq!(b.client_side, 0);
         assert_eq!(b.server_side, 0);
+    }
+
+    /// Client 0 loses DNS entirely in hour 1 (no connection record ever
+    /// exists); client 1 is censored to site 0 (fast resets). The
+    /// connection-based Table 5 cannot even see these failures; the outcome
+    /// path classifies both correctly.
+    fn outcome_world() -> model::Dataset {
+        use model::{DnsFailureKind, FailureClass};
+        let mut w = SynthWorld::new(3, 4, 3);
+        for h in 0..3u32 {
+            for s in 0..4u16 {
+                for c in 0..3u16 {
+                    for _ in 0..5 {
+                        if c == 0 && h == 1 {
+                            w.add_txn_failure(
+                                ClientId(0),
+                                SiteId(s),
+                                h,
+                                FailureClass::Dns(DnsFailureKind::LdnsTimeout),
+                            );
+                        } else if c == 1 && s == 0 {
+                            w.add_reset_txn(ClientId(1), SiteId(0), h);
+                        } else {
+                            w.add_txn(ClientId(c), SiteId(s), h, true);
+                        }
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn outcome_table5_sees_dns_faults_and_policy_resets() {
+        let ds = outcome_world();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let b = table5_outcome(&a);
+        assert_eq!(b.client_side, 20, "client 0's DNS-outage hour: 4 sites × 5");
+        assert_eq!(b.other, 15, "censored pair's fast resets are access policy");
+        assert_eq!(b.server_side, 0);
+        assert_eq!(b.both, 0);
+        // The connection path never saw any of these failures.
+        assert_eq!(table5(&a).total(), 0);
+    }
+
+    #[test]
+    fn sharded_table5_outcome_matches_serial() {
+        let ds = outcome_world();
+        let serial = table5_outcome(&Analysis::new(&ds, AnalysisConfig::default().with_threads(1)));
+        for threads in [2usize, 7] {
+            let par = table5_outcome(&Analysis::new(
+                &ds,
+                AnalysisConfig::default().with_threads(threads),
+            ));
+            assert_eq!(par, serial);
+        }
     }
 
     #[test]

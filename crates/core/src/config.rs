@@ -25,6 +25,18 @@ pub struct AnalysisConfig {
     /// withdrawals involving at least `alt_neighbors` neighbors.
     pub alt_withdrawals: u32,
     pub alt_neighbors: u16,
+    /// Failure rate at which a transaction-outcome grid cell counts as an
+    /// *outage* rather than merely an episode: the majority of the entity's
+    /// transactions in the hour failed. The episode threshold `f` (5%) is a
+    /// single misbehaving peer away from firing on a client that spreads
+    /// its hourly traffic over dozens of sites; a genuine client-side fault
+    /// (access link, LDNS, last-mile) takes out most of the hour.
+    pub outage_threshold: f64,
+    /// Connect-phase duration (µs) below which an all-attempts-refused
+    /// transaction reads as an access-policy reset instead of an outage
+    /// (Section 4.4.2). Immediate RSTs finish a full retry ladder in a few
+    /// seconds; one genuine SYN timeout alone takes ≥ 45 s.
+    pub reset_fast_micros: u64,
     /// Worker threads for the dataset scans (0 = all available cores,
     /// 1 = fully serial). Results are bit-identical at any setting; the
     /// scans shard into partial aggregates merged in a fixed order.
@@ -42,6 +54,8 @@ impl Default for AnalysisConfig {
             severe_neighbors: 70,
             alt_withdrawals: 75,
             alt_neighbors: 50,
+            outage_threshold: 0.5,
+            reset_fast_micros: 20_000_000,
             threads: 0,
         }
     }
@@ -82,6 +96,8 @@ mod tests {
         assert_eq!(c.severe_neighbors, 70);
         assert_eq!(c.alt_withdrawals, 75);
         assert_eq!(c.alt_neighbors, 50);
+        assert!((c.outage_threshold - 0.5).abs() < 1e-12);
+        assert_eq!(c.reset_fast_micros, 20_000_000);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! structure every correlation analysis reads.
 
 use crate::permanent::PermanentPairs;
-use model::{ClientId, ColumnarDataset, SiteId};
+use model::{ClientId, ColumnarDataset, SiteId, TxnBlameHint};
+use std::collections::HashMap;
 
 /// Dense hourly counters for a family of entities.
 #[derive(Clone, Debug)]
@@ -14,6 +15,7 @@ pub struct HourlyGrid {
     hours: u32,
     attempts: Vec<u32>,
     failures: Vec<u32>,
+    dropped: u64,
 }
 
 impl HourlyGrid {
@@ -23,6 +25,7 @@ impl HourlyGrid {
             hours,
             attempts: vec![0; rows * hours as usize],
             failures: vec![0; rows * hours as usize],
+            dropped: 0,
         }
     }
 
@@ -31,14 +34,26 @@ impl HourlyGrid {
         row * self.hours as usize + hour as usize
     }
 
-    /// Record one sample.
+    /// Record one sample. Out-of-range coordinates are not silently lost:
+    /// they count in [`HourlyGrid::dropped`] (and a telemetry counter) so a
+    /// mis-sized grid surfaces in the integrity audit instead of quietly
+    /// truncating its inputs.
     pub fn add(&mut self, row: usize, hour: u32, failed: bool) {
         if row >= self.rows || hour >= self.hours {
+            self.dropped += 1;
+            telemetry::counter!("analysis.grid.dropped_samples", 1);
             return;
         }
         let i = self.idx(row, hour);
         self.attempts[i] += 1;
         self.failures[i] += u32::from(failed);
+    }
+
+    /// Samples `add` rejected because their coordinates fell outside the
+    /// grid. Zero in a healthy run — the builders size grids from the same
+    /// dataset the records come from.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     pub fn rows(&self) -> usize {
@@ -136,6 +151,7 @@ impl HourlyGrid {
         for (a, b) in self.failures.iter_mut().zip(&other.failures) {
             *a += b;
         }
+        self.dropped += other.dropped;
     }
 
     /// Monthly totals for one row.
@@ -266,6 +282,169 @@ pub fn server_transaction_grid(
     })
 }
 
+/// An [`HourlyGrid`] over *transaction outcomes* plus, per cell, the largest
+/// share of that cell's failures attributable to a single peer entity.
+///
+/// Connection grids cannot see client-side faults: a dead access link or
+/// LDNS kills the DNS phase before any TCP connection exists, so the
+/// connection record stream goes silent instead of failing. The outcome
+/// grid counts every transaction, failed DNS included, with the Section 4.2
+/// blame reading folded in per axis (an LDNS timeout is a failure on the
+/// client's grid but not the site's; an authoritative DNS error the
+/// reverse; access-policy resets on neither).
+///
+/// `peer_max` makes episode detection robust against a single misbehaving
+/// peer: a client visiting ~80 sites an hour crosses a 5% failure bar as
+/// soon as four sites misbehave, which says nothing about the *client*.
+/// [`OutcomeGrid::robust_rate`] subtracts the largest single-peer failure
+/// contribution first, so only failures spread across several peers count
+/// toward a broad episode.
+#[derive(Clone, Debug)]
+pub struct OutcomeGrid {
+    pub grid: HourlyGrid,
+    /// Per cell (same row-major layout as the grid), the max failures any
+    /// single peer entity contributed.
+    peer_max: Vec<u32>,
+}
+
+impl OutcomeGrid {
+    /// Failure rate with the single largest peer's failures removed,
+    /// `None` below `min_samples`.
+    pub fn robust_rate(&self, row: usize, hour: u32, min_samples: u32) -> Option<f64> {
+        let (a, f) = self.grid.cell(row, hour);
+        if a < min_samples.max(1) {
+            return None;
+        }
+        let i = row * self.grid.hours() as usize + hour as usize;
+        let spread = f.saturating_sub(self.peer_max[i]);
+        Some(f64::from(spread) / f64::from(a))
+    }
+
+    /// Is `(row, hour)` a *broad* episode — failures beyond any single
+    /// peer's contribution still clear threshold `f`?
+    pub fn is_broad_episode(&self, row: usize, hour: u32, f: f64, min_samples: u32) -> bool {
+        self.robust_rate(row, hour, min_samples).is_some_and(|r| r >= f)
+    }
+
+    /// Is `(row, hour)` an *outage* — the plain failure rate clears the
+    /// (majority) `outage_threshold`?
+    pub fn is_outage(&self, row: usize, hour: u32, outage_threshold: f64, min_samples: u32) -> bool {
+        self.grid.is_episode(row, hour, outage_threshold, min_samples)
+    }
+
+    /// All outage hours for `row`, ascending.
+    pub fn outage_hours(&self, row: usize, outage_threshold: f64, min_samples: u32) -> Vec<u32> {
+        self.grid.episode_hours(row, outage_threshold, min_samples)
+    }
+
+    /// Largest single-peer failure count of a cell (0 out of range).
+    pub fn peer_max(&self, row: usize, hour: u32) -> u32 {
+        if row >= self.grid.rows() || hour >= self.grid.hours() {
+            return 0;
+        }
+        self.peer_max[row * self.grid.hours() as usize + hour as usize]
+    }
+}
+
+/// One shard's partial aggregate of the outcome-grid build.
+struct OutcomeShard {
+    client: HourlyGrid,
+    server: HourlyGrid,
+    /// (client cell index, site) → failures the site contributed there.
+    client_peer: HashMap<(usize, u16), u32>,
+    /// (site cell index, client) → failures the client contributed there.
+    server_peer: HashMap<(usize, u16), u32>,
+}
+
+/// Build the client- and site-axis transaction-outcome grids in one sharded
+/// scan over the transaction columns.
+///
+/// Proxied transactions and near-permanent pairs are excluded, like the
+/// connection grids. Blame folds in per [`TxnBlameHint`]:
+///
+/// * every counted transaction is an attempt on *both* grids;
+/// * `ClientDns` fails only the client's cell, `AuthDns` only the site's;
+/// * `Ambiguous` fails both (the episode comparison disambiguates);
+/// * `PolicyReset` fails neither — access policy is not an outage
+///   (Section 4.4.2).
+///
+/// Determinism: shard partial grids merge by addition and the sparse
+/// per-peer failure maps merge by addition before folding to a per-cell
+/// max, so every reduction is order-independent and the result is
+/// bit-identical at any thread count.
+pub fn transaction_outcome_grids(
+    cds: &ColumnarDataset,
+    permanent: &PermanentPairs,
+    config: &crate::AnalysisConfig,
+) -> (OutcomeGrid, OutcomeGrid) {
+    let _span = telemetry::span!("analysis.grid.outcome");
+    let txn = &cds.txn;
+    let hours = cds.hours;
+    let (c_rows, s_rows) = (cds.client_count(), cds.site_count());
+    let reset_fast = config.reset_fast_micros;
+    let shards = crate::par::map_shards(config.threads, cds.txn_len(), |range| {
+        let mut sh = OutcomeShard {
+            client: HourlyGrid::new(c_rows, hours),
+            server: HourlyGrid::new(s_rows, hours),
+            client_peer: HashMap::new(),
+            server_peer: HashMap::new(),
+        };
+        for i in range {
+            let (client, site) = (txn.client[i], txn.site[i]);
+            if cds.txn_proxied(i) || permanent.contains(ClientId(client), SiteId(site)) {
+                continue;
+            }
+            let hint = cds.txn_blame_hint(i, reset_fast);
+            let hour = cds.txn_hour(i);
+            let client_failed = matches!(hint, TxnBlameHint::ClientDns | TxnBlameHint::Ambiguous);
+            let server_failed = matches!(hint, TxnBlameHint::AuthDns | TxnBlameHint::Ambiguous);
+            sh.client.add(client as usize, hour, client_failed);
+            sh.server.add(site as usize, hour, server_failed);
+            if hour < hours {
+                if client_failed && (client as usize) < c_rows {
+                    let cell = client as usize * hours as usize + hour as usize;
+                    *sh.client_peer.entry((cell, site)).or_insert(0) += 1;
+                }
+                if server_failed && (site as usize) < s_rows {
+                    let cell = site as usize * hours as usize + hour as usize;
+                    *sh.server_peer.entry((cell, client)).or_insert(0) += 1;
+                }
+            }
+        }
+        sh
+    });
+
+    let mut client = HourlyGrid::new(c_rows, hours);
+    let mut server = HourlyGrid::new(s_rows, hours);
+    let mut client_peer: HashMap<(usize, u16), u32> = HashMap::new();
+    let mut server_peer: HashMap<(usize, u16), u32> = HashMap::new();
+    for sh in &shards {
+        client.merge(&sh.client);
+        server.merge(&sh.server);
+        for (&k, &v) in &sh.client_peer {
+            *client_peer.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &sh.server_peer {
+            *server_peer.entry(k).or_insert(0) += v;
+        }
+    }
+    let fold_max = |peer: &HashMap<(usize, u16), u32>, cells: usize| {
+        let mut max = vec![0u32; cells];
+        for (&(cell, _), &count) in peer {
+            if count > max[cell] {
+                max[cell] = count;
+            }
+        }
+        max
+    };
+    let client_max = fold_max(&client_peer, c_rows * hours as usize);
+    let server_max = fold_max(&server_peer, s_rows * hours as usize);
+    (
+        OutcomeGrid { grid: client, peer_max: client_max },
+        OutcomeGrid { grid: server, peer_max: server_max },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,11 +468,19 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_adds_are_ignored() {
+    fn out_of_range_adds_are_counted_not_silent() {
         let mut g = HourlyGrid::new(1, 1);
         g.add(5, 0, true);
         g.add(0, 9, true);
         assert_eq!(g.cell(0, 0), (0, 0));
+        assert_eq!(g.dropped(), 2, "rejected samples must be visible");
+        g.add(0, 0, false);
+        assert_eq!(g.dropped(), 2, "in-range adds do not count as drops");
+        // Drops survive the shard merge.
+        let mut other = HourlyGrid::new(1, 1);
+        other.add(3, 3, false);
+        g.merge(&other);
+        assert_eq!(g.dropped(), 3);
     }
 
     #[test]
@@ -464,6 +651,167 @@ mod tests {
         assert_eq!(cov, GridCoverage { active: 3, thin: 2 });
         assert!((cov.confident_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(GridCoverage::default().confident_fraction(), 1.0);
+    }
+
+    fn outcome_grids(w: SynthWorld, threads: usize) -> (OutcomeGrid, OutcomeGrid) {
+        let cds = ColumnarDataset::from_dataset(&w.finish());
+        let cfg = crate::AnalysisConfig::default().with_threads(threads);
+        let perm = crate::permanent::detect(&cds, &cfg);
+        transaction_outcome_grids(&cds, &perm, &cfg)
+    }
+
+    /// The blind spot itself: a client whose faults are all DNS-level
+    /// produces *no* connection records during the outage, so connection
+    /// grids see nothing — while the transaction-outcome grid recovers the
+    /// exact fault hours.
+    #[test]
+    fn dns_only_client_fault_invisible_to_conn_grids_visible_to_outcome_grids() {
+        use model::DnsFailureKind;
+        let mut w = SynthWorld::new(2, 4, 8);
+        for h in 0..8u32 {
+            for s in 0..4u16 {
+                for _ in 0..5 {
+                    if h == 2 || h == 3 {
+                        // Client 0's access link / LDNS is down: DNS dies
+                        // first, no TCP connection ever exists.
+                        w.add_txn_failure(
+                            ClientId(0),
+                            SiteId(s),
+                            h,
+                            model::FailureClass::Dns(DnsFailureKind::LdnsTimeout),
+                        );
+                    } else {
+                        w.add_txn(ClientId(0), SiteId(s), h, true);
+                        w.add_ok_conn(ClientId(0), SiteId(s), h);
+                    }
+                    w.add_txn(ClientId(1), SiteId(s), h, true);
+                    w.add_ok_conn(ClientId(1), SiteId(s), h);
+                }
+            }
+        }
+        let cds = ColumnarDataset::from_dataset(&w.finish());
+        let cfg = crate::AnalysisConfig::default();
+        let perm = crate::permanent::detect(&cds, &cfg);
+        let conn = client_connection_grid(&cds, &perm, 1);
+        assert_eq!(
+            conn.episode_hours(0, cfg.episode_threshold, cfg.min_hour_samples),
+            Vec::<u32>::new(),
+            "connection grids cannot see DNS-phase faults"
+        );
+        let (client, server) = transaction_outcome_grids(&cds, &perm, &cfg);
+        assert_eq!(
+            client.outage_hours(0, cfg.outage_threshold, cfg.min_hour_samples),
+            vec![2, 3],
+            "outcome grid recovers the exact fault hours"
+        );
+        assert_eq!(client.outage_hours(1, cfg.outage_threshold, cfg.min_hour_samples), Vec::<u32>::new());
+        // An LDNS timeout is the client's fault, not the sites'.
+        for s in 0..4 {
+            assert_eq!(server.grid.cell(s, 2).1, 0, "site {s} blamed for client DNS fault");
+        }
+    }
+
+    #[test]
+    fn outcome_grid_robust_rate_discounts_single_peer() {
+        // Client 0 visits 20 sites per hour; site 0 fails every time in
+        // hour 1 (a *site* problem), while in hour 2 failures spread over
+        // five sites (a genuinely broad client problem).
+        let mut w = SynthWorld::new(1, 20, 4);
+        for h in 0..4u32 {
+            for s in 0..20u16 {
+                let fail = (h == 1 && s == 0) || (h == 2 && s < 5);
+                w.add_txn(ClientId(0), SiteId(s), h, !fail);
+            }
+        }
+        let (client, _) = outcome_grids(w, 1);
+        assert_eq!(client.grid.cell(0, 1), (20, 1));
+        assert_eq!(client.peer_max(0, 1), 1);
+        assert!(
+            !client.is_broad_episode(0, 1, 0.05, 12),
+            "one bad peer must not flag a client episode"
+        );
+        assert_eq!(client.peer_max(0, 2), 1);
+        assert!(
+            client.is_broad_episode(0, 2, 0.05, 12),
+            "failures across five peers are a broad episode"
+        );
+        assert!((client.robust_rate(0, 2, 12).unwrap() - 4.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_grid_excludes_policy_resets_and_proxied() {
+        let mut w = SynthWorld::new(2, 2, 2);
+        w.set_proxy(ClientId(1), model::ProxyId(0));
+        for _ in 0..15 {
+            // Client 0 ↔ site 0: every transaction refused fast (access
+            // policy). Neither side's grid should read these as failures.
+            w.add_reset_txn(ClientId(0), SiteId(0), 0);
+            w.add_txn(ClientId(0), SiteId(1), 0, true);
+            // Proxied client contributes nothing.
+            w.add_txn(ClientId(1), SiteId(0), 0, false);
+        }
+        let (client, server) = outcome_grids(w, 1);
+        assert_eq!(client.grid.cell(0, 0), (30, 0), "resets count as attempts, not failures");
+        assert_eq!(server.grid.cell(0, 0), (15, 0));
+        assert_eq!(client.grid.cell(1, 0), (0, 0), "proxied client excluded");
+        assert!(!client.is_outage(0, 0, 0.5, 12));
+        assert!(!server.grid.is_episode(0, 0, 0.05, 12));
+    }
+
+    #[test]
+    fn sharded_outcome_build_matches_serial() {
+        use model::DnsFailureKind;
+        let mut w = SynthWorld::new(5, 6, 12);
+        for h in 0..12u32 {
+            for c in 0..5u16 {
+                for s in 0..6u16 {
+                    for i in 0..4u32 {
+                        match (u32::from(c) + u32::from(s) + h + i) % 7 {
+                            0 => {
+                                w.add_txn(ClientId(c), SiteId(s), h, false);
+                            }
+                            1 => {
+                                w.add_txn_failure(
+                                    ClientId(c),
+                                    SiteId(s),
+                                    h,
+                                    model::FailureClass::Dns(DnsFailureKind::LdnsTimeout),
+                                );
+                            }
+                            2 => {
+                                w.add_reset_txn(ClientId(c), SiteId(s), h);
+                            }
+                            3 => {
+                                w.add_txn_failure(
+                                    ClientId(c),
+                                    SiteId(s),
+                                    h,
+                                    model::FailureClass::Http(503),
+                                );
+                            }
+                            _ => {
+                                w.add_txn(ClientId(c), SiteId(s), h, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let cds = ColumnarDataset::from_dataset(&w.finish());
+        let cfg = crate::AnalysisConfig::default();
+        let perm = crate::permanent::detect(&cds, &cfg);
+        let (sc, ss) = transaction_outcome_grids(&cds, &perm, &cfg.with_threads(1));
+        for threads in [2usize, 3, 7] {
+            let (pc, ps) = transaction_outcome_grids(&cds, &perm, &cfg.with_threads(threads));
+            for (serial, par) in [(&sc, &pc), (&ss, &ps)] {
+                for row in 0..serial.grid.rows() {
+                    for hour in 0..serial.grid.hours() {
+                        assert_eq!(serial.grid.cell(row, hour), par.grid.cell(row, hour));
+                        assert_eq!(serial.peer_max(row, hour), par.peer_max(row, hour));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,17 +28,25 @@ pub struct DegradationReport {
     pub client_cells: GridCoverage,
     /// Server-hour connection grid: active vs thin cells.
     pub server_cells: GridCoverage,
+    /// Samples the analysis grids rejected for out-of-range coordinates,
+    /// summed over every grid the indexing built. Zero in a healthy run:
+    /// the builders size grids from the dataset the records come from, so
+    /// any drop means a mis-sized grid silently truncated its input.
+    pub grid_dropped_samples: u64,
 }
 
 impl DegradationReport {
     /// True when the run shows any coverage gap worth a footnote: lost or
-    /// partial clients, or thin analysis cells. Note this is a statement
-    /// about the *data*, not its cause — ordinary machine downtime also
-    /// leaves uncovered hours (see
+    /// partial clients, thin analysis cells, or grid-rejected samples.
+    /// Note this is a statement about the *data*, not its cause — ordinary
+    /// machine downtime also leaves uncovered hours (see
     /// [`model::IntegrityReport::partial_clients`]), so even a run with a
     /// healthy apparatus can carry a non-empty footnote.
     pub fn is_degraded(&self) -> bool {
-        !self.integrity.is_complete() || self.client_cells.thin > 0 || self.server_cells.thin > 0
+        !self.integrity.is_complete()
+            || self.client_cells.thin > 0
+            || self.server_cells.thin > 0
+            || self.grid_dropped_samples > 0
     }
 }
 
@@ -50,6 +58,10 @@ impl<'d> Analysis<'d> {
             integrity: self.ds.integrity(),
             client_cells: self.client_grid.coverage(min),
             server_cells: self.server_grid.coverage(min),
+            grid_dropped_samples: self.client_grid.dropped()
+                + self.server_grid.dropped()
+                + self.client_outcome.grid.dropped()
+                + self.server_outcome.grid.dropped(),
         }
     }
 }
@@ -172,6 +184,32 @@ mod tests {
         assert!(!d.is_degraded());
         assert_eq!(d.client_cells.thin, 0);
         assert_eq!(d.client_cells.confident_fraction(), 1.0);
+        assert_eq!(d.grid_dropped_samples, 0);
+    }
+
+    #[test]
+    fn out_of_range_samples_surface_in_the_audit() {
+        // A record stamped at hour == ds.hours (the instant the window
+        // closes) has no grid cell; the build rejects it. The rejection
+        // must show up in the integrity audit rather than pass silently.
+        let mut w = SynthWorld::new(2, 2, 2);
+        for h in 0..2u32 {
+            for c in 0..2u16 {
+                for s in 0..2u16 {
+                    w.add_conn_batch(ClientId(c), SiteId(s), h, 20, 0);
+                    w.add_txn_batch(ClientId(c), SiteId(s), h, 20, 0);
+                }
+            }
+        }
+        w.add_failed_conn(ClientId(0), SiteId(0), 2);
+        w.add_txn(ClientId(0), SiteId(0), 2, false);
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        let d = a.degradation();
+        // One drop each on the client/server connection grids, one each on
+        // the two outcome grids.
+        assert_eq!(d.grid_dropped_samples, 4);
+        assert!(d.is_degraded());
     }
 
     #[test]

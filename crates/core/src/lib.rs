@@ -50,7 +50,7 @@ pub mod timing;
 
 pub use blame::{BlameBreakdown, BlameClass};
 pub use config::AnalysisConfig;
-pub use grid::{GridCoverage, HourlyGrid};
+pub use grid::{GridCoverage, HourlyGrid, OutcomeGrid};
 pub use integrity::{ConfidentBlame, DegradationReport};
 pub use permanent::PermanentPairs;
 
@@ -73,6 +73,13 @@ pub struct Analysis<'d> {
     pub client_grid: HourlyGrid,
     /// Hourly TCP-connection grid per server (permanent pairs excluded).
     pub server_grid: HourlyGrid,
+    /// Hourly *transaction-outcome* grid per client: counts every
+    /// transaction, DNS failures included, with Section 4.2 blame folded in
+    /// — this is what sees client-side faults that kill DNS before any TCP
+    /// connection exists.
+    pub client_outcome: OutcomeGrid,
+    /// Hourly transaction-outcome grid per server.
+    pub server_outcome: OutcomeGrid,
 }
 
 impl<'d> Analysis<'d> {
@@ -81,10 +88,16 @@ impl<'d> Analysis<'d> {
         let _span = telemetry::span!("analysis.index");
         let cds = std::sync::Arc::new(ColumnarDataset::from_dataset(ds));
         let permanent = permanent::detect(&cds, &config);
-        let (client_grid, server_grid) = par::join2(
+        let ((client_grid, server_grid), (client_outcome, server_outcome)) = par::join2(
             config.threads,
-            || grid::client_connection_grid(&cds, &permanent, config.threads),
-            || grid::server_connection_grid(&cds, &permanent, config.threads),
+            || {
+                par::join2(
+                    config.threads,
+                    || grid::client_connection_grid(&cds, &permanent, config.threads),
+                    || grid::server_connection_grid(&cds, &permanent, config.threads),
+                )
+            },
+            || grid::transaction_outcome_grids(&cds, &permanent, &config),
         );
         Analysis {
             ds,
@@ -93,6 +106,8 @@ impl<'d> Analysis<'d> {
             permanent,
             client_grid,
             server_grid,
+            client_outcome,
+            server_outcome,
         }
     }
 

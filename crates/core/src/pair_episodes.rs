@@ -103,13 +103,25 @@ pub fn detect(analysis: &Analysis<'_>, cfg: PairEpisodeConfig) -> PairEpisodeRep
                 entry.0 += 1;
                 entry.1 += u32::from(failed);
                 if failed {
-                    // Did either endpoint have an episode this hour?
+                    // Did either endpoint have an episode this hour? Checked
+                    // on the connection grids *and* the transaction-outcome
+                    // grids: a client whose fault killed DNS for the hour
+                    // leaves the connection grid silent but lights up the
+                    // outcome grid, and its pair failures still belong to
+                    // the endpoint, not the pair.
                     let c_ep = analysis
                         .client_grid
-                        .is_episode(client as usize, hour, f, min);
+                        .is_episode(client as usize, hour, f, min)
+                        || analysis
+                            .client_outcome
+                            .is_broad_episode(client as usize, hour, f, min);
                     let s_ep = analysis
                         .server_grid
-                        .is_episode(site as usize, hour, f, min);
+                        .is_episode(site as usize, hour, f, min)
+                        || analysis
+                            .server_outcome
+                            .grid
+                            .is_episode(site as usize, hour, f, min);
                     entry.2 |= c_ep || s_ep;
                 }
             }
@@ -240,6 +252,60 @@ mod tests {
         assert_eq!(ep.site, SiteId(0));
         assert!((ep.rate() - 0.25).abs() < 1e-9);
         assert_eq!(report.shadowed_by_endpoint, 0);
+    }
+
+    /// A client fault visible only at the DNS/transaction layer still
+    /// shadows its pair windows: the connection grid is quiet, but the
+    /// outcome grid flags a broad client episode, and the pair's failures
+    /// belong to the endpoint.
+    #[test]
+    fn outcome_grid_episode_shadows_pairs() {
+        use model::{DnsFailureKind, FailureClass};
+        let mut w = SynthWorld::new(8, 8, 24);
+        for h in 0..24u32 {
+            for c in 0..8u16 {
+                for s in 0..8u16 {
+                    // Connections: pair (0,0) fails 25% — sub-threshold in
+                    // the client's hourly aggregate (1/32 ≈ 3.1%).
+                    let fail = u32::from(c == 0 && s == 0);
+                    w.add_conn_batch(ClientId(c), SiteId(s), h, 4, fail);
+                    // Transactions: client 0 fails DNS to every site once
+                    // an hour — broad at the outcome layer (robust 7/32),
+                    // invisible at the connection layer.
+                    if c == 0 {
+                        w.add_txn_failure(
+                            ClientId(0),
+                            SiteId(s),
+                            h,
+                            FailureClass::Dns(DnsFailureKind::LdnsTimeout),
+                        );
+                        for _ in 0..3 {
+                            w.add_txn(ClientId(0), SiteId(s), h, true);
+                        }
+                    } else {
+                        for _ in 0..4 {
+                            w.add_txn(ClientId(c), SiteId(s), h, true);
+                        }
+                    }
+                }
+            }
+        }
+        let ds = w.finish();
+        let a = Analysis::new(&ds, AnalysisConfig::default());
+        assert!(
+            !a.client_grid.is_episode(0, 3, 0.05, 12),
+            "connection grid must stay quiet"
+        );
+        assert!(
+            a.client_outcome.is_broad_episode(0, 3, 0.05, 12),
+            "outcome grid must flag the broad DNS fault"
+        );
+        let report = detect(&a, PairEpisodeConfig::default());
+        assert!(report.episodes.is_empty(), "pair failures shadowed by the endpoint");
+        // One 24-hour window in this world; its single hot pair-window is
+        // shadowed instead of flagged.
+        assert_eq!(report.shadowed_by_endpoint, 1);
+        assert_eq!(report.distinct_pairs, 0);
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub fn run(ds: &Dataset, config: AnalysisConfig) -> FullAnalysis {
         permanent: a5.permanent.clone(),
         client_grid: a5.client_grid.clone(),
         server_grid: a5.server_grid.clone(),
+        client_outcome: a5.client_outcome.clone(),
+        server_outcome: a5.server_outcome.clone(),
     };
     let neighbors_rule = SeverityRule::Neighbors(config.severe_neighbors);
     let alt_rule =

@@ -161,6 +161,31 @@ impl SynthWorld {
         self
     }
 
+    /// Add a fast all-attempts-refused transaction — the access-policy
+    /// reset signature: `Tcp(NoConnection)` with a connect phase far too
+    /// short to contain a SYN timeout (every attempt was reset
+    /// immediately).
+    pub fn add_reset_txn(&mut self, client: ClientId, site: SiteId, hour: u32) -> &mut Self {
+        let start = self.next_time(hour);
+        let replica = self.ds.sites[site.0 as usize].addrs.first().copied();
+        let proxy = self.ds.clients[client.0 as usize].proxy;
+        self.ds.records.push(PerformanceRecord {
+            client,
+            site,
+            replica,
+            start,
+            dns: Ok(SimDuration::from_millis(30)),
+            outcome: TransactionOutcome::Failure(FailureClass::Tcp(TcpFailureKind::NoConnection)),
+            download_time: Some(SimDuration::from_secs(3)),
+            bytes_received: 0,
+            connections_attempted: 9,
+            retransmissions: Some(0),
+            dig: DigOutcome::NotRun,
+            proxy,
+        });
+        self
+    }
+
     /// Add a successful connection.
     pub fn add_ok_conn(&mut self, client: ClientId, site: SiteId, hour: u32) -> &mut Self {
         self.add_conn(client, site, hour, Ok(()))

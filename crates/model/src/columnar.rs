@@ -68,6 +68,39 @@ pub const SPILL_U32: u32 = u32::MAX - 1;
 /// Spill sentinel of a `u32` column with no `None` case.
 pub const SPILL_ONLY_U32: u32 = u32::MAX;
 
+/// Per-transaction blame reading of a failed (or successful) transaction,
+/// computed straight off the columns without reconstructing the row.
+///
+/// Encodes the paper's Section 4.2 DNS-blame rules plus the Section 4.4.2
+/// access-policy reading:
+///
+/// * an LDNS timeout means the client could not reach its own resolver —
+///   the client side is at fault ([`TxnBlameHint::ClientDns`]);
+/// * a DNS error response (NXDOMAIN/SERVFAIL/REFUSED) came from the
+///   authoritative chain — the server side is at fault
+///   ([`TxnBlameHint::AuthDns`]);
+/// * a non-LDNS timeout can be the wide-area path or the zone's servers —
+///   ambiguous, resolved by episode grids ([`TxnBlameHint::Ambiguous`]);
+/// * a connect phase that fails with `Tcp(NoConnection)` *fast* (every
+///   attempt refused immediately, no SYN timeouts) is the signature of an
+///   access policy — a middlebox or server resetting the connection — not
+///   of an outage ([`TxnBlameHint::PolicyReset`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnBlameHint {
+    /// The transaction succeeded.
+    Success,
+    /// DNS failed at the client's own resolver (LDNS timeout).
+    ClientDns,
+    /// DNS failed with an error response from the authoritative chain.
+    AuthDns,
+    /// Every connection attempt was refused fast — access policy, not
+    /// outage.
+    PolicyReset,
+    /// Failure attributable to either side (non-LDNS DNS timeout, TCP
+    /// timeout, HTTP error); episode grids decide.
+    Ambiguous,
+}
+
 /// Sparse (record index → wide value) side table for column values that do
 /// not fit the narrow encoding. Pushed in index order during construction,
 /// so reads are a binary search; empty for every realistic world.
@@ -670,6 +703,51 @@ impl ColumnarDataset {
         self.txn.proxy[i] != NONE_U16
     }
 
+    /// DNS result tag of transaction `i`: 0 = resolved, else the failure
+    /// kind via [`decode_dns_kind`].
+    #[inline]
+    pub fn txn_dns_kind(&self, i: usize) -> u8 {
+        self.txn.dns_kind[i]
+    }
+
+    /// Download/connect-phase duration of transaction `i` in µs, if the
+    /// record carries one — equals `record(i).download_time`.
+    #[inline]
+    pub fn txn_download_micros(&self, i: usize) -> Option<u64> {
+        match self.txn.download[i] {
+            NONE_U32 => None,
+            SPILL_U32 => Some(self.txn.download_spill.get(i)),
+            us => Some(u64::from(us)),
+        }
+    }
+
+    /// The [`TxnBlameHint`] of transaction `i`, reading only the `dns_kind`,
+    /// `outcome`, and `download` columns.
+    ///
+    /// `reset_fast_micros` is the connect-phase duration below which an
+    /// all-attempts-refused transaction counts as a policy reset: immediate
+    /// RSTs finish a whole retry ladder in a few seconds, while a single
+    /// genuine SYN timeout alone takes tens of seconds.
+    pub fn txn_blame_hint(&self, i: usize, reset_fast_micros: u64) -> TxnBlameHint {
+        match self.txn.dns_kind[i] {
+            0 => {}
+            1 => return TxnBlameHint::ClientDns, // LDNS timeout
+            2 => return TxnBlameHint::Ambiguous, // non-LDNS timeout
+            _ => return TxnBlameHint::AuthDns,   // error response
+        }
+        if !self.txn_failed(i) {
+            return TxnBlameHint::Success;
+        }
+        if self.txn_failure(i) == Some(FailureClass::Tcp(TcpFailureKind::NoConnection))
+            && self
+                .txn_download_micros(i)
+                .is_some_and(|us| us < reset_fast_micros)
+        {
+            return TxnBlameHint::PolicyReset;
+        }
+        TxnBlameHint::Ambiguous
+    }
+
     /// Hour bin of connection `i` — equals `connection(i).hour()`.
     #[inline]
     pub fn conn_hour(&self, i: usize) -> u32 {
@@ -882,6 +960,70 @@ impl ColumnarDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn blame_hints_read_dns_outcome_and_timing() {
+        let mk = |dns: Result<SimDuration, DnsFailureKind>,
+                  outcome: TransactionOutcome,
+                  download: Option<SimDuration>| PerformanceRecord {
+            client: ClientId(0),
+            site: SiteId(0),
+            replica: None,
+            start: SimTime::ZERO,
+            dns,
+            outcome,
+            download_time: download,
+            bytes_received: 0,
+            connections_attempted: 1,
+            retransmissions: None,
+            dig: DigOutcome::NotRun,
+            proxy: None,
+        };
+        let reset = FailureClass::Tcp(TcpFailureKind::NoConnection);
+        let records = vec![
+            mk(Ok(SimDuration::from_millis(40)), TransactionOutcome::Success, Some(SimDuration::from_millis(900))),
+            mk(Err(DnsFailureKind::LdnsTimeout), TransactionOutcome::Failure(FailureClass::Dns(DnsFailureKind::LdnsTimeout)), None),
+            mk(Err(DnsFailureKind::NonLdnsTimeout), TransactionOutcome::Failure(FailureClass::Dns(DnsFailureKind::NonLdnsTimeout)), None),
+            mk(Err(DnsFailureKind::ErrorResponse(DnsErrorCode::ServFail)), TransactionOutcome::Failure(FailureClass::Dns(DnsFailureKind::ErrorResponse(DnsErrorCode::ServFail))), None),
+            // Fast all-refused connect phase: policy reset.
+            mk(Ok(SimDuration::from_millis(40)), TransactionOutcome::Failure(reset), Some(SimDuration::from_secs(4))),
+            // Same failure class but slow (a real SYN timeout): ambiguous.
+            mk(Ok(SimDuration::from_millis(40)), TransactionOutcome::Failure(reset), Some(SimDuration::from_secs(45))),
+            // Same failure class with no recorded duration: ambiguous.
+            mk(Ok(SimDuration::from_millis(40)), TransactionOutcome::Failure(reset), None),
+            // Fast HTTP error is not a reset.
+            mk(Ok(SimDuration::from_millis(40)), TransactionOutcome::Failure(FailureClass::Http(503)), Some(SimDuration::from_secs(1))),
+        ];
+        let n = records.len();
+        let ds = Dataset {
+            hours: 1,
+            clients: vec![],
+            sites: vec![],
+            records,
+            connections: vec![],
+            prefixes: vec![],
+            bgp: BgpHourlySeries::default(),
+        };
+        let cds = ColumnarDataset::from_dataset(&ds);
+        let cutoff = 20_000_000; // 20 s
+        let hints: Vec<TxnBlameHint> = (0..n).map(|i| cds.txn_blame_hint(i, cutoff)).collect();
+        assert_eq!(
+            hints,
+            vec![
+                TxnBlameHint::Success,
+                TxnBlameHint::ClientDns,
+                TxnBlameHint::Ambiguous,
+                TxnBlameHint::AuthDns,
+                TxnBlameHint::PolicyReset,
+                TxnBlameHint::Ambiguous,
+                TxnBlameHint::Ambiguous,
+                TxnBlameHint::Ambiguous,
+            ]
+        );
+        assert_eq!(cds.txn_dns_kind(1), 1);
+        assert_eq!(cds.txn_download_micros(0), Some(900_000));
+        assert_eq!(cds.txn_download_micros(1), None);
+    }
 
     fn assert_records_equal(a: &PerformanceRecord, b: &PerformanceRecord) {
         assert_eq!(a.client, b.client);

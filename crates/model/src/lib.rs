@@ -22,7 +22,7 @@ pub mod records;
 pub mod time;
 
 pub use bgp::{BgpHourly, BgpHourlySeries};
-pub use columnar::{ColumnarDataset, MemoryFootprint};
+pub use columnar::{ColumnarDataset, MemoryFootprint, TxnBlameHint};
 pub use dataset::{ClientMeta, Dataset, IntegrityReport, PrefixCoverIndex, SiteMeta};
 pub use failure::{DnsErrorCode, DnsFailureKind, FailureClass, TcpFailureKind};
 pub use ids::{ClientCategory, ClientId, PrefixId, ProxyId, SiteCategory, SiteId};

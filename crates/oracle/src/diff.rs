@@ -115,9 +115,46 @@ pub fn check_dataset_with_oracle(
     let mut d = DiffReport::default();
     diff_pipeline(&mut d, &full, oracle);
     diff_permanent(&mut d, &analysis, oracle);
+    diff_outcome_grids(&mut d, &analysis, oracle);
+    d.eq(
+        "table5_outcome",
+        netprofiler::blame::table5_outcome(&analysis),
+        oracle.table5_outcome.clone(),
+    );
     diff_table9(&mut d, &table9, oracle);
     diff_shared_proxy(&mut d, &shared, oracle);
     d
+}
+
+/// Diff every cell and per-cell peer-max of both transaction-outcome grids
+/// against the sparse naive twins. The dense optimized grid and the sparse
+/// oracle agree exactly when every `(attempts, failures, peer_max)` triple
+/// matches over the full `rows × hours` domain.
+fn diff_outcome_grids(d: &mut DiffReport, analysis: &Analysis<'_>, oracle: &OracleArtifacts) {
+    for (name, opt, nai) in [
+        ("client_outcome", &analysis.client_outcome, &oracle.client_outcome),
+        ("server_outcome", &analysis.server_outcome, &oracle.server_outcome),
+    ] {
+        d.eq(
+            &format!("{name}.rows"),
+            opt.grid.rows(),
+            nai.grid.rows(),
+        );
+        let rows = opt.grid.rows().min(nai.grid.rows());
+        for row in 0..rows {
+            for hour in 0..opt.grid.hours() {
+                let o = opt.grid.cell(row, hour);
+                let n = nai.grid.cell(row, hour);
+                if o != n {
+                    d.eq(&format!("{name}.cell[{row}][{hour}]"), o, n);
+                }
+                let (om, nm) = (opt.peer_max(row, hour), nai.peer_max(row, hour));
+                if om != nm {
+                    d.eq(&format!("{name}.peer_max[{row}][{hour}]"), om, nm);
+                }
+            }
+        }
+    }
 }
 
 /// Diff the optimized attribution audit's confusion matrix and archetype
@@ -136,23 +173,14 @@ pub fn check_audit(
     let optimized = netprofiler::audit::audit(&analysis, log);
 
     let permanent = naive::permanent_pairs(ds, &cfg);
-    let mut client_grid = naive::NaiveGrid::new(ds.clients.len(), ds.hours);
-    let mut server_grid = naive::NaiveGrid::new(ds.sites.len(), ds.hours);
-    for c in &ds.connections {
-        if permanent.contains(c.client, c.site) {
-            continue;
-        }
-        client_grid.add(c.client.0 as usize, c.hour(), c.failed());
-        server_grid.add(c.site.0 as usize, c.hour(), c.failed());
-    }
+    let (client_outcome, server_outcome) = naive::transaction_outcome_grids(ds, &permanent, &cfg);
     let oracle = naive::blame_confusion(
         ds,
         log,
         &permanent,
-        &client_grid,
-        &server_grid,
-        cfg.episode_threshold,
-        cfg.min_hour_samples,
+        &client_outcome,
+        &server_outcome,
+        &cfg,
     );
 
     let mut d = DiffReport::default();
@@ -183,10 +211,9 @@ pub fn check_audit(
         ds,
         log,
         &permanent,
-        &client_grid,
-        &server_grid,
-        cfg.episode_threshold,
-        cfg.min_hour_samples,
+        &client_outcome,
+        &server_outcome,
+        &cfg,
     );
     d.eq(
         "audit.archetypes.len",

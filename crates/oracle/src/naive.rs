@@ -5,7 +5,9 @@
 //! the optimized scans except the passive artifact structs and the
 //! [`AnalysisConfig`] thresholds.
 
-use model::{BgpHourly, ClientCategory, Dataset, FailureClass};
+use model::{
+    BgpHourly, ClientCategory, Dataset, DnsFailureKind, FailureClass, TcpFailureKind, TxnBlameHint,
+};
 use netprofiler::bgp_corr::{SevereInstabilityReport, SevereInstance, SeverityRule};
 use netprofiler::blame::{BlameBreakdown, ServerEpisodeStats};
 use netprofiler::episodes::{Figure4, RateCdf};
@@ -57,6 +59,16 @@ impl NaiveGrid {
         self.cells.get(&(row, hour)).copied().unwrap_or((0, 0))
     }
 
+    /// Number of rows in the grid's domain.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of hours in the grid's domain.
+    pub fn hours(&self) -> u32 {
+        self.hours
+    }
+
     /// Failure rate of a cell, `None` below `min_samples`.
     pub fn rate(&self, row: usize, hour: u32, min_samples: u32) -> Option<f64> {
         let (a, f) = self.cell(row, hour);
@@ -87,6 +99,121 @@ impl NaiveGrid {
         }
         out
     }
+}
+
+/// The Section 4.2 / 4.4.2 blame hint of one row record, recomputed from
+/// the record's own fields — deliberately independent of the columnar
+/// encoding the optimized [`model::ColumnarDataset::txn_blame_hint`] reads.
+pub fn txn_blame_hint(r: &model::PerformanceRecord, reset_fast_micros: u64) -> TxnBlameHint {
+    match r.dns {
+        Ok(_) => {}
+        Err(DnsFailureKind::LdnsTimeout) => return TxnBlameHint::ClientDns,
+        Err(DnsFailureKind::NonLdnsTimeout) => return TxnBlameHint::Ambiguous,
+        Err(_) => return TxnBlameHint::AuthDns,
+    }
+    if !r.failed() {
+        return TxnBlameHint::Success;
+    }
+    if r.failure() == Some(FailureClass::Tcp(TcpFailureKind::NoConnection))
+        && r
+            .download_time
+            .is_some_and(|d| d.as_micros() < reset_fast_micros)
+    {
+        return TxnBlameHint::PolicyReset;
+    }
+    TxnBlameHint::Ambiguous
+}
+
+/// A sparse transaction-outcome grid plus, per cell, the largest failure
+/// count any single peer entity contributed — the reference twin of
+/// [`netprofiler::grid::OutcomeGrid`].
+#[derive(Clone, Debug, Default)]
+pub struct NaiveOutcomeGrid {
+    /// The plain attempts/failures grid over transaction outcomes.
+    pub grid: NaiveGrid,
+    peer_max: BTreeMap<(usize, u32), u32>,
+}
+
+impl NaiveOutcomeGrid {
+    /// Failure rate with the single largest peer's failures removed,
+    /// `None` below `min_samples`.
+    pub fn robust_rate(&self, row: usize, hour: u32, min_samples: u32) -> Option<f64> {
+        let (a, f) = self.grid.cell(row, hour);
+        if a < min_samples.max(1) {
+            return None;
+        }
+        let spread = f.saturating_sub(self.peer_max(row, hour));
+        Some(f64::from(spread) / f64::from(a))
+    }
+
+    /// Is `(row, hour)` a broad episode — failures beyond any single peer's
+    /// contribution still clear threshold `f`?
+    pub fn is_broad_episode(&self, row: usize, hour: u32, f: f64, min_samples: u32) -> bool {
+        self.robust_rate(row, hour, min_samples).is_some_and(|r| r >= f)
+    }
+
+    /// Is `(row, hour)` an outage — the plain failure rate clears the
+    /// (majority) `outage_threshold`?
+    pub fn is_outage(&self, row: usize, hour: u32, outage_threshold: f64, min_samples: u32) -> bool {
+        self.grid.is_episode(row, hour, outage_threshold, min_samples)
+    }
+
+    /// Largest single-peer failure count of a cell (0 when absent).
+    pub fn peer_max(&self, row: usize, hour: u32) -> u32 {
+        self.peer_max.get(&(row, hour)).copied().unwrap_or(0)
+    }
+}
+
+/// Build the client- and site-axis transaction-outcome grids from the row
+/// records: one sequential pass, sparse peer counters, the same per-hint
+/// folding as the optimized scan (every counted transaction is an attempt
+/// on both grids; `ClientDns` fails only the client cell, `AuthDns` only
+/// the site cell, `Ambiguous` both, `PolicyReset` neither; proxied
+/// transactions and near-permanent pairs are excluded).
+pub fn transaction_outcome_grids(
+    ds: &Dataset,
+    permanent: &NaivePermanent,
+    cfg: &AnalysisConfig,
+) -> (NaiveOutcomeGrid, NaiveOutcomeGrid) {
+    let mut client = NaiveOutcomeGrid {
+        grid: NaiveGrid::new(ds.clients.len(), ds.hours),
+        peer_max: BTreeMap::new(),
+    };
+    let mut server = NaiveOutcomeGrid {
+        grid: NaiveGrid::new(ds.sites.len(), ds.hours),
+        peer_max: BTreeMap::new(),
+    };
+    let mut client_peer: BTreeMap<(usize, u32, u16), u32> = BTreeMap::new();
+    let mut server_peer: BTreeMap<(usize, u32, u16), u32> = BTreeMap::new();
+    for r in &ds.records {
+        if r.proxy.is_some() || permanent.contains(r.client, r.site) {
+            continue;
+        }
+        let hint = txn_blame_hint(r, cfg.reset_fast_micros);
+        let hour = r.hour();
+        let client_failed = matches!(hint, TxnBlameHint::ClientDns | TxnBlameHint::Ambiguous);
+        let server_failed = matches!(hint, TxnBlameHint::AuthDns | TxnBlameHint::Ambiguous);
+        let (c_row, s_row) = (r.client.0 as usize, r.site.0 as usize);
+        client.grid.add(c_row, hour, client_failed);
+        server.grid.add(s_row, hour, server_failed);
+        if hour < ds.hours {
+            if client_failed && c_row < ds.clients.len() {
+                *client_peer.entry((c_row, hour, r.site.0)).or_insert(0) += 1;
+            }
+            if server_failed && s_row < ds.sites.len() {
+                *server_peer.entry((s_row, hour, r.client.0)).or_insert(0) += 1;
+            }
+        }
+    }
+    for (&(row, hour, _), &count) in &client_peer {
+        let m = client.peer_max.entry((row, hour)).or_insert(0);
+        *m = (*m).max(count);
+    }
+    for (&(row, hour, _), &count) in &server_peer {
+        let m = server.peer_max.entry((row, hour)).or_insert(0);
+        *m = (*m).max(count);
+    }
+    (client, server)
 }
 
 /// Near-permanent pairs, reference detection (Section 4.4.2).
@@ -286,21 +413,27 @@ pub fn table5(
 }
 
 /// The audit's inferred-class reading of one failed record, as a matrix
-/// index: Section 4.2 for DNS failures, sparse grid lookups for the rest.
+/// index: the per-record blame hint settles what needs no grid (Section
+/// 4.2 DNS reading, Section 4.4.2 access-policy resets), and everything
+/// ambiguous classifies against the sparse transaction-outcome grids —
+/// robust broad-episode test on the client axis, plain episode test on the
+/// server axis, mirroring the optimized audit.
 fn inferred_class(
     r: &model::PerformanceRecord,
-    client_grid: &NaiveGrid,
-    server_grid: &NaiveGrid,
-    f: f64,
-    min_samples: u32,
+    client_outcome: &NaiveOutcomeGrid,
+    server_outcome: &NaiveOutcomeGrid,
+    cfg: &AnalysisConfig,
 ) -> usize {
-    use model::DnsFailureKind;
-    match r.failure().expect("failed record has a class") {
-        FailureClass::Dns(DnsFailureKind::LdnsTimeout) => 0,
-        FailureClass::Dns(_) => 1,
-        FailureClass::Tcp(_) | FailureClass::Http(_) => {
-            let c = client_grid.is_episode(r.client.0 as usize, r.hour(), f, min_samples);
-            let s = server_grid.is_episode(r.site.0 as usize, r.hour(), f, min_samples);
+    match txn_blame_hint(r, cfg.reset_fast_micros) {
+        TxnBlameHint::ClientDns => 0,
+        TxnBlameHint::AuthDns => 1,
+        TxnBlameHint::PolicyReset => 3,
+        TxnBlameHint::Success | TxnBlameHint::Ambiguous => {
+            let (f, min) = (cfg.episode_threshold, cfg.min_hour_samples);
+            let c = client_outcome.is_broad_episode(r.client.0 as usize, r.hour(), f, min);
+            let s = server_outcome
+                .grid
+                .is_episode(r.site.0 as usize, r.hour(), f, min);
             match (c, s) {
                 (true, false) => 0,
                 (false, true) => 1,
@@ -311,6 +444,32 @@ fn inferred_class(
     }
 }
 
+/// Table 5 blame over every failed transaction against the outcome grids,
+/// reference computation: one sequential pass with the same skips and
+/// hint-then-grid reading as the optimized
+/// [`netprofiler::blame::table5_outcome`].
+pub fn table5_outcome(
+    ds: &Dataset,
+    permanent: &NaivePermanent,
+    client_outcome: &NaiveOutcomeGrid,
+    server_outcome: &NaiveOutcomeGrid,
+    cfg: &AnalysisConfig,
+) -> BlameBreakdown {
+    let mut out = BlameBreakdown::default();
+    for r in &ds.records {
+        if !r.failed() || r.proxy.is_some() || permanent.contains(r.client, r.site) {
+            continue;
+        }
+        match inferred_class(r, client_outcome, server_outcome, cfg) {
+            0 => out.client_side += 1,
+            1 => out.server_side += 1,
+            2 => out.both += 1,
+            _ => out.other += 1,
+        }
+    }
+    out
+}
+
 /// Per-archetype `(name, truth, detected)` detection tallies, reference
 /// computation: one sequential pass with the same skips and inference
 /// reading as [`blame_confusion`], one counter bump per archetype bit in
@@ -319,10 +478,9 @@ pub fn archetype_tallies(
     ds: &Dataset,
     log: &model::ProvenanceLog,
     permanent: &NaivePermanent,
-    client_grid: &NaiveGrid,
-    server_grid: &NaiveGrid,
-    f: f64,
-    min_samples: u32,
+    client_outcome: &NaiveOutcomeGrid,
+    server_outcome: &NaiveOutcomeGrid,
+    cfg: &AnalysisConfig,
 ) -> Vec<(&'static str, u64, u64)> {
     use netprofiler::audit::ARCHETYPES;
     let mut out: Vec<(&'static str, u64, u64)> =
@@ -331,7 +489,7 @@ pub fn archetype_tallies(
         if !r.failed() || r.proxy.is_some() || permanent.contains(r.client, r.site) {
             continue;
         }
-        let inferred = inferred_class(r, client_grid, server_grid, f, min_samples);
+        let inferred = inferred_class(r, client_outcome, server_outcome, cfg);
         for (k, &(_, bit, expected)) in ARCHETYPES.iter().enumerate() {
             if stamp.all().contains(bit) {
                 out[k].1 += 1;
@@ -343,17 +501,17 @@ pub fn archetype_tallies(
 }
 
 /// The attribution-audit confusion matrix, reference computation: one pass
-/// over the records, sparse grid lookups, the same Section 4.2 reading of
-/// DNS failures the optimized audit uses (LDNS timeout → the client's own
-/// infrastructure, everything else → the authoritative side).
+/// over the records, sparse outcome-grid lookups, the same hint-then-grid
+/// reading the optimized audit uses (LDNS timeout → the client's own
+/// infrastructure, authoritative DNS errors → the server side, fast
+/// all-refused connect phases → access policy).
 pub fn blame_confusion(
     ds: &Dataset,
     log: &model::ProvenanceLog,
     permanent: &NaivePermanent,
-    client_grid: &NaiveGrid,
-    server_grid: &NaiveGrid,
-    f: f64,
-    min_samples: u32,
+    client_outcome: &NaiveOutcomeGrid,
+    server_outcome: &NaiveOutcomeGrid,
+    cfg: &AnalysisConfig,
 ) -> netprofiler::audit::BlameConfusion {
     use model::TrueBlame;
     let mut out = netprofiler::audit::BlameConfusion::default();
@@ -369,7 +527,7 @@ pub fn blame_confusion(
             out.skipped_permanent += 1;
             continue;
         }
-        let inferred = inferred_class(r, client_grid, server_grid, f, min_samples);
+        let inferred = inferred_class(r, client_outcome, server_outcome, cfg);
         let truth = match stamp.all().true_blame() {
             TrueBlame::ClientSide => 0,
             TrueBlame::ServerSide => 1,
@@ -494,12 +652,18 @@ pub fn severe_instability(
 }
 
 /// Client-server-specific episodes over `window_hours`-hour bins, with
-/// endpoint-episode shadowing (Section 2.2 category 3).
+/// endpoint-episode shadowing (Section 2.2 category 3). An endpoint
+/// episode on *either* the connection grid or the transaction-outcome grid
+/// shadows the pair (robust broad-episode test on the client axis, plain
+/// episode test on the server axis), mirroring the optimized detector.
+#[allow(clippy::too_many_arguments)]
 pub fn pair_episodes(
     ds: &Dataset,
     permanent: &NaivePermanent,
     client_grid: &NaiveGrid,
     server_grid: &NaiveGrid,
+    client_outcome: &NaiveOutcomeGrid,
+    server_outcome: &NaiveOutcomeGrid,
     f: f64,
     min_samples: u32,
     cfg: PairEpisodeConfig,
@@ -521,8 +685,12 @@ pub fn pair_episodes(
         entry.0 += 1;
         entry.1 += u32::from(conn.failed());
         if conn.failed() {
-            let c_ep = client_grid.is_episode(conn.client.0 as usize, hour, f, min_samples);
-            let s_ep = server_grid.is_episode(conn.site.0 as usize, hour, f, min_samples);
+            let c_row = conn.client.0 as usize;
+            let s_row = conn.site.0 as usize;
+            let c_ep = client_grid.is_episode(c_row, hour, f, min_samples)
+                || client_outcome.is_broad_episode(c_row, hour, f, min_samples);
+            let s_ep = server_grid.is_episode(s_row, hour, f, min_samples)
+                || server_outcome.grid.is_episode(s_row, hour, f, min_samples);
             entry.2 |= c_ep || s_ep;
         }
     }
@@ -670,6 +838,13 @@ pub struct OracleArtifacts {
     pub table5: BlameBreakdown,
     /// Table 5 at the conservative threshold (f = 10%).
     pub table5_conservative: BlameBreakdown,
+    /// Table 5 over failed transactions against the outcome grids (DNS
+    /// failures included, access-policy resets in "other").
+    pub table5_outcome: BlameBreakdown,
+    /// Client-axis transaction-outcome grid.
+    pub client_outcome: NaiveOutcomeGrid,
+    /// Site-axis transaction-outcome grid.
+    pub server_outcome: NaiveOutcomeGrid,
     /// Section 4.4.5 server-side episode statistics.
     pub server_episodes: ServerEpisodeStats,
     /// Severe BGP instability, neighbor rule.
@@ -712,6 +887,7 @@ pub fn analyze(ds: &Dataset, cfg: &AnalysisConfig) -> OracleArtifacts {
         }
         txn_grid.add(r.client.0 as usize, r.hour(), r.failed());
     }
+    let (client_outcome, server_outcome) = transaction_outcome_grids(ds, &permanent, cfg);
 
     let clients_cdf = rate_cdf(&client_grid.all_rates(min));
     let servers_cdf = rate_cdf(&server_grid.all_rates(min));
@@ -751,6 +927,7 @@ pub fn analyze(ds: &Dataset, cfg: &AnalysisConfig) -> OracleArtifacts {
         figure4,
         table5: table5(ds, &permanent, &client_grid, &server_grid, f, min),
         table5_conservative: table5(ds, &permanent, &client_grid, &server_grid, 0.10, min),
+        table5_outcome: table5_outcome(ds, &permanent, &client_outcome, &server_outcome, cfg),
         server_episodes: server_episode_stats(ds, &server_grid, f, min),
         severe_neighbors: severe_instability(ds, &pgrid, neighbors_rule, min),
         severe_alt: severe_instability(ds, &pgrid, alt_rule, min),
@@ -759,10 +936,14 @@ pub fn analyze(ds: &Dataset, cfg: &AnalysisConfig) -> OracleArtifacts {
             &permanent,
             &client_grid,
             &server_grid,
+            &client_outcome,
+            &server_outcome,
             f,
             min,
             PairEpisodeConfig::default(),
         ),
+        client_outcome,
+        server_outcome,
         permanent,
         table9,
         shared_proxy,

@@ -70,7 +70,9 @@ pub fn render_audit(a: &AuditReport) -> String {
     for (name, o) in [
         ("permanent pairs", &a.pairs.overlap),
         ("client episode hours", &a.client_episodes),
+        ("client episodes (conn grid)", &a.client_episodes_conn),
         ("server episode hours", &a.server_episodes),
+        ("server episodes (txn grid)", &a.server_episodes_txn),
         ("severe-BGP instances", &a.severe_bgp),
     ] {
         t.row([
@@ -85,6 +87,24 @@ pub fn render_audit(a: &AuditReport) -> String {
     out.push_str(&t.render());
     out.push_str(&format!("  pairs missed:   {}\n", pair_list(&a.pairs.missed)));
     out.push_str(&format!("  pairs spurious: {}\n", pair_list(&a.pairs.spurious)));
+
+    // Table 5 through each grid family: the connection grids (the paper's
+    // headline path) vs. the transaction-outcome grids (DNS failures
+    // included, access-policy resets folded into "other").
+    let mut t = TextTable::new(["grids", "client", "server", "both", "other", "total"])
+        .with_title("Attribution audit: Table 5 blame by grid family")
+        .right_align(&[1, 2, 3, 4, 5]);
+    for (name, b) in [("connection", &a.table5_conn), ("txn-outcome", &a.table5_txn)] {
+        t.row([
+            name.to_string(),
+            b.client_side.to_string(),
+            b.server_side.to_string(),
+            b.both.to_string(),
+            b.other.to_string(),
+            b.total().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
 
     // Adversarial archetype detection: only archetypes that actually fired
     // get a row; a standard world renders the one summary line.
@@ -147,7 +167,9 @@ pub fn audit_csv(a: &AuditReport) -> String {
     for (name, o) in [
         ("permanent_pairs", &a.pairs.overlap),
         ("client_episode_hours", &a.client_episodes),
+        ("client_episode_hours_conn", &a.client_episodes_conn),
         ("server_episode_hours", &a.server_episodes),
+        ("server_episode_hours_txn", &a.server_episodes_txn),
         ("severe_bgp", &a.severe_bgp),
     ] {
         csv.row([
@@ -157,7 +179,22 @@ pub fn audit_csv(a: &AuditReport) -> String {
             format!("{};{};{:.4};{:.4}", o.inferred, o.overlap, o.precision(), o.recall()),
         ]);
     }
+    for (name, b) in [("conn", &a.table5_conn), ("txn", &a.table5_txn)] {
+        csv.row([
+            "table5".to_string(),
+            name.to_string(),
+            b.total().to_string(),
+            format!("{};{};{};{}", b.client_side, b.server_side, b.both, b.other),
+        ]);
+    }
     csv.finish()
+}
+
+fn json_table5(b: &netprofiler::blame::BlameBreakdown) -> String {
+    format!(
+        "{{\"client\": {}, \"server\": {}, \"both\": {}, \"other\": {}}}",
+        b.client_side, b.server_side, b.both, b.other
+    )
 }
 
 fn json_overlap(o: &netprofiler::audit::SetOverlap) -> String {
@@ -217,7 +254,10 @@ pub fn audit_json(a: &AuditReport, scale: &str, seed: u64, threads: usize) -> St
          \"weighted_agreement\": {:.4},\n  \
          \"permanent_pairs\": {},\n  \"pairs_missed\": {},\n  \
          \"pairs_spurious\": {},\n  \"client_episode_hours\": {},\n  \
-         \"server_episode_hours\": {},\n  \"severe_bgp\": {},\n  \
+         \"client_episode_hours_conn\": {},\n  \
+         \"server_episode_hours\": {},\n  \
+         \"server_episode_hours_txn\": {},\n  \"severe_bgp\": {},\n  \
+         \"table5_conn\": {},\n  \"table5_txn\": {},\n  \
          \"archetypes\": {}\n}}\n",
         a.stamped_records,
         a.stamped_failures,
@@ -232,8 +272,12 @@ pub fn audit_json(a: &AuditReport, scale: &str, seed: u64, threads: usize) -> St
         a.pairs.missed.len(),
         a.pairs.spurious.len(),
         json_overlap(&a.client_episodes),
+        json_overlap(&a.client_episodes_conn),
         json_overlap(&a.server_episodes),
+        json_overlap(&a.server_episodes_txn),
         json_overlap(&a.severe_bgp),
+        json_table5(&a.table5_conn),
+        json_table5(&a.table5_txn),
         json_archetypes(a),
     )
 }
@@ -349,7 +393,9 @@ impl Section for AuditSection<'_> {
         for (name, o) in [
             ("permanent pairs", &a.pairs.overlap),
             ("client episode hours", &a.client_episodes),
+            ("client episodes (conn grid)", &a.client_episodes_conn),
             ("server episode hours", &a.server_episodes),
+            ("server episodes (txn grid)", &a.server_episodes_txn),
             ("severe-BGP instances", &a.severe_bgp),
         ] {
             t.row(vec![
@@ -359,6 +405,21 @@ impl Section for AuditSection<'_> {
                 Cell::num(o.overlap.to_string()),
                 Cell::num(pct(o.precision())),
                 Cell::num(pct(o.recall())),
+            ]);
+        }
+        out.table(&t);
+
+        let mut t = HtmlTable::new(["grids", "client", "server", "both", "other", "total"])
+            .with_caption("Table 5 blame by grid family")
+            .right_align(&[1, 2, 3, 4, 5]);
+        for (name, b) in [("connection", &a.table5_conn), ("txn-outcome", &a.table5_txn)] {
+            t.row(vec![
+                Cell::text(name),
+                Cell::num(b.client_side.to_string()),
+                Cell::num(b.server_side.to_string()),
+                Cell::num(b.both.to_string()),
+                Cell::num(b.other.to_string()),
+                Cell::num(b.total().to_string()),
             ]);
         }
         out.table(&t);
@@ -428,6 +489,7 @@ impl Section for AuditSection<'_> {
 mod tests {
     use super::*;
     use netprofiler::audit::{BlameConfusion, PairDetectionScore, SetOverlap};
+    use netprofiler::blame::BlameBreakdown;
 
     #[test]
     fn archetype_section_lists_fired_archetypes_only() {
@@ -493,8 +555,22 @@ mod tests {
                 spurious: vec![(4, 4)],
             },
             client_episodes: SetOverlap { truth: 50, inferred: 40, overlap: 35 },
+            client_episodes_conn: SetOverlap { truth: 50, inferred: 600, overlap: 5 },
             server_episodes: SetOverlap { truth: 20, inferred: 25, overlap: 18 },
+            server_episodes_txn: SetOverlap { truth: 20, inferred: 24, overlap: 17 },
             severe_bgp: SetOverlap { truth: 10, inferred: 8, overlap: 8 },
+            table5_conn: BlameBreakdown {
+                client_side: 10,
+                server_side: 55,
+                both: 5,
+                other: 30,
+            },
+            table5_txn: BlameBreakdown {
+                client_side: 42,
+                server_side: 57,
+                both: 5,
+                other: 36,
+            },
             archetypes: vec![
                 ArchetypeScore {
                     name: "colo-blast",
@@ -561,6 +637,30 @@ mod tests {
         assert!(csv.starts_with("section,name,truth_or_row,values"));
         assert!(csv.contains("confusion,client,0,40;0;0;10"));
         assert!(csv.contains("overlap,permanent_pairs,38,"));
+        assert!(csv.contains("overlap,client_episode_hours_conn,50,600;5;"));
+        assert!(csv.contains("overlap,server_episode_hours_txn,20,24;17;"));
+        assert!(csv.contains("table5,conn,100,10;55;5;30"));
+        assert!(csv.contains("table5,txn,140,42;57;5;36"));
+    }
+
+    #[test]
+    fn grid_family_comparison_renders_everywhere() {
+        let a = sample();
+        let text = render_audit(&a);
+        assert!(text.contains("Table 5 blame by grid family"), "{text}");
+        assert!(text.contains("client episodes (conn grid)"), "{text}");
+        assert!(text.contains("server episodes (txn grid)"), "{text}");
+        let json = audit_json(&a, "quick", 42, 2);
+        assert!(json.contains("\"client_episode_hours_conn\": {\"truth\": 50, \"inferred\": 600, \"overlap\": 5"));
+        assert!(json.contains("\"server_episode_hours_txn\": "));
+        assert!(json.contains(
+            "\"table5_txn\": {\"client\": 42, \"server\": 57, \"both\": 5, \"other\": 36}"
+        ));
+        let mut page = crate::html::HtmlReport::new("t");
+        page.add_section(&AuditSection(&a));
+        let html = page.render();
+        assert!(html.contains("Table 5 blame by grid family"));
+        assert!(html.contains("txn-outcome"));
     }
 
     #[test]
