@@ -29,6 +29,29 @@ cargo run --release -q -p bench-suite --bin audit -- --out /tmp/BENCH_audit.json
 echo "==> audit --scenario: per-archetype detection clears the recall floors (censorship/brownout included)"
 cargo run --release -q -p bench-suite --bin audit -- --scenario --out /tmp/BENCH_scenarios.json > /dev/null
 
+echo "==> explain --check: forensic tracer on/off is bit-identical (default features)"
+check_default="$(cargo run --release -q -p bench-suite --bin explain -- --check)"
+echo "$check_default"
+
+echo "==> explain --check: tracer purity holds with telemetry compiled out"
+check_nodefault="$(cargo run --release -q -p bench-suite --bin explain --no-default-features -- --check)"
+echo "$check_nodefault"
+# The dataset/report hashes must also agree ACROSS the two builds: tracing
+# on, off, or compiled down to stubs — one world, byte for byte.
+hashes_default="$(echo "$check_default" | grep -o 'dataset hash [0-9a-f]*, report hash [0-9a-f]*')"
+hashes_nodefault="$(echo "$check_nodefault" | grep -o 'dataset hash [0-9a-f]*, report hash [0-9a-f]*')"
+[ -n "$hashes_default" ] || { echo "FAIL: explain --check emitted no hashes"; exit 1; }
+[ "$hashes_default" = "$hashes_nodefault" ] || {
+    echo "FAIL: tracing determinism broken across feature builds ($hashes_default vs $hashes_nodefault)"; exit 1; }
+
+echo "==> explain --audit-misses: a causal timeline exists for every below-recall archetype"
+misses="$(cargo run --release -q -p bench-suite --bin explain -- --audit-misses)"
+echo "$misses" | grep -q 'exemplar (' || { echo "FAIL: no miss exemplars dumped"; exit 1; }
+# Every archetype header below 1.0 recall must be followed by an exemplar.
+if [ "$(echo "$misses" | grep -c '^== ')" -ne "$(echo "$misses" | grep -c '^exemplar (')" ]; then
+    echo "FAIL: some below-recall archetype has no exemplar"; exit 1
+fi
+
 echo "==> reproduce --html: self-contained page smoke test"
 html_dir="$(mktemp -d)"
 trap 'rm -rf "$html_dir"' EXIT
@@ -36,7 +59,7 @@ cargo run --release -q -p bench-suite --bin reproduce -- --scale quick --html "$
 test -s "$html_dir/report.html" || { echo "FAIL: report.html empty"; exit 1; }
 test -s "$html_dir/manifest.json" || { echo "FAIL: manifest.json missing"; exit 1; }
 iconv -f UTF-8 -t UTF-8 "$html_dir/report.html" > /dev/null || { echo "FAIL: report.html not valid UTF-8"; exit 1; }
-for anchor in manifest paper compare audit quarantine telemetry trajectory; do
+for anchor in manifest paper compare audit waterfalls quarantine telemetry trajectory; do
     grep -q "id=\"$anchor\"" "$html_dir/report.html" || { echo "FAIL: missing section anchor $anchor"; exit 1; }
 done
 if [ "$(grep -c 'http[s]*://' "$html_dir/report.html")" -ne 0 ]; then

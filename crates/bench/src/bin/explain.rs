@@ -1,0 +1,313 @@
+//! Forensic `explain` query engine: why did one transaction fail?
+//!
+//! ```text
+//! explain --client C --site S --hour H [--scale quick|stress|repro|paper]
+//!         [--seed N] [--threads N]
+//! explain --audit-misses [--seed N] [--threads N]
+//! explain --check [--seed N]
+//! ```
+//!
+//! Query mode reruns the experiment with the forensic tracer pinned to the
+//! `(client, site, hour)` key, then prints the transaction's causal
+//! timeline (every DNS attempt, TCP connect, and HTTP exchange, each
+//! stamped with the ground-truth faults active at that step) next to the
+//! verdict the audit's Table 5 inference scored for that record and the
+//! recorded truth — the "why" side-by-side with the "what we concluded".
+//!
+//! `--audit-misses` is the audit's post-mortem loupe: run the combined
+//! adversarial-month world, collect the `(client, site, hour)` keys of the
+//! missed failures of every archetype below 1.0 recall, rerun the
+//! bit-identical world with those keys pinned, and dump one causal
+//! timeline per miss bucket. Exits non-zero if any below-recall archetype
+//! yields no exemplar.
+//!
+//! `--check` verifies the tracer's zero-perturbation contract the same way
+//! `audit --check` does for the flight recorder: the same seed with
+//! tracing off and on must produce bit-identical datasets and
+//! byte-identical rendered reports. `ci.sh` runs it in both the default
+//! and `--no-default-features` builds.
+
+use bench_suite::{dataset_fingerprint, Fnv, Scale};
+use netprofiler::audit::{audit, infer_record_blame, inferred_index, CLASS_LABELS};
+use netprofiler::{Analysis, AnalysisConfig};
+use workload::{
+    run_experiment, AdversarialProfile, ExperimentConfig, ExperimentOutput, ForensicsConfig,
+};
+
+/// FNV-1a over a byte stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = Fnv::new();
+    h.write_str(std::str::from_utf8(bytes).unwrap_or(""))
+        .expect("hashing cannot fail");
+    h.finish()
+}
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut seed = 20050101u64;
+    let mut threads: Option<usize> = None;
+    let mut client: Option<u16> = None;
+    let mut site: Option<u16> = None;
+    let mut hour: Option<u32> = None;
+    let mut audit_misses = false;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--client" => client = args.next().and_then(|v| v.parse().ok()),
+            "--site" => site = args.next().and_then(|v| v.parse().ok()),
+            "--hour" => hour = args.next().and_then(|v| v.parse().ok()),
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (quick|stress|repro|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
+            "--audit-misses" => audit_misses = true,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!(
+                    "explain --client C --site S --hour H [--scale quick|stress|repro|paper] \
+                     [--seed N] [--threads N] | explain --audit-misses [--seed N] [--threads N] \
+                     | explain --check [--seed N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if check {
+        run_check(seed);
+        return;
+    }
+    if audit_misses {
+        run_audit_misses(seed, threads.unwrap_or(0));
+        return;
+    }
+
+    let (Some(client), Some(site), Some(hour)) = (client, site, hour) else {
+        eprintln!("explain needs --client C --site S --hour H (or --audit-misses / --check)");
+        std::process::exit(2);
+    };
+    run_query(scale, seed, threads.unwrap_or(0), (client, site, hour));
+}
+
+/// Label a recorded [`model::TrueBlame`] the way the audit's matrix rows do.
+fn truth_class_label(blame: model::TrueBlame) -> &'static str {
+    match blame {
+        model::TrueBlame::ClientSide => "client",
+        model::TrueBlame::ServerSide => "server",
+        model::TrueBlame::Both => "both",
+        model::TrueBlame::PairSpecific => "other (pair-specific)",
+        model::TrueBlame::Noise => "other (noise)",
+    }
+}
+
+/// Print one exemplar's causal timeline plus the truth-vs-inference diff.
+fn explain_exemplar(
+    x: &model::TraceExemplar,
+    out: &ExperimentOutput,
+    analysis: &Analysis<'_>,
+) {
+    print!("{}", report::waterfall::render_timeline(x));
+    let log = out
+        .provenance
+        .as_ref()
+        .expect("explain runs always record provenance");
+    let stamp = log.records[x.record_index].all();
+    let verdict = infer_record_blame(analysis, x.record_index, x.client, x.site, x.hour);
+    let inferred = CLASS_LABELS[inferred_index(verdict)];
+    let truth_class = truth_class_label(stamp.true_blame());
+    println!(
+        "  recorded truth:   {} [{}]",
+        truth_class,
+        if stamp.is_empty() {
+            "-".to_string()
+        } else {
+            stamp.names().join(",")
+        },
+    );
+    if !x.failed {
+        // The audit's Table 5 matrix scores failures only; for a success
+        // the hour-level inference is context, not a verdict.
+        println!("  audit inference:  {inferred} (hour-level context; successes are not scored)");
+        return;
+    }
+    println!("  audit inference:  {inferred}");
+    println!(
+        "  verdict:          {}",
+        if inferred == truth_class {
+            "agreement"
+        } else {
+            "MISATTRIBUTED"
+        }
+    );
+}
+
+/// Query mode: pin the key, rerun, print timeline + verdict.
+fn run_query(scale: Scale, seed: u64, threads: usize, key: (u16, u16, u32)) {
+    let mut cfg = scale.config(seed);
+    cfg.threads = threads;
+    cfg.record_provenance = true;
+    cfg.forensics = Some(ForensicsConfig {
+        pin: vec![key],
+    });
+    if key.2 >= cfg.hours {
+        eprintln!(
+            "hour {} is outside the run ({} hours at this scale)",
+            key.2, cfg.hours
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "explain: rerunning {} hours, seed {seed}, tracer pinned to c{}-s{}-h{} ...",
+        cfg.hours, key.0, key.1, key.2
+    );
+    let out = run_experiment(&cfg);
+    let store = out.forensics.as_ref().expect("forensics was configured");
+    let Some(x) = store.find(key) else {
+        eprintln!(
+            "no trace captured for c{}-s{}-h{}: the client never reached that site in that \
+             hour (or the transaction fell outside every sampling bucket)",
+            key.0, key.1, key.2
+        );
+        std::process::exit(1);
+    };
+    let analysis = Analysis::new(&out.dataset, AnalysisConfig::default().with_threads(threads));
+    explain_exemplar(x, &out, &analysis);
+}
+
+/// `--audit-misses`: adversarial-month audit, then a pinned rerun that
+/// captures one causal timeline per archetype-miss bucket.
+fn run_audit_misses(seed: u64, threads: usize) {
+    let cfg = |forensics: Option<ForensicsConfig>| {
+        let mut c = ExperimentConfig::quick(seed);
+        c.hours = 48;
+        c.wire_fidelity = false;
+        c.threads = threads;
+        c.record_provenance = true;
+        c.adversarial = AdversarialProfile::adversarial_month();
+        c.forensics = forensics;
+        c
+    };
+
+    eprintln!("explain --audit-misses pass 1: adversarial month, 48 h, seed {seed} ...");
+    let first = run_experiment(&cfg(None));
+    let log = first.provenance.as_ref().expect("provenance was configured");
+    let analysis = Analysis::new(&first.dataset, AnalysisConfig::default().with_threads(threads));
+    let audit_report = audit(&analysis, log);
+
+    let below: Vec<&netprofiler::audit::ArchetypeScore> = audit_report
+        .archetypes
+        .iter()
+        .filter(|s| s.truth > 0 && s.recall() < 1.0)
+        .collect();
+    if below.is_empty() {
+        println!("audit-misses: every fired archetype at 1.0 recall — nothing to explain");
+        return;
+    }
+    let mut pin: Vec<(u16, u16, u32)> = below.iter().flat_map(|s| s.missed_keys.clone()).collect();
+    pin.sort_unstable();
+    pin.dedup();
+    eprintln!(
+        "pass 1: {} archetypes below 1.0 recall, {} missed keys to pin; pass 2 (bit-identical \
+         world, tracer pinned) ...",
+        below.len(),
+        pin.len()
+    );
+    let second = run_experiment(&cfg(Some(ForensicsConfig { pin })));
+    let store = second.forensics.as_ref().expect("forensics was configured");
+
+    // The tracer is zero-perturbation, so pass 2's dataset is pass 1's —
+    // trust but verify before reusing pass 1's analysis indices.
+    assert_eq!(
+        dataset_fingerprint(&first.dataset),
+        dataset_fingerprint(&second.dataset),
+        "pinned rerun diverged from the audit run — tracer perturbation bug"
+    );
+
+    let mut missing = 0u32;
+    for s in &below {
+        println!(
+            "== {} (recall {:.3}: {} of {} detected, expected class {}) ==",
+            s.name,
+            s.recall(),
+            s.detected,
+            s.truth,
+            CLASS_LABELS[s.expected]
+        );
+        let Some(x) = s.missed_keys.iter().find_map(|&k| store.find(k)) else {
+            println!("  exemplar: none captured for any missed key");
+            missing += 1;
+            continue;
+        };
+        println!("exemplar ({}):", s.name);
+        explain_exemplar(x, &second, &analysis);
+    }
+    if missing > 0 {
+        eprintln!("explain --audit-misses FAILED: {missing} below-recall archetype(s) without an exemplar");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "explain --audit-misses: one causal timeline per miss bucket ({} archetypes)",
+        below.len()
+    );
+}
+
+/// Zero-perturbation contract: tracing on/off must not change the world.
+fn run_check(seed: u64) {
+    let run = |forensics: bool| {
+        let mut cfg = ExperimentConfig::quick(seed);
+        cfg.hours = 12;
+        cfg.wire_fidelity = false;
+        cfg.forensics = forensics.then(ForensicsConfig::default);
+        let out = run_experiment(&cfg);
+        let acfg = AnalysisConfig::default();
+        let rendered = report::render_all(&out.dataset, acfg, seed);
+        (
+            dataset_fingerprint(&out.dataset),
+            fnv1a(rendered.as_bytes()),
+            out.dataset.records.len(),
+            out.dataset.connections.len(),
+            out.forensics.is_some(),
+        )
+    };
+
+    eprintln!("explain --check: 12 h window, seed {seed}, tracing off vs on ...");
+    let off = run(false);
+    let on = run(true);
+
+    let mut failures = 0u32;
+    let mut check = |what: &str, ok: bool| {
+        if ok {
+            eprintln!("  ok: {what}");
+        } else {
+            eprintln!("  MISMATCH: {what}");
+            failures += 1;
+        }
+    };
+    check("exemplar store absent when off", !off.4);
+    check("exemplar store present when on", on.4);
+    check("transaction count", off.2 == on.2);
+    check("connection count", off.3 == on.3);
+    check("dataset fingerprint", off.0 == on.0);
+    check("rendered report fingerprint", off.1 == on.1);
+
+    if failures > 0 {
+        eprintln!("explain --check FAILED: {failures} mismatch(es) — the tracer perturbed the world");
+        std::process::exit(1);
+    }
+    println!(
+        "explain --check passed: {} transactions, dataset hash {:016x}, report hash {:016x} — \
+         identical with the forensic tracer on and off",
+        off.2, off.0, off.1
+    );
+}

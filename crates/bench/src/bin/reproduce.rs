@@ -116,10 +116,12 @@ fn main() {
 
     let mut config = scale.config(seed);
     if html_path.is_some() {
-        // The flight recorder is proven zero-perturbation (audit --check),
-        // so the page's audit section rides along without changing the
-        // dataset or the text output.
+        // The flight recorder and the forensic tracer are both proven
+        // zero-perturbation (audit --check, explain --check), so the page's
+        // audit section and trace waterfalls ride along without changing
+        // the dataset or the text output.
         config.record_provenance = true;
+        config.forensics = Some(workload::ForensicsConfig::default());
     }
     eprintln!(
         "running experiment: {} hours x {} accesses/hour x 80 sites x 134 clients (~{} transactions), seed {seed}",

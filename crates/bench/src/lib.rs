@@ -155,6 +155,14 @@ pub fn html_page(
         .as_ref()
         .map(|log| netprofiler::audit::audit(a5, log));
     let quarantine = out.report.quarantine_summary();
+    // Forensic exemplars: one waterfall per distinct (client, site, hour),
+    // and the audit's missed-sample drilldowns deep-link into them.
+    let exemplars: Vec<model::TraceExemplar> = out
+        .forensics
+        .as_ref()
+        .map(|s| s.unique_by_key().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let linked: Vec<(u16, u16, u32)> = exemplars.iter().map(|x| x.key()).collect();
 
     let mut page = report::html::HtmlReport::new(format!(
         "End-to-end web access failures — {} scale, seed {seed}",
@@ -167,7 +175,13 @@ pub fn html_page(
     let manifest_section = report::html::ManifestSection(manifest);
     let paper_section = report::render::PaperSection { blocks };
     let compare_section = report::paper::CompareSection(&comps);
-    let audit_section = audit_report.as_ref().map(report::audit::AuditSection);
+    let audit_section = audit_report.as_ref().map(|a| report::audit::AuditSection {
+        audit: a,
+        linked: &linked,
+    });
+    let waterfall_section = report::waterfall::WaterfallSection {
+        exemplars: &exemplars,
+    };
     let quarantine_section = report::quarantine::QuarantineSection(&quarantine);
     let telemetry_section = report::html::TelemetrySection(stage_profile);
     let trajectory_section =
@@ -177,6 +191,9 @@ pub fn html_page(
     page.add_section(&compare_section);
     if let Some(s) = audit_section.as_ref() {
         page.add_section(s);
+    }
+    if !exemplars.is_empty() {
+        page.add_section(&waterfall_section);
     }
     page.add_section(&quarantine_section);
     page.add_section(&telemetry_section);

@@ -35,8 +35,10 @@ pub const CLASSES: usize = 4;
 /// Row/column labels of the confusion matrix, in index order.
 pub const CLASS_LABELS: [&str; CLASSES] = ["client", "server", "both", "other"];
 
-/// Index of an inferred [`BlameClass`] in the matrix.
-fn inferred_index(class: BlameClass) -> usize {
+/// Index of an inferred [`BlameClass`] in the matrix (and in
+/// [`CLASS_LABELS`]) — public so the `explain` forensics harness can label
+/// verdicts the same way the matrix does.
+pub fn inferred_index(class: BlameClass) -> usize {
     match class {
         BlameClass::ClientSide => 0,
         BlameClass::ServerSide => 1,
@@ -88,8 +90,10 @@ pub const ARCHETYPES: [(&str, FaultSet, usize); 7] = [
     ("wrong-dns", FaultSet::WRONG_DNS, 1),
 ];
 
-/// Samples of missed failures kept per archetype (operator output).
-pub const ARCHETYPE_SAMPLE_CAP: usize = 5;
+/// Samples of missed failures kept per archetype (operator output). The
+/// same cap bounds every drill-down list in the pipeline — see
+/// [`crate::caps`].
+pub const ARCHETYPE_SAMPLE_CAP: usize = crate::caps::MAX_SAMPLES;
 
 /// Detection score for one adversarial fault archetype.
 ///
@@ -113,6 +117,11 @@ pub struct ArchetypeScore {
     pub inferred_class_total: u64,
     /// First few missed failures, as `client→site@hour inferred <class>`.
     pub missed_samples: Vec<String>,
+    /// The same missed failures as structured `(client, site, hour)` keys,
+    /// parallel to [`Self::missed_samples`] — what `explain --audit-misses`
+    /// pins forensic exemplars on, and what the HTML report uses to link
+    /// missed-sample rows to trace waterfalls.
+    pub missed_keys: Vec<(u16, u16, u32)>,
 }
 
 impl ArchetypeScore {
@@ -335,6 +344,19 @@ pub struct AuditReport {
 ///   classifies against the outcome-grid episodes, which see DNS-phase
 ///   faults the connection grids are blind to.
 fn infer_blame(analysis: &Analysis<'_>, i: usize, client: u16, site: u16, hour: u32) -> BlameClass {
+    infer_record_blame(analysis, i, client, site, hour)
+}
+
+/// Public form of the matrix's per-record inference, so the `explain`
+/// forensics harness can show the exact verdict the audit scored for one
+/// record (identified by its dataset index) next to the recorded truth.
+pub fn infer_record_blame(
+    analysis: &Analysis<'_>,
+    i: usize,
+    client: u16,
+    site: u16,
+    hour: u32,
+) -> BlameClass {
     match analysis
         .cds
         .txn_blame_hint(i, analysis.config.reset_fast_micros)
@@ -354,8 +376,9 @@ fn infer_blame(analysis: &Analysis<'_>, i: usize, client: u16, site: u16, hour: 
     }
 }
 
-/// Per-shard archetype tally: `(truth, detected, missed samples)`.
-type ArchetypeTally = (u64, u64, Vec<String>);
+/// Per-shard archetype tally: `(truth, detected, missed samples, missed
+/// keys)` — the two sample lists stay parallel.
+type ArchetypeTally = (u64, u64, Vec<String>, Vec<(u16, u16, u32)>);
 
 /// Build the blame confusion matrix and the per-archetype detection
 /// tallies, sharded over the record range. Shards cover contiguous record
@@ -405,6 +428,7 @@ fn blame_confusion(
                         "c{client}→s{site}@h{hour} inferred {}",
                         CLASS_LABELS[inferred]
                     ));
+                    arch[k].3.push((client, site, hour));
                 }
             }
         }
@@ -419,20 +443,26 @@ fn blame_confusion(
             t.1 += a.1;
             let room = ARCHETYPE_SAMPLE_CAP - t.2.len();
             t.2.extend(a.2.iter().take(room).cloned());
+            t.3.extend(a.3.iter().take(room).copied());
         }
     }
     let columns = total.inferred_totals();
     let scores = ARCHETYPES
         .iter()
         .zip(tallies)
-        .map(|(&(name, _, expected), (truth, detected, missed_samples))| ArchetypeScore {
-            name,
-            expected,
-            truth,
-            detected,
-            inferred_class_total: columns[expected],
-            missed_samples,
-        })
+        .map(
+            |(&(name, _, expected), (truth, detected, missed_samples, missed_keys))| {
+                ArchetypeScore {
+                    name,
+                    expected,
+                    truth,
+                    detected,
+                    inferred_class_total: columns[expected],
+                    missed_samples,
+                    missed_keys,
+                }
+            },
+        )
         .collect();
     (total, scores)
 }

@@ -1,0 +1,26 @@
+//! Shared truncation caps for operator-facing sample lists.
+//!
+//! Every renderer and sampler that keeps "the first few" of something —
+//! quarantine name lists, audit missed-sample lists, the forensic exemplar
+//! store's per-bucket rings — uses these two constants, so drill-down depth
+//! is consistent across the whole pipeline and there is exactly one place
+//! to widen it. `report::caps` re-exports them for the render layer.
+
+/// Names listed before truncating to "(+N more)".
+pub const MAX_NAMED: usize = 8;
+
+/// Per-bucket samples kept for drill-down output.
+pub const MAX_SAMPLES: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_are_pinned() {
+        // Shared by the quarantine/audit renderers and the exemplar store;
+        // change deliberately, not incidentally.
+        assert_eq!(MAX_NAMED, 8);
+        assert_eq!(MAX_SAMPLES, 5);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod audit;
 pub mod bgp_corr;
 pub mod blame;
+pub mod caps;
 pub mod config;
 pub mod dns_analysis;
 pub mod episodes;

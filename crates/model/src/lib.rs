@@ -20,6 +20,7 @@ pub mod net;
 pub mod provenance;
 pub mod records;
 pub mod time;
+pub mod trace;
 
 pub use bgp::{BgpHourly, BgpHourlySeries};
 pub use columnar::{ColumnarDataset, MemoryFootprint, TxnBlameHint};
@@ -30,3 +31,4 @@ pub use net::Ipv4Prefix;
 pub use provenance::{FaultSet, ProvenanceLog, ProvenanceRecord, TrueBlame, TruthSidecar};
 pub use records::{ConnectionRecord, DigOutcome, PerformanceRecord, TransactionOutcome};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceExemplar, TxnTrace};

@@ -314,8 +314,16 @@ pub fn scenarios_json(entries: &[(String, &AuditReport)], seed: u64, threads: us
 
 /// The audit as an HTML report section: the confusion matrix as a
 /// heat-shaded grid, agreement badges, the detection-overlap table, and
-/// per-archetype rows with missed-sample drilldowns.
-pub struct AuditSection<'a>(pub &'a AuditReport);
+/// per-archetype rows with missed-sample drilldowns. When a missed
+/// sample's `(client, site, hour)` key appears in `linked` — the keys of
+/// the forensic exemplars rendered by
+/// [`WaterfallSection`](crate::waterfall::WaterfallSection) — its
+/// drilldown line deep-links to that trace's waterfall figure.
+pub struct AuditSection<'a> {
+    pub audit: &'a AuditReport,
+    /// Keys with a rendered waterfall on the same page (may be empty).
+    pub linked: &'a [(u16, u16, u32)],
+}
 
 impl Section for AuditSection<'_> {
     fn id(&self) -> &'static str {
@@ -327,7 +335,7 @@ impl Section for AuditSection<'_> {
     }
 
     fn build(&self, out: &mut SectionBuilder) {
-        let a = self.0;
+        let a = self.audit;
         out.badges(&[
             ("agreement".to_string(), pct(a.blame.agreement())),
             (
@@ -464,22 +472,31 @@ impl Section for AuditSection<'_> {
             if s.missed_samples.is_empty() {
                 continue;
             }
-            let shown: Vec<String> = s
+            // `missed_keys` parallels `missed_samples`; a sample whose key
+            // has a waterfall on this page links straight to the trace.
+            let mut items: Vec<(String, Option<String>)> = s
                 .missed_samples
                 .iter()
+                .enumerate()
                 .take(MAX_ARCHETYPE_SAMPLES)
-                .cloned()
+                .map(|(i, line)| {
+                    let anchor = s
+                        .missed_keys
+                        .get(i)
+                        .filter(|k| self.linked.contains(k))
+                        .map(|k| crate::waterfall::anchor(*k));
+                    (line.clone(), anchor)
+                })
                 .collect();
             // The audit keeps only the first few samples; the overflow
             // marker counts every miss past what is shown.
-            let overflow = (s.truth - s.detected).saturating_sub(shown.len() as u64);
-            let mut lines = shown;
+            let overflow = (s.truth - s.detected).saturating_sub(items.len() as u64);
             if overflow > 0 {
-                lines.push(format!("... (+{overflow} more)"));
+                items.push((format!("... (+{overflow} more)"), None));
             }
-            out.drilldown(
+            out.drilldown_linked(
                 &format!("missed ({}): {} samples", s.name, s.missed_samples.len()),
-                &lines,
+                &items,
             );
         }
     }
@@ -490,6 +507,12 @@ mod tests {
     use super::*;
     use netprofiler::audit::{BlameConfusion, PairDetectionScore, SetOverlap};
     use netprofiler::blame::BlameBreakdown;
+
+    /// An [`AuditSection`] with no waterfalls on the page (the common case
+    /// in these tests).
+    fn section(a: &AuditReport) -> AuditSection<'_> {
+        AuditSection { audit: a, linked: &[] }
+    }
 
     #[test]
     fn archetype_section_lists_fired_archetypes_only() {
@@ -582,6 +605,7 @@ mod tests {
                         "c1→s2@h3 inferred other".to_string(),
                         "c4→s2@h3 inferred other".to_string(),
                     ],
+                    missed_keys: vec![(1, 2, 3), (4, 2, 3)],
                 },
                 ArchetypeScore {
                     name: "wrong-dns",
@@ -657,7 +681,7 @@ mod tests {
             "\"table5_txn\": {\"client\": 42, \"server\": 57, \"both\": 5, \"other\": 36}"
         ));
         let mut page = crate::html::HtmlReport::new("t");
-        page.add_section(&AuditSection(&a));
+        page.add_section(&section(&a));
         let html = page.render();
         assert!(html.contains("Table 5 blame by grid family"));
         assert!(html.contains("txn-outcome"));
@@ -666,8 +690,9 @@ mod tests {
     #[test]
     fn html_section_heat_shades_confusion_diagonal() {
         use crate::html::HtmlReport;
+        let a = sample();
         let mut page = HtmlReport::new("t");
-        page.add_section(&AuditSection(&sample()));
+        page.add_section(&section(&a));
         let html = page.render();
         // client row: 40 of 50 true-client failures inferred client.
         assert!(html.contains("rgba(31,119,80,0.680)"), "{html}");
@@ -677,6 +702,24 @@ mod tests {
         assert!(html.contains("missed (colo-blast): 2 samples"));
         // wrong-dns never fired: no detection row.
         assert!(!html.contains("wrong-dns"));
+    }
+
+    #[test]
+    fn missed_samples_link_to_waterfalls_only_when_rendered() {
+        let a = sample();
+        // Only the first miss has a waterfall on the page.
+        let linked = [(1u16, 2u16, 3u32)];
+        let mut page = crate::html::HtmlReport::new("t");
+        page.add_section(&AuditSection { audit: &a, linked: &linked });
+        let html = page.render();
+        assert!(
+            html.contains("<a href=\"#wf-c1-s2-h3\">"),
+            "linked miss deep-links to its trace:\n{html}"
+        );
+        assert!(
+            !html.contains("wf-c4-s2-h3"),
+            "a miss without a rendered waterfall stays plain text"
+        );
     }
 
     #[test]
@@ -690,7 +733,7 @@ mod tests {
         a.pairs.missed.clear();
         a.pairs.spurious.clear();
         let mut page = crate::html::HtmlReport::new("t");
-        page.add_section(&AuditSection(&a));
+        page.add_section(&section(&a));
         let html = page.render();
         assert!(html.contains("No adversarial archetypes fired"));
         assert!(!html.contains("<details>"));

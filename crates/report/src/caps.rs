@@ -1,17 +1,15 @@
 //! Shared truncation caps for human-facing drilldowns.
 //!
 //! Every long list in the report — lost clients, missed/spurious pairs,
-//! salvage issue samples, archetype missed-failure samples, HTML
-//! drilldowns — truncates with the same two caps, so a catastrophic run
-//! cannot flood any rendering surface and every surface truncates the same
-//! way. The caps are part of the report's contract (tests pin them).
+//! salvage issue samples, archetype missed-failure samples, forensic
+//! exemplar buckets, HTML drilldowns — truncates with the same two caps, so
+//! a catastrophic run cannot flood any rendering surface and every surface
+//! truncates the same way. The constants live in [`netprofiler::caps`]
+//! (shared with the audit sampler and the exemplar store); this module
+//! re-exports them alongside the render helpers. The caps are part of the
+//! report's contract (tests pin them).
 
-/// Most names listed before truncation (lost clients, missed pairs, fired
-/// archetypes, ...).
-pub const MAX_NAMED: usize = 8;
-
-/// Most issue/missed samples listed per source before truncation.
-pub const MAX_SAMPLES: usize = 5;
+pub use netprofiler::caps::{MAX_NAMED, MAX_SAMPLES};
 
 /// Join the first `cap` names with a `(+N more)` overflow marker; an empty
 /// iterator renders as `"none"`.

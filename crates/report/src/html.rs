@@ -354,6 +354,100 @@ impl SectionBuilder {
         }
         self.body.push_str("</ul></details>\n");
     }
+
+    /// A drilldown whose items may link to an in-page anchor (same-page
+    /// `#fragment` only, preserving self-containment). Items without an
+    /// anchor render as plain text, exactly like [`Self::drilldown`].
+    pub fn drilldown_linked(&mut self, summary: &str, items: &[(String, Option<String>)]) {
+        let _ = write!(
+            self.body,
+            "<details><summary>{}</summary><ul>",
+            escape_html(summary)
+        );
+        for (line, anchor) in items {
+            match anchor {
+                Some(a) => {
+                    let _ = write!(
+                        self.body,
+                        "<li><a href=\"#{}\">{}</a></li>",
+                        escape_html(a),
+                        escape_html(line)
+                    );
+                }
+                None => {
+                    let _ = write!(self.body, "<li>{}</li>", escape_html(line));
+                }
+            }
+        }
+        self.body.push_str("</ul></details>\n");
+    }
+
+    /// A span waterfall: labelled horizontal spans on a shared time axis,
+    /// rendered as one inline SVG (the trace-forensics idiom, like
+    /// [`Self::sparkline`] is for series). `anchor` becomes the figure's
+    /// `id` so drilldowns can deep-link to one waterfall. Spans carry a
+    /// hover `<title>` tip. An empty row list renders a note.
+    pub fn waterfall(&mut self, anchor: &str, caption: &str, rows: &[WaterfallRow]) {
+        if rows.is_empty() {
+            self.note(&format!("{caption}: no events"));
+            return;
+        }
+        const W: f64 = 560.0;
+        const ROW_H: f64 = 22.0;
+        const LABEL_W: f64 = 170.0;
+        const PAD: f64 = 4.0;
+        let end = rows
+            .iter()
+            .map(|r| r.start_us + r.len_us)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let h = ROW_H * rows.len() as f64 + 2.0 * PAD;
+        let scale = (W - LABEL_W - 2.0 * PAD) / end as f64;
+        let _ = write!(
+            self.body,
+            "<figure class=\"waterfall\" id=\"{}\"><figcaption>{}</figcaption>\
+             <svg viewBox=\"0 0 {W:.0} {h:.0}\" width=\"{W:.0}\" height=\"{h:.0}\" role=\"img\">",
+            escape_html(anchor),
+            escape_html(caption),
+        );
+        for (i, r) in rows.iter().enumerate() {
+            let y = PAD + ROW_H * i as f64;
+            let x = LABEL_W + PAD + r.start_us as f64 * scale;
+            // Zero-length events (instant failures) still get a visible tick.
+            let w = (r.len_us as f64 * scale).max(2.0);
+            let _ = write!(
+                self.body,
+                "<text x=\"{:.1}\" y=\"{:.1}\" class=\"wf-label\">{}</text>\
+                 <rect x=\"{x:.1}\" y=\"{:.1}\" width=\"{w:.1}\" height=\"{:.1}\" \
+                 class=\"wf-{}\"><title>{}</title></rect>",
+                LABEL_W - 2.0,
+                y + ROW_H * 0.7,
+                escape_html(&r.label),
+                y + 3.0,
+                ROW_H - 8.0,
+                escape_html(r.class),
+                escape_html(&r.tip),
+            );
+        }
+        self.body.push_str("</svg></figure>\n");
+    }
+}
+
+/// One span of a [`SectionBuilder::waterfall`]: a labelled bar from
+/// `start_us` for `len_us` on the shared axis.
+#[derive(Clone, Debug)]
+pub struct WaterfallRow {
+    /// Row label printed left of the axis (e.g. `"dns www.example.com"`).
+    pub label: String,
+    /// Visual class: `"ok"`, `"fail"`, or `"truth"` (maps to `.wf-ok` etc.).
+    pub class: &'static str,
+    /// Span offset from the transaction start, microseconds.
+    pub start_us: u64,
+    /// Span length, microseconds.
+    pub len_us: u64,
+    /// Hover tooltip (outcome, latency, active faults).
+    pub tip: String,
 }
 
 fn align_attr(a: CellAlign) -> &'static str {
@@ -485,6 +579,13 @@ padding:.12rem .7rem;font-size:.85rem}\
 details{margin:.3rem 0}\
 summary{cursor:pointer;color:var(--accent);font-size:.88rem}\
 details ul{margin:.2rem 0 .4rem 1.2rem;font-size:.85rem}\
+.waterfall{margin:.6rem 0;padding:.3rem 0;border-bottom:1px dashed var(--line)}\
+.waterfall figcaption{font-size:.85rem;font-weight:600;margin-bottom:.15rem}\
+.waterfall:target figcaption{background:var(--chip)}\
+.wf-label{font:10.5px ui-monospace,monospace;fill:var(--dim);text-anchor:end}\
+.wf-ok{fill:var(--accent);opacity:.75}\
+.wf-fail{fill:#b3402a;opacity:.85}\
+.wf-truth{fill:#8a6d1f;opacity:.6}\
 ";
 
 /// Inline script: the page works fully without it (pure progressive
@@ -586,23 +687,10 @@ impl Manifest {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+// The workspace's one JSON-string escaper; the manifest shares it with the
+// JSONL/Chrome-trace exporters so hostile names escape identically
+// everywhere.
+use telemetry::json_escape;
 
 /// The manifest as the page's first section: identity badges plus the
 /// per-stage wall table.

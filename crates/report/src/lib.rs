@@ -15,7 +15,9 @@
 //! * [`html`] — the typed single-file HTML report builder (sections →
 //!   tables/bars/badges → escaped cells) plus the run [`html::Manifest`];
 //! * [`trajectory`] — the bench-trajectory panel over committed
-//!   `BENCH_*.json` artifacts.
+//!   `BENCH_*.json` artifacts;
+//! * [`waterfall`] — forensic exemplar traces as text timelines (for the
+//!   `explain` query engine) and inline-SVG span waterfalls.
 
 pub mod audit;
 pub mod caps;
@@ -27,6 +29,7 @@ pub mod quarantine;
 pub mod render;
 pub mod table;
 pub mod trajectory;
+pub mod waterfall;
 
 pub use html::{escape_html, HtmlReport, Manifest, Section};
 pub use paper::PaperTargets;

@@ -632,6 +632,59 @@ mod tests {
     }
 
     #[test]
+    fn empty_top_level_array_degrades_without_panicking() {
+        // A valid document of the wrong shape (array where an object is
+        // expected) must render as an empty/noted panel, never panic.
+        let p = bench_panel("BENCH_parallel.json", "[]");
+        assert_eq!(p.notes, vec!["parallel: no sweep array".to_string()]);
+        assert!(p.series.is_empty());
+        let p = bench_panel("BENCH_scenarios.json", "[]");
+        assert_eq!(p.notes, vec!["scenarios: no scenario array".to_string()]);
+        let p = bench_panel("BENCH_audit.json", "[]");
+        assert!(p.series.is_empty() && p.badges.is_empty());
+    }
+
+    #[test]
+    fn truncated_file_reads_as_unparsable() {
+        // A partially written artifact (crash mid-flush) must not panic the
+        // report — every truncation point of a valid document degrades to
+        // the "unparsable" note.
+        let full = "{\"scale\": \"quick\", \"sweep\": [{\"threads\": 1, \"speedup\": 1.0}]}";
+        for cut in 1..full.len() {
+            let p = bench_panel("BENCH_parallel.json", &full[..cut]);
+            assert!(
+                p.notes[0].contains("unparsable"),
+                "cut at {cut} parsed unexpectedly"
+            );
+        }
+    }
+
+    #[test]
+    fn overflowing_and_negative_zero_numbers_parse_without_panic() {
+        // 1e309 overflows f64 to infinity; Rust's parse accepts it, and the
+        // badge formatter must not panic on a non-finite value.
+        let doc = Json::parse("{\"transactions\": 1e309, \"wall_seconds\": -0}").unwrap();
+        assert_eq!(doc.num("transactions"), Some(f64::INFINITY));
+        assert_eq!(doc.num("wall_seconds"), Some(-0.0));
+        let p = bench_panel(
+            "BENCH_baseline.json",
+            "{\"seed\": 1, \"transactions\": 1e309, \"wall_seconds\": -0}",
+        );
+        assert!(p.badges.iter().any(|(k, v)| k == "transactions" && v == "inf"));
+        assert!(p.badges.iter().any(|(k, _)| k == "wall_seconds"));
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored_not_fatal() {
+        let text = "{\"scale\": \"quick\", \"future_field\": {\"nested\": [1, 2]}, \
+                    \"sweep\": [{\"threads\": 1, \"speedup\": 1.0, \"novel_metric\": 9}]}";
+        let p = bench_panel("BENCH_parallel.json", text);
+        assert!(p.notes.is_empty(), "{:?}", p.notes);
+        let speedup = p.series.iter().find(|s| s.name.starts_with("speedup")).unwrap();
+        assert_eq!(speedup.points, vec![("t=1".to_string(), 1.0)]);
+    }
+
+    #[test]
     fn committed_artifacts_parse_end_to_end() {
         // The real committed files must stay ingestible; run from the repo
         // root by the workspace test harness, skip quietly elsewhere.

@@ -1,0 +1,314 @@
+//! Forensic drill-down: exemplar traces as timelines and span waterfalls.
+//!
+//! Two renderings of the same [`TraceExemplar`]:
+//!
+//! * [`render_timeline`] — the plain-text causal timeline the `explain`
+//!   query engine prints: one line per trace event with its offset from the
+//!   transaction start, outcome, and ground-truth fault stamp.
+//! * [`WaterfallSection`] — the HTML report section that draws each
+//!   exemplar as an inline-SVG span waterfall, anchored by
+//!   [`anchor`]`(key)` so the audit section's missed-sample drilldowns can
+//!   deep-link straight to the trace that explains a miss.
+//!
+//! Both surfaces truncate with the shared [`crate::caps`] constants and
+//! stay self-contained (no scripts, no external fetches).
+
+use crate::caps;
+use crate::html::{Section, SectionBuilder, WaterfallRow};
+use model::{FaultSet, TraceEvent, TraceExemplar};
+use std::fmt::Write as _;
+
+/// The in-page anchor of one exemplar's waterfall figure.
+pub fn anchor(key: (u16, u16, u32)) -> String {
+    format!("wf-c{}-s{}-h{}", key.0, key.1, key.2)
+}
+
+fn truth_label(truth: FaultSet) -> String {
+    if truth.is_empty() {
+        "-".to_string()
+    } else {
+        truth.names().join(",")
+    }
+}
+
+/// Outcome detail without the phase word (the renderings add it: the
+/// timeline as its own column, the waterfall tip as a prefix).
+fn event_detail(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::Dns { host, outcome, .. } => match outcome {
+            Ok(()) => format!("{host} ok"),
+            Err(kind) => format!("{host} FAILED: {kind}"),
+        },
+        TraceEvent::Connect {
+            replica,
+            outcome,
+            syn_retransmissions,
+            ..
+        } => {
+            let retx = if *syn_retransmissions > 0 {
+                format!(" ({syn_retransmissions} SYN retx)")
+            } else {
+                String::new()
+            };
+            match outcome {
+                Ok(()) => format!("{replica} ok{retx}"),
+                Err(kind) => format!("{replica} FAILED: {kind}{retx}"),
+            }
+        }
+        TraceEvent::Http {
+            host,
+            status,
+            redirect,
+            ..
+        } => {
+            let code = if *status == 0 {
+                "no-response".to_string()
+            } else {
+                status.to_string()
+            };
+            match redirect {
+                Some(next) => format!("{host} {code} -> {next}"),
+                None => format!("{host} {code}"),
+            }
+        }
+    }
+}
+
+/// The causal timeline of one exemplar as plain text: a header identifying
+/// the transaction and its union truth, then one line per trace event with
+/// offset, phase, detail, latency, and the truth stamp active at that step.
+pub fn render_timeline(x: &TraceExemplar) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "txn c{}->s{}@h{}  start={}s  total={}us  outcome={}  truth=[{}]",
+        x.client,
+        x.site,
+        x.hour,
+        x.start.as_secs(),
+        x.duration_us,
+        if x.failed { "FAIL" } else { "OK" },
+        truth_label(x.truth),
+    );
+    if x.trace.events.is_empty() {
+        let _ = writeln!(out, "  (no events captured)");
+        return out;
+    }
+    for e in &x.trace.events {
+        let _ = writeln!(
+            out,
+            "  +{:>9}us  {:<7} {:<52} {:>9}us  truth=[{}]",
+            e.at().since(x.start).as_micros(),
+            e.phase(),
+            event_detail(e),
+            e.elapsed().as_micros(),
+            truth_label(e.truth()),
+        );
+    }
+    out
+}
+
+/// Span rows for one exemplar's waterfall figure, in event order.
+pub fn waterfall_rows(x: &TraceExemplar) -> Vec<WaterfallRow> {
+    x.trace
+        .events
+        .iter()
+        .map(|e| WaterfallRow {
+            label: format!("{} {}", e.phase(), short_target(e)),
+            class: if e.failed() { "fail" } else { "ok" },
+            start_us: e.at().since(x.start).as_micros(),
+            len_us: e.elapsed().as_micros(),
+            tip: format!(
+                "{} {} ({}us) truth=[{}]",
+                e.phase(),
+                event_detail(e),
+                e.elapsed().as_micros(),
+                truth_label(e.truth()),
+            ),
+        })
+        .collect()
+}
+
+fn short_target(e: &TraceEvent) -> String {
+    match e {
+        TraceEvent::Dns { host, .. } | TraceEvent::Http { host, .. } => host.clone(),
+        TraceEvent::Connect { replica, .. } => replica.to_string(),
+    }
+}
+
+/// HTML report section: one span waterfall per exemplar, capped with the
+/// shared drilldown constants so a pathological run cannot flood the page.
+/// Feed it a deduplicated, deterministically ordered slice (the store's
+/// `unique_by_key` output).
+pub struct WaterfallSection<'a> {
+    pub exemplars: &'a [TraceExemplar],
+}
+
+impl Section for WaterfallSection<'_> {
+    fn id(&self) -> &'static str {
+        "waterfalls"
+    }
+
+    fn title(&self) -> String {
+        "Forensic trace waterfalls".to_string()
+    }
+
+    fn build(&self, out: &mut SectionBuilder) {
+        if self.exemplars.is_empty() {
+            out.note(
+                "No forensic exemplars were captured (tracing off, or no \
+                 transactions ran).",
+            );
+            return;
+        }
+        out.paragraph(
+            "Tail-sampled causal traces: every span is one DNS attempt, TCP \
+             connect, or HTTP exchange of the transaction, stamped with the \
+             ground-truth faults active at that step. Red spans failed. \
+             Audit missed-sample rows link here by (client, site, hour).",
+        );
+        let cap = caps::MAX_NAMED * caps::MAX_SAMPLES;
+        for x in self.exemplars.iter().take(cap) {
+            let caption = format!(
+                "c{}->s{}@h{} — {} ({}us, truth [{}])",
+                x.client,
+                x.site,
+                x.hour,
+                if x.failed { "failed" } else { "slow success" },
+                x.duration_us,
+                truth_label(x.truth),
+            );
+            out.waterfall(&anchor(x.key()), &caption, &waterfall_rows(x));
+        }
+        if self.exemplars.len() > cap {
+            out.note(&format!(
+                "... (+{} more exemplars not rendered)",
+                self.exemplars.len() - cap
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::HtmlReport;
+    use model::{
+        DnsFailureKind, SimDuration, SimTime, TcpFailureKind, TxnTrace,
+    };
+    use std::net::Ipv4Addr;
+
+    fn exemplar() -> TraceExemplar {
+        let start = SimTime::from_secs(7_200);
+        TraceExemplar {
+            client: 3,
+            site: 14,
+            hour: 2,
+            record_index: 42,
+            start,
+            duration_us: 2_400_000,
+            failed: true,
+            truth: FaultSet::CENSORED,
+            trace: TxnTrace {
+                events: vec![
+                    TraceEvent::Dns {
+                        host: "www.example.com".to_string(),
+                        at: start,
+                        elapsed: SimDuration::from_millis(40),
+                        outcome: Ok(()),
+                        truth: FaultSet::EMPTY,
+                    },
+                    TraceEvent::Connect {
+                        replica: Ipv4Addr::new(10, 0, 0, 1),
+                        at: start + SimDuration::from_millis(40),
+                        elapsed: SimDuration::from_secs(2),
+                        outcome: Err(TcpFailureKind::NoConnection),
+                        syn_retransmissions: 3,
+                        truth: FaultSet::CENSORED,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn anchor_is_stable_and_key_derived() {
+        assert_eq!(anchor((3, 14, 2)), "wf-c3-s14-h2");
+        assert_eq!(anchor(exemplar().key()), "wf-c3-s14-h2");
+    }
+
+    #[test]
+    fn timeline_orders_events_with_offsets_and_truth() {
+        let text = render_timeline(&exemplar());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("txn c3->s14@h2"));
+        assert!(lines[0].contains("outcome=FAIL"));
+        assert!(lines[0].contains("truth=[censored]"));
+        assert!(lines[1].contains("dns"));
+        assert!(lines[1].contains("+        0us"));
+        assert!(lines[1].contains("truth=[-]"));
+        assert!(lines[2].contains("connect 10.0.0.1 FAILED: "));
+        assert!(lines[2].contains("(3 SYN retx)"));
+        assert!(lines[2].contains("truth=[censored]"));
+    }
+
+    #[test]
+    fn timeline_handles_empty_trace() {
+        let mut x = exemplar();
+        x.trace = TxnTrace::default();
+        let text = render_timeline(&x);
+        assert!(text.contains("no events captured"));
+    }
+
+    #[test]
+    fn dns_failure_detail_names_the_kind() {
+        let mut x = exemplar();
+        x.trace.events = vec![TraceEvent::Dns {
+            host: "www.example.com".to_string(),
+            at: x.start,
+            elapsed: SimDuration::from_secs(75),
+            outcome: Err(DnsFailureKind::LdnsTimeout),
+            truth: FaultSet::EMPTY,
+        }];
+        let text = render_timeline(&x);
+        assert!(text.contains("www.example.com FAILED:"), "{text}");
+    }
+
+    #[test]
+    fn rows_mark_failed_spans_and_preserve_offsets() {
+        let rows = waterfall_rows(&exemplar());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].class, "ok");
+        assert_eq!(rows[0].start_us, 0);
+        assert_eq!(rows[0].len_us, 40_000);
+        assert_eq!(rows[1].class, "fail");
+        assert_eq!(rows[1].start_us, 40_000);
+        assert_eq!(rows[1].len_us, 2_000_000);
+        assert!(rows[1].tip.contains("truth=[censored]"));
+    }
+
+    #[test]
+    fn section_renders_anchored_svg_waterfalls() {
+        let exemplars = vec![exemplar()];
+        let mut report = HtmlReport::new("t");
+        report.add_section(&WaterfallSection {
+            exemplars: &exemplars,
+        });
+        let html = report.render();
+        assert!(html.contains("id=\"wf-c3-s14-h2\""));
+        assert!(html.contains("<svg viewBox="));
+        assert!(html.contains("wf-fail"));
+        assert!(html.contains("Forensic trace waterfalls"));
+        assert!(!html.contains("http://"), "self-contained");
+    }
+
+    #[test]
+    fn empty_section_degrades_to_note() {
+        let mut report = HtmlReport::new("t");
+        report.add_section(&WaterfallSection { exemplars: &[] });
+        let html = report.render();
+        assert!(html.contains("No forensic exemplars"));
+        assert!(!html.contains("<svg viewBox="));
+    }
+}

@@ -241,12 +241,18 @@ impl Snapshot {
                 .iter()
                 .map(|b| format!("[{},{},{}]", b.lo, b.hi, b.count))
                 .collect();
+            // Quantiles ride along so JSONL consumers get the same p50/p95/p99
+            // the text summary prints, without re-deriving bucket math.
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
                 json_escape(&h.name),
                 h.count,
                 h.sum,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
                 buckets.join(",")
             );
         }
@@ -306,7 +312,12 @@ fn opt_num(v: Option<u64>) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_escape(s: &str) -> String {
+///
+/// Public because it is the one JSON-string escaper in the workspace: the
+/// JSONL/Chrome-trace exporters here and the report's hand-rolled
+/// `manifest.json` all route hostile names (a site called `a"b\c`, a stage
+/// with an embedded newline) through this function.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -356,6 +367,51 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\ny");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn jsonl_histogram_line_carries_quantiles() {
+        let snap = Snapshot {
+            histograms: vec![HistogramSnap {
+                sum: 270,
+                ..hist(&[(0, 0, 10), (1, 1, 10), (2, 3, 80)])
+            }],
+            ..Snapshot::default()
+        };
+        let line = snap.to_jsonl();
+        // Pinned: consumers parse this shape; quantiles match `quantile()`.
+        assert_eq!(
+            line,
+            "{\"kind\":\"histogram\",\"name\":\"h\",\"count\":100,\"sum\":270,\
+             \"p50\":3,\"p95\":3,\"p99\":3,\"buckets\":[[0,0,10],[1,1,10],[2,3,80]]}\n"
+        );
+    }
+
+    #[test]
+    fn exporters_escape_hostile_names() {
+        let snap = Snapshot {
+            counters: vec![CounterSnap {
+                name: "evil\"name\\with\nnewline".into(),
+                value: 1,
+            }],
+            spans: vec![SpanRecord {
+                name: "stage",
+                detail: Some("detail\twith\u{2}control".into()),
+                tid: 0,
+                start_ns: 0,
+                dur_ns: 1,
+                sim_start_us: None,
+                sim_end_us: None,
+            }],
+            ..Snapshot::default()
+        };
+        let jsonl = snap.to_jsonl();
+        assert!(jsonl.contains("evil\\\"name\\\\with\\nnewline"));
+        assert!(jsonl.contains("detail\\twith\\u0002control"));
+        // No raw quote/backslash/control leaks into the JSON strings.
+        let trace = snap.to_chrome_trace();
+        assert!(trace.contains("detail\\twith\\u0002control"));
+        assert!(!trace.contains('\u{2}'));
     }
 
     #[test]

@@ -49,7 +49,9 @@ mod export;
 mod metrics;
 mod span;
 
-pub use export::{BucketSnap, CounterSnap, GaugeSnap, HistogramSnap, Snapshot, StageProfile};
+pub use export::{
+    json_escape, BucketSnap, CounterSnap, GaugeSnap, HistogramSnap, Snapshot, StageProfile,
+};
 pub use metrics::{Counter, CounterVec, Gauge, Histogram, Sampler};
 pub use span::{SpanGuard, SpanRecord};
 

@@ -7,7 +7,7 @@ use dnswire::DomainName;
 use httpsim::{HttpRequest, HttpResponse, StatusClass};
 use model::{
     DigOutcome, DnsFailureKind, FailureClass, FaultSet, ProvenanceRecord, SimDuration, SimTime,
-    TcpFailureKind, TransactionOutcome,
+    TcpFailureKind, TraceEvent, TransactionOutcome, TxnTrace,
 };
 use netsim::SimRng;
 use tcpsim::{classify_trace, count_retransmissions, simulate_connection_into, TcpConfig, Trace};
@@ -49,6 +49,13 @@ pub struct WgetConfig {
     /// timelines only, so the RNG draw order — and therefore the dataset —
     /// is bit-identical whether this is on or off.
     pub record_provenance: bool,
+    /// Emit a phase-level forensic trace ([`TxnTrace`]) alongside each
+    /// observation: every DNS attempt, TCP connect, and HTTP exchange as a
+    /// causal event stamped with the faults active at that instant. Capture
+    /// reuses the flight-recorder probes (pure lookups, no RNG), so the
+    /// dataset stays bit-identical with tracing on or off — and works with
+    /// or without `record_provenance`.
+    pub forensics: bool,
 }
 
 impl Default for WgetConfig {
@@ -65,12 +72,13 @@ impl Default for WgetConfig {
             header_overhead: 500,
             http_wire_fidelity: true,
             record_provenance: false,
+            forensics: false,
         }
     }
 }
 
 /// One TCP connection attempt as the record keeper sees it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConnObservation {
     pub replica: Ipv4Addr,
     pub start: SimTime,
@@ -96,6 +104,9 @@ pub struct TransactionObservation {
     /// Ground-truth fault stamp; `Some` only when
     /// [`WgetConfig::record_provenance`] is set.
     pub provenance: Option<ProvenanceRecord>,
+    /// Phase-level causal timeline; `Some` only when
+    /// [`WgetConfig::forensics`] is set.
+    pub trace: Option<TxnTrace>,
 }
 
 impl TransactionObservation {
@@ -111,6 +122,7 @@ impl TransactionObservation {
             retransmissions: None,
             dig,
             provenance: None,
+            trace: None,
         }
     }
 }
@@ -240,12 +252,16 @@ impl<'t> ClientSession<'t> {
     ) -> TransactionObservation {
         // Flight recorder: probe the ground-truth fault timelines as each
         // phase runs. Probes are pure lookups (no RNG), so they cannot
-        // perturb the simulation; when recording is off they are skipped
-        // entirely and every stamp below stays `None`.
+        // perturb the simulation; when neither recorder is on they are
+        // skipped entirely and every stamp below stays `None`. The forensic
+        // trace shares the probes, so it needs no sidecar of its own.
         let recording = self.config.record_provenance;
+        let tracing = self.config.forensics;
+        let need_truth = recording || tracing;
         let mut dns_truth = FaultSet::EMPTY;
         let mut connect_truth = FaultSet::EMPTY;
-        if recording {
+        let mut txn_trace = tracing.then(TxnTrace::default);
+        if need_truth {
             dns_truth = env.true_dns_faults(host, t);
         }
 
@@ -255,6 +271,15 @@ impl<'t> ClientSession<'t> {
             self.resolver
                 .resolve_into(host, env, t, &mut self.rng, &mut self.cache, addrs);
         let dns_elapsed = resolution.elapsed;
+        if let Some(tr) = txn_trace.as_mut() {
+            tr.events.push(TraceEvent::Dns {
+                host: host.to_string(),
+                at: t,
+                elapsed: dns_elapsed,
+                outcome: resolution.result,
+                truth: dns_truth,
+            });
+        }
         if let Err(kind) = resolution.result {
             let dig = self.run_dig(env, host, t + dns_elapsed);
             let mut obs = TransactionObservation::dns_failure(t, kind, dig);
@@ -262,6 +287,7 @@ impl<'t> ClientSession<'t> {
                 dns: dns_truth,
                 connect: FaultSet::EMPTY,
             });
+            obs.trace = txn_trace;
             return obs;
         }
 
@@ -312,8 +338,10 @@ impl<'t> ClientSession<'t> {
                         break 'retry;
                     }
                     let behavior = env.server_behavior(*addr, now);
-                    if recording {
-                        connect_truth |= env.true_faults(*addr, now);
+                    let mut attempt_truth = FaultSet::EMPTY;
+                    if need_truth {
+                        attempt_truth = env.true_faults(*addr, now);
+                        connect_truth |= attempt_truth;
                     }
                     let path = env.path_quality(*addr, now);
                     let result = simulate_connection_into(
@@ -352,6 +380,16 @@ impl<'t> ClientSession<'t> {
                         syn_retransmissions: result.syn_retransmissions,
                         retransmissions: visible_retx,
                     });
+                    if let Some(tr) = txn_trace.as_mut() {
+                        tr.events.push(TraceEvent::Connect {
+                            replica: *addr,
+                            at: now,
+                            elapsed: result.duration,
+                            outcome: observed_outcome,
+                            syn_retransmissions: result.syn_retransmissions,
+                            truth: attempt_truth,
+                        });
+                    }
                     now += result.duration;
                     if result.outcome.is_ok() {
                         bytes_received += result.bytes_delivered.min(answer.response.body_len);
@@ -391,9 +429,19 @@ impl<'t> ClientSession<'t> {
                         dns: dns_truth,
                         connect: connect_truth,
                     }),
+                    trace: txn_trace,
                 };
             };
             final_replica = Some(addr);
+            if let Some(tr) = txn_trace.as_mut() {
+                tr.events.push(TraceEvent::Http {
+                    host: host_str.clone(),
+                    at: now,
+                    status: answer.response.status,
+                    redirect: answer.next_host.clone(),
+                    truth: FaultSet::EMPTY,
+                });
+            }
 
             match StatusClass::of(answer.response.status) {
                 StatusClass::Success => {
@@ -415,6 +463,7 @@ impl<'t> ClientSession<'t> {
                             dns: dns_truth,
                             connect: connect_truth,
                         }),
+                        trace: txn_trace,
                     };
                 }
                 StatusClass::Redirect => {
@@ -426,11 +475,13 @@ impl<'t> ClientSession<'t> {
                                 dns: dns_truth,
                                 connect: connect_truth,
                             });
-                            return self.http_failure(t, dns_elapsed, 502, final_replica, now, bytes_received, connections, total_visible_retx, prov)
+                            return self.http_failure(t, dns_elapsed, 502, final_replica, now, bytes_received, connections, total_visible_retx, prov, txn_trace)
                         }
                     };
-                    if recording {
-                        dns_truth |= env.true_dns_faults(&next_name, now);
+                    let mut hop_truth = FaultSet::EMPTY;
+                    if need_truth {
+                        hop_truth = env.true_dns_faults(&next_name, now);
+                        dns_truth |= hop_truth;
                     }
                     // Resolve the next hop (LDNS cache applies).
                     let r = self.resolver.resolve_into(
@@ -441,6 +492,15 @@ impl<'t> ClientSession<'t> {
                         &mut self.cache,
                         addrs,
                     );
+                    if let Some(tr) = txn_trace.as_mut() {
+                        tr.events.push(TraceEvent::Dns {
+                            host: next.clone(),
+                            at: now,
+                            elapsed: r.elapsed,
+                            outcome: r.result,
+                            truth: hop_truth,
+                        });
+                    }
                     now += r.elapsed;
                     match r.result {
                         Ok(()) => {
@@ -464,6 +524,7 @@ impl<'t> ClientSession<'t> {
                                 dns: dns_truth,
                                 connect: connect_truth,
                             });
+                            obs.trace = txn_trace;
                             return obs;
                         }
                     }
@@ -483,6 +544,7 @@ impl<'t> ClientSession<'t> {
                         connections,
                         total_visible_retx,
                         prov,
+                        txn_trace,
                     );
                 }
             }
@@ -492,7 +554,7 @@ impl<'t> ClientSession<'t> {
             dns: dns_truth,
             connect: connect_truth,
         });
-        self.http_failure(t, dns_elapsed, 310, final_replica, now, bytes_received, connections, total_visible_retx, prov)
+        self.http_failure(t, dns_elapsed, 310, final_replica, now, bytes_received, connections, total_visible_retx, prov, txn_trace)
     }
 
     /// Run one transaction through a corporate caching proxy.
@@ -512,8 +574,10 @@ impl<'t> ClientSession<'t> {
         P: AccessEnvironment,
     {
         let recording = self.config.record_provenance;
+        let tracing = self.config.forensics;
         // The client must reach its proxy over the corporate LAN/WAN.
         if !env.client_link_up(t) {
+            let truth = env.true_dns_faults(host, t);
             let obs = TransactionObservation {
                 start: t,
                 dns: Ok(SimDuration::ZERO),
@@ -527,8 +591,20 @@ impl<'t> ClientSession<'t> {
                 retransmissions: None,
                 dig: DigOutcome::NotRun,
                 provenance: recording.then_some(ProvenanceRecord {
-                    dns: env.true_dns_faults(host, t),
+                    dns: truth,
                     connect: FaultSet::EMPTY,
+                }),
+                // The dead corporate link shows up as one synthetic connect
+                // attempt toward an unknowable replica.
+                trace: tracing.then(|| TxnTrace {
+                    events: vec![TraceEvent::Connect {
+                        replica: Ipv4Addr::UNSPECIFIED,
+                        at: t,
+                        elapsed: SimDuration::ZERO,
+                        outcome: Err(TcpFailureKind::NoConnection),
+                        syn_retransmissions: 0,
+                        truth,
+                    }],
                 }),
             };
             record_transaction_outcome(&obs);
@@ -564,6 +640,19 @@ impl<'t> ClientSession<'t> {
                 duration + local_rtt * 2u64,
             ),
         };
+        // Vantage-level stamp only: the proxy hides which replica it tried,
+        // so the connect phase cannot be attributed to a specific address —
+        // clients behind one proxy share the proxy-vantage cause, which is
+        // exactly the Section 4.7 shared-fate effect the audit measures.
+        // Pure lookups, shared between the provenance stamp and the trace.
+        let vantage = env.true_dns_faults(host, t)
+            | proxy_env.true_dns_faults(host, t + local_rtt);
+        let status = match &outcome {
+            TransactionOutcome::Success => 200,
+            TransactionOutcome::Failure(FailureClass::Http(s)) => *s,
+            // Proxied failures always surface as HTTP statuses (above).
+            TransactionOutcome::Failure(_) => 0,
+        };
         let obs = TransactionObservation {
             start: t,
             dns: Ok(SimDuration::ZERO),
@@ -576,15 +665,20 @@ impl<'t> ClientSession<'t> {
             connections: Vec::new(),
             retransmissions: None,
             dig: DigOutcome::NotRun,
-            // Vantage-level stamp only: the proxy hides which replica it
-            // tried, so the connect phase cannot be attributed to a specific
-            // address — clients behind one proxy share the proxy-vantage
-            // cause, which is exactly the Section 4.7 shared-fate effect the
-            // audit measures.
             provenance: recording.then_some(ProvenanceRecord {
-                dns: env.true_dns_faults(host, t)
-                    | proxy_env.true_dns_faults(host, t + local_rtt),
+                dns: vantage,
                 connect: FaultSet::EMPTY,
+            }),
+            // The proxy collapses the whole exchange into one HTTP event as
+            // seen by the client; the vantage truth rides on it.
+            trace: tracing.then(|| TxnTrace {
+                events: vec![TraceEvent::Http {
+                    host: host.to_string(),
+                    at: t + local_rtt,
+                    status,
+                    redirect: None,
+                    truth: vantage,
+                }],
             }),
         };
         record_transaction_outcome(&obs);
@@ -603,6 +697,7 @@ impl<'t> ClientSession<'t> {
         connections: Vec<ConnObservation>,
         total_visible_retx: u32,
         provenance: Option<ProvenanceRecord>,
+        trace: Option<TxnTrace>,
     ) -> TransactionObservation {
         TransactionObservation {
             start: t,
@@ -615,6 +710,7 @@ impl<'t> ClientSession<'t> {
             retransmissions: self.config.record_traces.then_some(total_visible_retx),
             dig: DigOutcome::NotRun,
             provenance,
+            trace,
         }
     }
 
@@ -946,6 +1042,112 @@ mod tests {
             FailureClass::Http(502),
             "the client cannot tell it was DNS"
         );
+    }
+
+    fn forensic_session<'a>(tree: &'a ZoneTree, seed: u64) -> ClientSession<'a> {
+        let mut cfg = WgetConfig::default();
+        cfg.resolver.query_loss_prob = 0.0;
+        cfg.forensics = true;
+        ClientSession::new(tree, cfg, SimRng::new(seed))
+    }
+
+    #[test]
+    fn forensics_captures_causal_timeline() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 24_000));
+        let mut s = forensic_session(&tr, 31);
+        let obs = s.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(1));
+        assert!(obs.outcome.is_success());
+        let trace = obs.trace.expect("forensics on records a trace");
+        let phases: Vec<&str> = trace.events.iter().map(|e| e.phase()).collect();
+        assert_eq!(phases, ["dns", "connect", "http"]);
+        assert!(trace.events.iter().all(|e| !e.failed()));
+        assert!(
+            trace.events.windows(2).all(|w| w[0].at() <= w[1].at()),
+            "events are causally ordered"
+        );
+        assert_eq!(trace.truth(), FaultSet::EMPTY, "healthy world carries no faults");
+    }
+
+    #[test]
+    fn forensics_traces_redirect_hops() {
+        let tr = tree();
+        let env = HealthyEnv::new(
+            Origin::simple("www.example.com", 10_000)
+                .with_redirects(vec!["example.com".to_string()]),
+        );
+        let mut s = forensic_session(&tr, 32);
+        let obs = s.run_transaction(&env, &name("example.com"), SimTime::from_hours(1));
+        assert!(obs.outcome.is_success());
+        let trace = obs.trace.expect("trace recorded");
+        let phases: Vec<&str> = trace.events.iter().map(|e| e.phase()).collect();
+        assert_eq!(
+            phases,
+            ["dns", "connect", "http", "dns", "connect", "http"],
+            "each redirect hop re-resolves and reconnects"
+        );
+        let redirects: Vec<bool> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Http { redirect, .. } => Some(redirect.is_some()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(redirects, [true, false], "first hop redirects, second lands");
+    }
+
+    #[test]
+    fn forensics_records_failed_dns_attempt() {
+        let tr = tree();
+        let env = NoDns(HealthyEnv::new(Origin::simple("www.example.com", 1_000)));
+        let mut s = forensic_session(&tr, 33);
+        let obs = s.run_transaction(&env, &name("www.example.com"), SimTime::from_hours(1));
+        assert!(obs.outcome.is_failure());
+        let trace = obs.trace.expect("trace recorded");
+        assert_eq!(trace.events.len(), 1, "DNS dies before any connect");
+        assert_eq!(trace.events[0].phase(), "dns");
+        assert!(trace.events[0].failed());
+    }
+
+    #[test]
+    fn forensics_does_not_perturb_transactions() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 24_000));
+        let mut plain = session(&tr, 34);
+        let mut traced = forensic_session(&tr, 34);
+        for k in 0..6u64 {
+            let t = SimTime::from_hours(1) + SimDuration::from_secs(k * 600);
+            let a = plain.run_transaction(&env, &name("www.example.com"), t);
+            let b = traced.run_transaction(&env, &name("www.example.com"), t);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.dns, b.dns);
+            assert_eq!(a.download_time, b.download_time);
+            assert_eq!(a.bytes_received, b.bytes_received);
+            assert_eq!(a.connections, b.connections);
+            assert!(a.trace.is_none(), "forensics off records nothing");
+            assert!(b.trace.is_some());
+        }
+    }
+
+    #[test]
+    fn forensics_collapses_proxied_exchange_to_one_event() {
+        let tr = tree();
+        let env = HealthyEnv::new(Origin::simple("www.example.com", 9_000));
+        let mut s = forensic_session(&tr, 35);
+        let mut proxy = crate::proxy::ProxySession::new(Default::default(), SimRng::new(36));
+        let obs = s.run_proxied_transaction(
+            &env,
+            &mut proxy,
+            &env,
+            &name("www.example.com"),
+            SimTime::from_hours(1),
+        );
+        assert!(obs.outcome.is_success());
+        let trace = obs.trace.expect("trace recorded");
+        assert_eq!(trace.events.len(), 1, "the proxy masks the phases");
+        assert_eq!(trace.events[0].phase(), "http");
+        assert!(!trace.events[0].failed());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::apparatus::ApparatusFaults;
 use crate::clients::{build_fleet, FleetSpec};
 use crate::faults::{canonical_host, AdversarialProfile, GroundTruth};
+use crate::forensics::{ExemplarStore, ForensicsConfig};
 use crate::sites::{build_sites, site_addresses, SiteSpec};
 use crate::view::{ClientView, ProxyView};
 use bgpsim::mrt::{decode_stream_salvage, encode_stream, MrtPrefixTable};
@@ -27,7 +28,7 @@ use dnssim::ZoneTree;
 use dnswire::DomainName;
 use model::{
     ClientId, ClientMeta, Dataset, ConnectionRecord, Ipv4Prefix, PerformanceRecord, PrefixId,
-    ProvenanceLog, ProvenanceRecord, SimDuration, SimTime, SiteId, SiteMeta,
+    ProvenanceLog, ProvenanceRecord, SimDuration, SimTime, SiteId, SiteMeta, TraceExemplar,
 };
 use netsim::{Scheduler, SimRng};
 use webclient::{ClientSession, ProxySession, WgetConfig};
@@ -69,6 +70,11 @@ pub struct ExperimentConfig {
     /// from any archetype stream and leaves the run bit-identical to a
     /// build without the suite.
     pub adversarial: AdversarialProfile,
+    /// Forensic trace capture: `Some` tail-samples causal traces into an
+    /// [`ExemplarStore`]. Like the provenance recorder, capture reads only
+    /// materialized timelines — the dataset is bit-identical with tracing
+    /// on, off, or compiled against `--no-default-features`.
+    pub forensics: Option<ForensicsConfig>,
 }
 
 impl ExperimentConfig {
@@ -86,6 +92,7 @@ impl ExperimentConfig {
             apparatus: ApparatusFaults::none(),
             record_provenance: false,
             adversarial: AdversarialProfile::none(),
+            forensics: None,
         }
     }
 
@@ -124,6 +131,7 @@ impl ExperimentConfig {
             apparatus: ApparatusFaults::none(),
             record_provenance: false,
             adversarial: AdversarialProfile::none(),
+            forensics: None,
         }
     }
 
@@ -159,6 +167,11 @@ pub struct ExperimentOutput {
     /// [`ExperimentConfig::record_provenance`] was set): one stamp per
     /// dataset record, parallel by index, plus the run's answer key.
     pub provenance: Option<ProvenanceLog>,
+    /// Tail-sampled forensic exemplars (`Some` only when
+    /// [`ExperimentConfig::forensics`] was set): per-(blame × archetype)
+    /// bounded buckets of causal traces, record indices pointing into
+    /// `dataset.records`.
+    pub forensics: Option<ExemplarStore>,
 }
 
 /// What happened to one client's worker.
@@ -353,6 +366,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         Vec<PerformanceRecord>,
         Vec<ConnectionRecord>,
         Vec<ProvenanceRecord>,
+        Option<ExemplarStore>,
     );
     type ClientSlot = (Result<ClientData, String>, Duration);
 
@@ -426,6 +440,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
     let mut records = Vec::new();
     let mut connections = Vec::new();
     let mut provenance_records = Vec::new();
+    // Per-client stores merge in client-index order, which reproduces what
+    // one sequential store would have admitted (every per-client bucket
+    // holds at least as many candidates as the merged cap).
+    let mut forensics: Option<ExemplarStore> =
+        config.forensics.as_ref().map(|_| ExemplarStore::default());
     let mut report = RunReport {
         mrt_records_kept,
         mrt_issues,
@@ -451,7 +470,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                 telemetry::counter!("workload.clients_lost", 1);
                 (ClientOutcome::Lost { error }, wall)
             }
-            Some((Ok((mut r, mut c, mut p)), wall)) => {
+            Some((Ok((mut r, mut c, mut p, mut store)), wall)) => {
                 let mut dropped = 0usize;
                 if drop_prob > 0.0 {
                     // Collection loss draws from a per-client fork of the
@@ -474,6 +493,12 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                         let mut k = keep_mask.iter().copied();
                         p.retain(|_| k.next().expect("mask covers stamps"));
                     }
+                    // Exemplars whose record was dropped go with it; the
+                    // survivors' indices are remapped to the kept ranks so
+                    // they keep pointing at the right rows.
+                    if let Some(s) = store.as_mut() {
+                        s.apply_keep_mask(&keep_mask);
+                    }
                 }
                 report.records_dropped += dropped as u64;
                 telemetry::counter!("workload.records_dropped", dropped as u64);
@@ -482,6 +507,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
                     connections: c.len(),
                     dropped_records: dropped,
                 };
+                if let (Some(global), Some(mut s)) = (forensics.as_mut(), store) {
+                    s.rebase(records.len());
+                    global.merge(s);
+                }
                 records.append(&mut r);
                 connections.append(&mut c);
                 provenance_records.append(&mut p);
@@ -572,6 +601,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         record_dataset_counters(&dataset);
         report.telemetry_summary = Some(telemetry::snapshot().render_summary());
     }
+    if let Some(store) = forensics.as_ref() {
+        telemetry::counter!("workload.forensic_exemplars", store.len() as u64);
+    }
     ExperimentOutput {
         dataset,
         truth,
@@ -579,6 +611,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentOutput {
         sites,
         report,
         provenance,
+        forensics,
     }
 }
 
@@ -776,6 +809,7 @@ fn run_client(
     Vec<PerformanceRecord>,
     Vec<ConnectionRecord>,
     Vec<ProvenanceRecord>,
+    Option<ExemplarStore>,
 ) {
     let spec = &fleet.clients[client];
     let mut rng = root.fork(0x90_0000 + client as u64);
@@ -792,6 +826,7 @@ fn run_client(
         record_traces,
         no_cache: spec.proxy.is_some(),
         record_provenance: config.record_provenance,
+        forensics: config.forensics.is_some(),
         ..WgetConfig::default()
     };
     wget.resolver.wire_fidelity = config.wire_fidelity;
@@ -831,6 +866,10 @@ fn run_client(
     } else {
         Vec::new()
     };
+    let mut exemplars = config
+        .forensics
+        .as_ref()
+        .map(|f| ExemplarStore::new(&f.pin));
     let mut order: Vec<usize> = (0..n_sites).collect();
 
     let mut month_span = telemetry::span!("workload.client_month")
@@ -881,7 +920,7 @@ fn run_client(
                     return true;
                 }
                 telemetry::counter!("workload.accesses_attempted", 1);
-                let obs = match proxy_session.as_mut() {
+                let mut obs = match proxy_session.as_mut() {
                     Some((_, ps, pview)) => {
                         session.run_proxied_transaction(&view, ps, pview, &host_names[si], t)
                     }
@@ -919,6 +958,23 @@ fn run_client(
                     // parallel-by-index through in-order collection.
                     provenance.push(obs.provenance.unwrap_or_default());
                 }
+                if let Some(store) = exemplars.as_mut() {
+                    if let Some(tr) = obs.trace.take() {
+                        store.offer(TraceExemplar {
+                            client: client as u16,
+                            site: si as u16,
+                            hour: obs.start.hour_bin(),
+                            record_index: records.len() - 1,
+                            start: obs.start,
+                            duration_us: (obs.dns.unwrap_or(SimDuration::ZERO)
+                                + obs.download_time.unwrap_or(SimDuration::ZERO))
+                            .as_micros(),
+                            failed: obs.outcome.is_failure(),
+                            truth: tr.truth(),
+                            trace: tr,
+                        });
+                    }
+                }
                 // The observation is fully copied out; hand its buffers back
                 // for the next access.
                 session.recycle(obs);
@@ -929,7 +985,7 @@ fn run_client(
     // Scheduler drop flushes this client's engine counters (events
     // dispatched, peak queue depth) into the global recorder.
     drop(sched);
-    (records, connections, provenance)
+    (records, connections, provenance, exemplars)
 }
 
 #[cfg(test)]
@@ -949,6 +1005,7 @@ mod tests {
             apparatus: ApparatusFaults::none(),
             record_provenance: false,
             adversarial: AdversarialProfile::none(),
+            forensics: None,
         }
     }
 
@@ -1012,6 +1069,55 @@ mod tests {
             assert_eq!(x.start, y.start);
             assert_eq!(x.outcome, y.outcome);
         }
+    }
+
+    #[test]
+    fn forensics_capture_is_bounded_and_invisible_to_the_dataset() {
+        use crate::forensics::{ARCHETYPE_SLOTS, BLAME_CLASSES};
+        let mut cfg = tiny();
+        cfg.hours = 6;
+        cfg.wire_fidelity = false;
+        let plain = run_experiment(&cfg);
+        assert!(plain.forensics.is_none(), "off by default");
+        cfg.forensics = Some(ForensicsConfig::default());
+        let traced = run_experiment(&cfg);
+        let store = traced.forensics.as_ref().expect("store produced");
+        assert!(!store.is_empty(), "a faulty month yields exemplars");
+        assert!(
+            store.len() <= BLAME_CLASSES * ARCHETYPE_SLOTS * 2 * report::caps::MAX_SAMPLES,
+            "bounded by the bucket grid, got {}",
+            store.len()
+        );
+        // Tracing perturbs nothing: record streams are identical.
+        assert_eq!(plain.dataset.records.len(), traced.dataset.records.len());
+        assert_eq!(
+            plain.dataset.connections.len(),
+            traced.dataset.connections.len()
+        );
+        for (a, b) in plain.dataset.records.iter().zip(&traced.dataset.records) {
+            assert_eq!((a.client, a.site, a.start, &a.outcome), (b.client, b.site, b.start, &b.outcome));
+        }
+        // Exemplar record indices point at rows with matching identity.
+        for ex in store.iter() {
+            let r = &traced.dataset.records[ex.record_index];
+            assert_eq!((r.client.0, r.site.0), (ex.client, ex.site));
+            assert_eq!(r.start, ex.start);
+            assert_eq!(r.failed(), ex.failed);
+        }
+        // And the store itself is thread-invariant.
+        cfg.threads = 1;
+        let t1 = run_experiment(&cfg);
+        cfg.threads = 7;
+        let t7 = run_experiment(&cfg);
+        let flat = |s: &ExemplarStore| -> Vec<(u16, u16, u32, usize, bool)> {
+            s.iter()
+                .map(|e| (e.client, e.site, e.hour, e.record_index, e.failed))
+                .collect()
+        };
+        assert_eq!(
+            flat(t1.forensics.as_ref().unwrap()),
+            flat(t7.forensics.as_ref().unwrap())
+        );
     }
 
     #[test]

@@ -133,6 +133,43 @@ fn provenance_recording_does_not_change_results() {
 }
 
 #[test]
+fn forensic_tracing_does_not_change_results() {
+    // The forensic tracer rides the same pure truth probes as the flight
+    // recorder: switching it on must not consume a single RNG draw or
+    // reorder a single event, at any thread count. (ci.sh additionally
+    // holds this via `explain --check`, which hashes the full dataset
+    // debug serialization in both feature builds.)
+    let run_traced = |trace: bool, threads: usize| {
+        let mut cfg = ExperimentConfig::quick(31337);
+        cfg.hours = 8;
+        cfg.threads = threads;
+        cfg.forensics = trace.then(workload::ForensicsConfig::default);
+        run_experiment(&cfg)
+    };
+    let off = run_traced(false, 1);
+    let on = run_traced(true, 1);
+    assert_eq!(fingerprint(&off.dataset), fingerprint(&on.dataset));
+    assert!(off.forensics.is_none(), "no exemplar store unless asked");
+    let store = on.forensics.as_ref().expect("exemplar store when asked");
+    assert!(!store.is_empty(), "a traced run captures exemplars");
+
+    // The exemplar store itself is thread-invariant, like everything else.
+    for threads in [2usize, 7] {
+        let again = run_traced(true, threads);
+        assert_eq!(fingerprint(&on.dataset), fingerprint(&again.dataset));
+        let keys: Vec<_> = store.iter().map(|x| (x.key(), x.record_index)).collect();
+        let again_keys: Vec<_> = again
+            .forensics
+            .as_ref()
+            .expect("store present")
+            .iter()
+            .map(|x| (x.key(), x.record_index))
+            .collect();
+        assert_eq!(keys, again_keys, "exemplars drift at {threads} threads");
+    }
+}
+
+#[test]
 fn existing_worlds_bit_identical_to_pre_archetype_goldens() {
     use workload::ApparatusFaults;
     // Golden fingerprints captured immediately BEFORE the adversarial
